@@ -1,0 +1,57 @@
+// Shared helpers for the per-figure bench binaries. Every bench accepts a
+// --scale flag (or OMSHD_SCALE env var) multiplying the default workload
+// sizes; defaults are chosen so the full bench suite runs in a few minutes
+// on a laptop. --scale values near 1 approach the paper's dataset sizes
+// (Table 1) at proportionally higher runtime.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "ms/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace oms::bench {
+
+/// Default bench sizing: a few-thousandths of the paper-scale datasets,
+/// with the query count kept high enough for stable identification counts.
+struct BenchWorkloads {
+  ms::WorkloadConfig iprg;
+  ms::WorkloadConfig hek;
+};
+
+inline BenchWorkloads bench_workloads(double scale) {
+  BenchWorkloads w;
+  w.iprg = ms::WorkloadConfig::iprg2012_like(1.0);
+  w.iprg.query_count = std::max<std::size_t>(
+      200, static_cast<std::size_t>(800.0 * scale));
+  w.iprg.reference_count = std::max<std::size_t>(
+      1000, static_cast<std::size_t>(8000.0 * scale));
+  w.hek = ms::WorkloadConfig::hek293_like(1.0);
+  w.hek.query_count = std::max<std::size_t>(
+      200, static_cast<std::size_t>(1200.0 * scale));
+  w.hek.reference_count = std::max<std::size_t>(
+      1000, static_cast<std::size_t>(12000.0 * scale));
+  return w;
+}
+
+/// Pipeline defaults matching the paper's operating point (§5.3.1):
+/// D = 8k, 3-bit ID precision, ±500 Da open window.
+inline core::PipelineConfig paper_pipeline_config(std::uint32_t dim = 8192) {
+  core::PipelineConfig cfg;
+  cfg.encoder.dim = dim;
+  cfg.encoder.bins = cfg.preprocess.bin_count();
+  cfg.encoder.chunks = dim / 32;
+  cfg.encoder.id_precision = hd::IdPrecision::k3Bit;
+  cfg.seed = 20240101;
+  return cfg;
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n\n", paper.c_str());
+}
+
+}  // namespace oms::bench

@@ -1,0 +1,79 @@
+// Ground-truth quality evaluation of all three tools. The paper argues
+// validity indirectly — "there is no ground truth data for the search
+// results" (§5.3.1) — via the Fig. 10 Venn overlap. The synthetic
+// workloads *have* ground truth, so this bench reports what the overlap
+// implies: precision, recall, and modified-peptide recall per tool.
+#include "bench_common.hpp"
+
+#include "baseline/annsolo.hpp"
+#include "baseline/hyperoms.hpp"
+#include "core/evaluation.hpp"
+
+namespace {
+
+void add_row(oms::util::Table& table, const char* tool,
+             const oms::core::EvaluationResult& e) {
+  table.add_row({tool, std::to_string(e.accepted),
+                 oms::util::Table::fmt_pct(e.precision(), 1),
+                 oms::util::Table::fmt_pct(e.recall(), 1),
+                 oms::util::Table::fmt_pct(e.modified_recall(), 1),
+                 std::to_string(e.accepted_foreign)});
+}
+
+void run_dataset(const oms::ms::WorkloadConfig& cfg, std::uint32_t dim) {
+  const oms::ms::Workload wl = oms::ms::generate_workload(cfg);
+  std::printf("--- %s: %zu queries (%zu modified, %zu findable) vs %zu refs "
+              "---\n",
+              cfg.name.c_str(), wl.queries.size(),
+              wl.modified_query_count(), wl.matched_query_count(),
+              wl.references.size());
+
+  oms::util::Table table({"tool", "accepted", "precision", "recall",
+                          "modified recall", "foreign FPs"});
+
+  {
+    oms::core::PipelineConfig pcfg = oms::bench::paper_pipeline_config(dim);
+    pcfg.backend = oms::core::Backend::kRramStatistical;
+    oms::core::Pipeline ours(pcfg);
+    ours.set_library(wl.references);
+    add_row(table, "This Work (RRAM)",
+            oms::core::evaluate(ours.run(wl.queries).accepted, wl));
+  }
+  {
+    oms::baseline::HyperOmsConfig hcfg;
+    hcfg.dim = dim;
+    oms::baseline::HyperOmsSearcher hyperoms(hcfg);
+    hyperoms.set_library(wl.references);
+    add_row(table, "HyperOMS",
+            oms::core::evaluate(hyperoms.run(wl.queries).accepted, wl));
+  }
+  {
+    oms::baseline::AnnSoloSearcher annsolo{oms::baseline::AnnSoloConfig{}};
+    annsolo.set_library(wl.references);
+    add_row(table, "ANN-SoLo",
+            oms::core::evaluate(annsolo.run(wl.queries).accepted, wl));
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const oms::util::Cli cli(argc, argv);
+  const double scale = cli.get_scaled("scale", 0.5);
+  const auto dim = static_cast<std::uint32_t>(cli.get("dim", 8192L));
+
+  oms::bench::print_header(
+      "Search quality vs ground truth (extends Fig. 10)",
+      "paper §5.3.1 validity argument, quantified on synthetic truth");
+
+  const auto workloads = oms::bench::bench_workloads(scale);
+  run_dataset(workloads.iprg, dim);
+  run_dataset(workloads.hek, dim);
+
+  std::printf(
+      "Expected: every tool holds precision near or above 99%% minus the\n"
+      "1%% FDR target; this work's recall tracks HyperOMS (same algorithm)\n"
+      "and all tools pay most of their misses on modified queries.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 10: Venn diagrams of identified peptides across the three tools —
+// this work (HD + MLC RRAM, 3-bit IDs), HyperOMS (exact binary HD), and
+// ANN-SoLo (cascade open search with shifted dot products) — on the
+// iPRG2012-like and HEK293-like workloads.
+#include "bench_common.hpp"
+
+#include "baseline/annsolo.hpp"
+#include "baseline/hyperoms.hpp"
+#include "core/overlap.hpp"
+
+namespace {
+
+void run_dataset(const oms::ms::WorkloadConfig& cfg, std::uint32_t dim) {
+  const oms::ms::Workload wl = oms::ms::generate_workload(cfg);
+  std::printf("--- %s: %zu queries vs %zu references ---\n",
+              cfg.name.c_str(), wl.queries.size(), wl.references.size());
+
+  // This work: D=8k, 3-bit IDs, statistical RRAM backend (§5.3.1).
+  oms::core::PipelineConfig ours_cfg = oms::bench::paper_pipeline_config(dim);
+  ours_cfg.backend = oms::core::Backend::kRramStatistical;
+  oms::core::Pipeline ours(ours_cfg);
+  ours.set_library(wl.references);
+  const auto ours_ids = ours.run(wl.queries).identification_set();
+
+  // HyperOMS: same dimension, binary IDs, exact digital search.
+  oms::baseline::HyperOmsConfig hcfg;
+  hcfg.dim = dim;
+  oms::baseline::HyperOmsSearcher hyperoms(hcfg);
+  hyperoms.set_library(wl.references);
+  const auto hyper_ids = hyperoms.run(wl.queries).identification_set();
+
+  // ANN-SoLo: sparse cosine cascade.
+  oms::baseline::AnnSoloSearcher annsolo{oms::baseline::AnnSoloConfig{}};
+  annsolo.set_library(wl.references);
+  const auto ann_ids = annsolo.run(wl.queries).identification_set();
+
+  const oms::core::VennCounts v =
+      oms::core::venn3(ours_ids, hyper_ids, ann_ids);
+
+  oms::util::Table totals({"tool", "identifications"});
+  totals.add_row({"This Work", std::to_string(v.total_a())});
+  totals.add_row({"HyperOMS", std::to_string(v.total_b())});
+  totals.add_row({"ANN-SoLo", std::to_string(v.total_c())});
+  std::printf("%s\n", totals.str().c_str());
+
+  oms::util::Table venn({"region", "count"});
+  venn.add_row({"all three", std::to_string(v.abc)});
+  venn.add_row({"ThisWork+HyperOMS only", std::to_string(v.ab)});
+  venn.add_row({"ThisWork+ANN-SoLo only", std::to_string(v.ac)});
+  venn.add_row({"HyperOMS+ANN-SoLo only", std::to_string(v.bc)});
+  venn.add_row({"This Work only", std::to_string(v.only_a)});
+  venn.add_row({"HyperOMS only", std::to_string(v.only_b)});
+  venn.add_row({"ANN-SoLo only", std::to_string(v.only_c)});
+  venn.add_row({"union", std::to_string(v.union_size())});
+  std::printf("%s", venn.str().c_str());
+
+  const double core_share =
+      v.union_size() == 0
+          ? 0.0
+          : static_cast<double>(v.abc) / static_cast<double>(v.union_size());
+  std::printf("shared-by-all fraction of union: %s\n\n",
+              oms::util::Table::fmt_pct(core_share, 1).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const oms::util::Cli cli(argc, argv);
+  const double scale = cli.get_scaled("scale", 1.0);
+  const auto dim =
+      static_cast<std::uint32_t>(cli.get("dim", 8192L));
+
+  oms::bench::print_header(
+      "Fig. 10: Venn diagram of identified peptides",
+      "paper Fig. 10 (this work vs HyperOMS vs ANN-SoLo, both datasets)");
+
+  const auto workloads = oms::bench::bench_workloads(scale);
+  run_dataset(workloads.iprg, dim);
+  run_dataset(workloads.hek, dim);
+
+  std::printf(
+      "Expected shape (paper): the three tools' identification sets\n"
+      "overlap heavily — the all-three region dominates every exclusive\n"
+      "region, validating this work's results against existing tools.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 11: HD robustness — total identifications vs injected bit error
+// rate (0.15%, 1%, 5%, 10%, 20%) for ID precisions of 1/2/3 bits, on both
+// datasets. Errors are injected into every encoded hypervector (reference
+// and query), modelling storage + compute bit errors.
+#include "bench_common.hpp"
+
+namespace {
+
+void run_dataset(const oms::ms::WorkloadConfig& wl_cfg, std::uint32_t dim) {
+  const oms::ms::Workload wl = oms::ms::generate_workload(wl_cfg);
+  std::printf("--- HD robustness on %s (%zu queries, %zu refs, D=%u) ---\n",
+              wl_cfg.name.c_str(), wl.queries.size(), wl.references.size(),
+              dim);
+
+  const double bers[] = {0.0015, 0.01, 0.05, 0.10, 0.20};
+  oms::util::Table table({"BER", "ID_precision_1bit", "ID_precision_2bit",
+                          "ID_precision_3bit"});
+
+  // Column-major sweep so each precision's library is encoded once.
+  std::vector<std::vector<std::size_t>> counts(
+      5, std::vector<std::size_t>(3, 0));
+  int col = 0;
+  for (const auto precision :
+       {oms::hd::IdPrecision::k1Bit, oms::hd::IdPrecision::k2Bit,
+        oms::hd::IdPrecision::k3Bit}) {
+    int row = 0;
+    for (const double ber : bers) {
+      oms::core::PipelineConfig cfg = oms::bench::paper_pipeline_config(dim);
+      cfg.encoder.id_precision = precision;
+      cfg.injected_ber = ber;
+      oms::core::Pipeline pipeline(cfg);
+      pipeline.set_library(wl.references);
+      counts[row][col] = pipeline.run(wl.queries).identifications();
+      ++row;
+    }
+    ++col;
+  }
+  for (std::size_t r = 0; r < 5; ++r) {
+    table.add_row({oms::util::Table::fmt_pct(bers[r], 2),
+                   std::to_string(counts[r][0]), std::to_string(counts[r][1]),
+                   std::to_string(counts[r][2])});
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const oms::util::Cli cli(argc, argv);
+  const double scale = cli.get_scaled("scale", 0.5);
+  const auto dim = static_cast<std::uint32_t>(cli.get("dim", 8192L));
+
+  oms::bench::print_header(
+      "Fig. 11: HD robustness under bit errors",
+      "paper Fig. 11 (identifications vs BER x ID precision, both datasets)");
+
+  const auto workloads = oms::bench::bench_workloads(scale);
+  run_dataset(workloads.iprg, dim);
+  run_dataset(workloads.hek, dim);
+
+  std::printf(
+      "Expected shape (paper): identification counts hold up to ~10%% BER\n"
+      "and drop visibly at 20%%; multi-bit ID precision is at or above the\n"
+      "1-bit scheme across the sweep.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 8: conductance relaxation histograms. For 2/4/8-level cells,
+// programs a population across all levels and prints the conductance
+// distribution during programming and after 30 min / 60 min / 1 day —
+// the spreading and drooping of the level peaks is what limits MLC
+// storage (Fig. 7) and computing (Fig. 9).
+#include "bench_common.hpp"
+
+#include "rram/cell.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+void histogram_for(int bits, double seconds, const char* label,
+                   std::size_t cells_per_level) {
+  const oms::rram::CellConfig cfg = oms::rram::CellConfig::for_bits(bits);
+  oms::util::Xoshiro256 rng(static_cast<std::uint64_t>(bits) * 31 + 7);
+
+  oms::util::Histogram hist(0.0, 50.0, 50);
+  for (int level = 0; level < cfg.levels; ++level) {
+    for (std::size_t i = 0; i < cells_per_level; ++i) {
+      const double g0 = oms::rram::program_cell(cfg, level, rng);
+      hist.add(oms::rram::relax_cell(cfg, g0, seconds, rng));
+    }
+  }
+  std::printf("%d-level cells, %s (%zu cells):\n", cfg.levels, label,
+              hist.total());
+  std::printf("%s", hist.ascii(6).c_str());
+  std::printf("0uS%44s50uS\n\n", "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const oms::util::Cli cli(argc, argv);
+  const double scale = cli.get_scaled("scale", 1.0);
+  const std::size_t cells_per_level = std::max<std::size_t>(
+      200, static_cast<std::size_t>(1000.0 * scale));
+
+  oms::bench::print_header(
+      "Fig. 8: conductance relaxation of 2/4/8-level RRAM",
+      "paper Fig. 8 (histograms during programming and after 30min/60min/1day)");
+
+  const struct {
+    const char* label;
+    double seconds;
+  } steps[] = {{"during programming", 0.0},
+               {"after 30min", 1800.0},
+               {"after 60min", 3600.0},
+               {"after 1day", 86400.0}};
+
+  for (const int bits : {1, 2, 3}) {
+    for (const auto& step : steps) {
+      histogram_for(bits, step.seconds, step.label, cells_per_level);
+    }
+  }
+  std::printf(
+      "Expected shape (paper): distinct peaks per level right after\n"
+      "programming; peaks spread and shift down over time, overlapping\n"
+      "first for the 8-level configuration.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Kernel microbenchmarks (google-benchmark): the Hamming-distance kernel,
+// ID-Level encoding, preprocessing, exact top-k search, and the crossbar
+// MVM circuit model. These are the software building blocks whose costs
+// the performance model (bench/fig12_energy) abstracts.
+#include <benchmark/benchmark.h>
+
+#include "hd/encoder.hpp"
+#include "hd/search.hpp"
+#include "ms/preprocess.hpp"
+#include "ms/synthetic.hpp"
+#include "rram/array.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_XorPopcount(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  oms::util::BitVec a(dim);
+  oms::util::BitVec b(dim);
+  a.randomize(1);
+  b.randomize(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oms::util::hamming_distance(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_XorPopcount)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void BM_Encode(benchmark::State& state) {
+  oms::hd::EncoderConfig cfg;
+  cfg.dim = static_cast<std::uint32_t>(state.range(0));
+  cfg.chunks = cfg.dim / 32;
+  oms::hd::Encoder encoder(cfg);
+
+  oms::util::Xoshiro256 rng(3);
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  std::uint32_t bin = 0;
+  for (int i = 0; i < 50; ++i) {
+    bin += 1 + static_cast<std::uint32_t>(rng.below(100));
+    bins.push_back(bin);
+    weights.push_back(static_cast<float>(rng.uniform(0.05, 1.0)));
+  }
+  encoder.id_bank().ensure(bins);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(bins, weights));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Encode)->Arg(1024)->Arg(8192);
+
+void BM_TopKSearch(benchmark::State& state) {
+  const std::size_t n_refs = static_cast<std::size_t>(state.range(0));
+  std::vector<oms::util::BitVec> refs(n_refs);
+  for (std::size_t i = 0; i < n_refs; ++i) {
+    refs[i] = oms::util::BitVec(8192);
+    refs[i].randomize(i);
+  }
+  oms::util::BitVec query(8192);
+  query.randomize(999);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oms::hd::top_k_search(query, refs, 0, refs.size(), 5));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_refs));
+}
+BENCHMARK(BM_TopKSearch)->Arg(1024)->Arg(16384);
+
+void BM_Preprocess(benchmark::State& state) {
+  const oms::ms::Peptide pep("ACDEFGHIKLMNPQRSTVWK");
+  const oms::ms::SynthesisParams params{};
+  const oms::ms::Spectrum spectrum =
+      oms::ms::synthesize_spectrum(pep, 2, params, 7, 1);
+  const oms::ms::PreprocessConfig cfg;
+  oms::ms::BinnedSpectrum out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oms::ms::preprocess(spectrum, cfg, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Preprocess);
+
+void BM_SparseDot(benchmark::State& state) {
+  const oms::ms::SynthesisParams params{};
+  const oms::ms::PreprocessConfig cfg;
+  const auto peptides = oms::ms::generate_tryptic_peptides(2, 15, 20, 5);
+  oms::ms::BinnedSpectrum a;
+  oms::ms::BinnedSpectrum b;
+  (void)oms::ms::preprocess(
+      oms::ms::synthesize_spectrum(peptides[0], 2, params, 1, 0), cfg, a);
+  (void)oms::ms::preprocess(
+      oms::ms::synthesize_spectrum(peptides[1], 2, params, 1, 1), cfg, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oms::ms::sparse_dot(a, b));
+  }
+}
+BENCHMARK(BM_SparseDot);
+
+void BM_CrossbarMvm(benchmark::State& state) {
+  const std::size_t n_pairs = static_cast<std::size_t>(state.range(0));
+  oms::rram::ArrayConfig cfg;
+  oms::rram::CrossbarArray array(cfg, 11);
+  oms::util::Xoshiro256 rng(4);
+  for (std::size_t c = 0; c < 32; ++c) {
+    for (std::size_t r = 0; r < n_pairs; ++r) {
+      array.program_weight(r, c, rng.uniform(-1.0, 1.0));
+    }
+  }
+  std::vector<int> x(n_pairs);
+  for (auto& v : x) v = rng.bernoulli(0.5) ? 1 : -1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.mvm(x, 0, n_pairs, 0, 32));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_CrossbarMvm)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

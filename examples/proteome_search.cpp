@@ -1,0 +1,91 @@
+// Proteome-to-identification workflow: the full path a real experiment
+// takes from a protein database to identified (possibly modified)
+// peptides.
+//
+//   FASTA proteome  --tryptic digest-->  peptides
+//   peptides        --spectrum synth-->  reference spectral library
+//   "instrument"    ----------------->   query spectra (some modified)
+//   pipeline        ----------------->   identifications + TSV report
+//
+// Usage: proteome_search [--proteins=150] [--out=/tmp/psms.tsv]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "ms/fasta.hpp"
+#include "ms/modifications.hpp"
+#include "ms/synthesizer.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  const oms::util::Cli cli(argc, argv);
+  const auto n_proteins =
+      static_cast<std::size_t>(cli.get("proteins", 150L));
+  const std::string out_path = cli.get("out", std::string());
+
+  // 1. A synthetic proteome, digested with trypsin (1 missed cleavage).
+  const auto proteome = oms::ms::generate_proteome(n_proteins, 350, 99);
+  oms::ms::DigestConfig digest_cfg;
+  const auto peptides = oms::ms::digest_proteome(proteome, digest_cfg);
+  std::printf("digested %zu proteins -> %zu unique tryptic peptides\n",
+              proteome.size(), peptides.size());
+
+  // 2. Reference library: one consensus spectrum per peptide.
+  const oms::ms::SynthesisParams ref_params{};
+  std::vector<oms::ms::Spectrum> references;
+  std::uint32_t id = 0;
+  for (const auto& pep : peptides) {
+    references.push_back(
+        oms::ms::synthesize_spectrum(pep, 2, ref_params, 13, id++));
+  }
+
+  // 3. "Run the instrument": noisy spectra of library peptides, 40% with
+  // a random PTM the library does not contain.
+  oms::ms::SynthesisParams query_params;
+  query_params.mz_jitter = 0.01;
+  query_params.keep_probability = 0.85;
+  query_params.noise_peaks = 10;
+  oms::util::Xoshiro256 rng(7);
+  std::vector<oms::ms::Spectrum> queries;
+  const auto mods = oms::ms::common_modifications();
+  for (std::size_t i = 0; i < peptides.size() && queries.size() < 400;
+       i += 3) {
+    oms::ms::Peptide pep = peptides[i];
+    if (rng.bernoulli(0.4)) {
+      const auto& mod = mods[rng.below(mods.size())];
+      for (std::size_t r = 0; r < pep.sequence().size(); ++r) {
+        if (mod.applies_to(pep.sequence()[r])) {
+          pep = oms::ms::Peptide(pep.sequence(),
+                                 {{r, mod.delta_mass, mod.name}});
+          break;
+        }
+      }
+    }
+    queries.push_back(
+        oms::ms::synthesize_spectrum(pep, 2, query_params, 29, id++));
+  }
+  std::printf("synthesized %zu query spectra\n", queries.size());
+
+  // 4. Search with the HD pipeline (top-8 rescoring cascade enabled).
+  oms::core::PipelineConfig cfg;
+  cfg.encoder.dim = 8192;
+  cfg.encoder.bins = cfg.preprocess.bin_count();
+  cfg.encoder.chunks = 256;
+  cfg.rescore_top_k = 8;
+  oms::core::Pipeline pipeline(cfg);
+  pipeline.set_library(references);
+  const auto result = pipeline.run(queries);
+
+  oms::core::write_summary(std::cout, result);
+
+  // 5. Export PSMs.
+  if (!out_path.empty()) {
+    oms::core::write_psm_tsv_file(out_path, result.psms);
+    std::printf("wrote %zu PSMs to %s\n", result.psms.size(),
+                out_path.c_str());
+  }
+  return 0;
+}

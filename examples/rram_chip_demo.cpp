@@ -1,0 +1,98 @@
+// Device-level tour of the MLC RRAM substrate: what the paper's fabricated
+// chip does, reproduced on the simulator.
+//
+//   1. Hypervector storage (§4.3): pack a binary hypervector 3 bits/cell,
+//      program, let the conductances relax, read back, count bit errors.
+//   2. In-memory MVM (§4.1): program differential weights, drive a query,
+//      compare the analog result against the exact dot product.
+//   3. In-memory encoding (§4.2 / Fig. 5c): encode one spectrum through
+//      the circuit-level crossbar model and compare with the ideal
+//      digital encoding.
+#include <cstdio>
+
+#include "accel/imc_encoder.hpp"
+#include "accel/imc_search.hpp"
+#include "hd/encoder.hpp"
+#include "rram/storage.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  // ---------- 1. MLC storage ----------
+  std::printf("1) Hypervector storage at 3 bits/cell (Fig. 7 mechanics)\n");
+  oms::rram::HypervectorStore store(oms::rram::CellConfig::for_bits(3));
+  oms::util::BitVec hv(8192);
+  hv.randomize(42);
+  const std::size_t handle = store.store(hv);
+  std::printf("   stored %zu bits in %llu cells (3x density vs SLC)\n",
+              hv.size(),
+              static_cast<unsigned long long>(store.cells_used()));
+  for (const double age_s : {1.0, 3600.0, 86400.0}) {
+    oms::rram::HypervectorStore fresh(oms::rram::CellConfig::for_bits(3));
+    (void)fresh.store(hv);
+    fresh.age(age_s);
+    std::printf("   after %6.0f s: bit error rate %.2f%%\n", age_s,
+                fresh.bit_error_rate() * 100.0);
+  }
+  const oms::util::BitVec readback = store.load(handle);
+  std::printf("   fresh readback hamming distance: %zu / %zu bits\n\n",
+              oms::util::hamming_distance(hv, readback), hv.size());
+
+  // ---------- 2. In-memory MVM ----------
+  std::printf("2) Differential in-memory MVM (Eq. 5, 64 activated pairs)\n");
+  oms::rram::ArrayConfig acfg;
+  acfg.cell = oms::rram::CellConfig::for_bits(1);
+  oms::rram::CrossbarArray array(acfg, 7);
+  oms::util::Xoshiro256 rng(11);
+  const std::size_t n = 64;
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      array.program_weight(r, c, rng.bernoulli(0.5) ? 1.0 : -1.0);
+    }
+  }
+  std::vector<int> x(n);
+  for (auto& v : x) v = rng.bernoulli(0.5) ? 1 : -1;
+  const auto exact = array.ideal_mvm(x, 0, n, 0, 4);
+  const auto analog = array.mvm(x, 0, n, 0, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    std::printf("   column %zu: exact MAC %+5.0f   analog MAC %+7.2f\n", c,
+                exact[c], analog[c]);
+  }
+  std::printf("\n");
+
+  // ---------- 3. In-memory encoding ----------
+  std::printf("3) Circuit-level in-memory encoding (Fig. 5c)\n");
+  oms::hd::EncoderConfig ecfg;
+  ecfg.dim = 1024;
+  ecfg.bins = 30000;
+  ecfg.chunks = 64;
+  ecfg.id_precision = oms::hd::IdPrecision::k3Bit;
+  oms::hd::Encoder encoder(ecfg);
+
+  // A 41-peak synthetic spectrum.
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  std::uint32_t bin = 0;
+  for (int i = 0; i < 41; ++i) {
+    bin += 1 + static_cast<std::uint32_t>(rng.below(200));
+    bins.push_back(bin);
+    weights.push_back(static_cast<float>(rng.uniform(0.05, 1.0)));
+  }
+  encoder.id_bank().ensure(bins);
+
+  oms::accel::ImcEncoderConfig icfg;
+  icfg.fidelity = oms::accel::Fidelity::kCircuit;
+  oms::accel::ImcEncoder imc(encoder, icfg);
+
+  const oms::util::BitVec ideal = encoder.encode(bins, weights);
+  const oms::util::BitVec circuit = imc.encode(bins, weights);
+  const std::size_t mismatches = oms::util::hamming_distance(ideal, circuit);
+  std::printf("   %zu peaks -> %u-dim hypervector via %u chunk phases\n",
+              bins.size(), ecfg.dim, ecfg.chunks);
+  std::printf("   encoding bit errors vs ideal: %zu / %u (%.2f%%)\n",
+              mismatches, ecfg.dim,
+              100.0 * static_cast<double>(mismatches) / ecfg.dim);
+  std::printf(
+      "   (HD tolerates this: matched spectra stay far above the noise\n"
+      "    floor in Hamming space — see bench/fig11_robustness)\n");
+  return 0;
+}

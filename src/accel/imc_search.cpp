@@ -1,0 +1,189 @@
+#include "accel/imc_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oms::accel {
+
+ImcSearchEngine::ImcSearchEngine(std::span<const util::BitVec> references,
+                                 const ImcSearchConfig& cfg)
+    : cfg_(cfg),
+      refs_(references),
+      rng_(util::hash_combine(cfg.seed, 0x1333C5ULL)) {
+  if (refs_.empty()) return;
+  const std::size_t dim = refs_.front().size();
+  for (const auto& r : refs_) {
+    if (r.size() != dim) {
+      throw std::invalid_argument("ImcSearchEngine: dimension mismatch");
+    }
+  }
+  if (cfg_.activated_pairs == 0 ||
+      cfg_.array.pair_rows() % cfg_.activated_pairs != 0) {
+    throw std::invalid_argument(
+        "ImcSearchEngine: activated_pairs must divide array pair rows");
+  }
+
+  rram::ArrayConfig acfg = cfg_.array;
+  acfg.cell.levels = 1 << cfg_.weight_bits;
+
+  switch (cfg_.fidelity) {
+    case Fidelity::kIdeal:
+      phase_sigma_ = 0.0;
+      break;
+    case Fidelity::kStatistical: {
+      const MvmErrorStats stats =
+          calibrate_mvm_error(acfg, cfg_.activated_pairs, cfg_.weight_bits,
+                              cfg_.calibration_samples, cfg_.seed);
+      // Gain (IR droop) scales every partial uniformly; the stochastic
+      // residual is what perturbs rankings.
+      phase_sigma_ = stats.sigma_mac;
+      gain_ = stats.bias_gain;
+      break;
+    }
+    case Fidelity::kCircuit: {
+      const std::size_t pair_rows = acfg.pair_rows();
+      const std::size_t vtiles = (dim + pair_rows - 1) / pair_rows;
+      refs_per_array_ = acfg.cols;
+      const std::size_t ref_blocks =
+          (refs_.size() + refs_per_array_ - 1) / refs_per_array_;
+      rram::ChipConfig chip_cfg;
+      chip_cfg.array = acfg;
+      chip_cfg.array_count = ref_blocks * vtiles;
+      chip_ = std::make_unique<rram::MlcChip>(chip_cfg, cfg_.seed);
+      phases_per_ref_ = (dim + cfg_.activated_pairs - 1) / cfg_.activated_pairs;
+
+      // Program every reference: bit d of reference j lives in vertical
+      // tile d / pair_rows, local pair d % pair_rows, column j % cols.
+      for (std::size_t j = 0; j < refs_.size(); ++j) {
+        const std::size_t block = j / refs_per_array_;
+        const std::size_t col = j % refs_per_array_;
+        for (std::size_t d = 0; d < dim; ++d) {
+          const std::size_t tile = d / pair_rows;
+          const std::size_t pair = d % pair_rows;
+          const double w = refs_[j].get(d) ? 1.0 : -1.0;
+          chip_->array(block * vtiles + tile).program_weight(pair, col, w);
+        }
+      }
+      break;
+    }
+  }
+}
+
+ImcSearchEngine::~ImcSearchEngine() = default;
+
+double ImcSearchEngine::statistical_dot(const util::BitVec& query,
+                                        std::size_t index) {
+  const double exact = static_cast<double>(util::bipolar_dot(query, refs_[index]));
+  if (cfg_.fidelity == Fidelity::kIdeal || phase_sigma_ <= 0.0) return exact;
+  const std::size_t phases =
+      (query.size() + cfg_.activated_pairs - 1) / cfg_.activated_pairs;
+  phases_executed_ += phases;
+  return gain_ * exact +
+         rng_.normal(0.0, phase_sigma_ * std::sqrt(static_cast<double>(phases)));
+}
+
+double ImcSearchEngine::circuit_dot(const util::BitVec& query,
+                                    std::size_t index) {
+  const std::size_t dim = query.size();
+  const std::size_t pair_rows = cfg_.array.pair_rows();
+  const std::size_t vtiles = (dim + pair_rows - 1) / pair_rows;
+  const std::size_t block = index / refs_per_array_;
+  const std::size_t col = index % refs_per_array_;
+
+  std::vector<int> x(cfg_.activated_pairs, 0);
+  double total = 0.0;
+  for (std::size_t d0 = 0; d0 < dim; d0 += cfg_.activated_pairs) {
+    const std::size_t n = std::min(cfg_.activated_pairs, dim - d0);
+    for (std::size_t k = 0; k < n; ++k) {
+      x[k] = query.get(d0 + k) ? 1 : -1;
+    }
+    const std::size_t tile = d0 / pair_rows;
+    const std::size_t pair0 = d0 % pair_rows;
+    const std::vector<double> macs = chip_->array(block * vtiles + tile)
+                                         .mvm({x.data(), n}, pair0, n, col,
+                                              col + 1);
+    total += macs.front();
+    ++phases_executed_;
+  }
+  return total;
+}
+
+double ImcSearchEngine::dot(const util::BitVec& query, std::size_t index) {
+  if (index >= refs_.size()) {
+    throw std::out_of_range("ImcSearchEngine::dot");
+  }
+  if (cfg_.fidelity == Fidelity::kCircuit) return circuit_dot(query, index);
+  return statistical_dot(query, index);
+}
+
+double ImcSearchEngine::dot_keyed(const util::BitVec& query, std::size_t index,
+                                  std::uint64_t stream) const {
+  if (index >= refs_.size()) {
+    throw std::out_of_range("ImcSearchEngine::dot_keyed");
+  }
+  if (cfg_.fidelity == Fidelity::kCircuit) {
+    throw std::logic_error("dot_keyed is not available in circuit fidelity");
+  }
+  const double exact =
+      static_cast<double>(util::bipolar_dot(query, refs_[index]));
+  if (cfg_.fidelity == Fidelity::kIdeal || phase_sigma_ <= 0.0) return exact;
+
+  const double z =
+      util::counter_normal(util::hash_combine(cfg_.seed, stream), index);
+  const std::size_t phases =
+      (query.size() + cfg_.activated_pairs - 1) / cfg_.activated_pairs;
+  return gain_ * exact +
+         z * phase_sigma_ * std::sqrt(static_cast<double>(phases));
+}
+
+std::vector<hd::SearchHit> ImcSearchEngine::top_k_keyed(
+    const util::BitVec& query, std::size_t first, std::size_t last,
+    std::size_t k, std::uint64_t stream) const {
+  std::vector<hd::SearchHit> hits;
+  last = std::min(last, refs_.size());
+  if (k == 0 || first >= last) return hits;
+  const double dim = static_cast<double>(query.size());
+
+  for (std::size_t i = first; i < last; ++i) {
+    const double d = dot_keyed(query, i, stream);
+    const auto dot_int = static_cast<std::int64_t>(std::llround(d));
+    if (hits.size() == k && dot_int <= hits.back().dot) continue;
+    const hd::SearchHit hit{i, dot_int, (d / dim + 1.0) / 2.0};
+    const auto pos = std::upper_bound(
+        hits.begin(), hits.end(), hit,
+        [](const hd::SearchHit& a, const hd::SearchHit& b) {
+          return a.dot > b.dot;
+        });
+    hits.insert(pos, hit);
+    if (hits.size() > k) hits.pop_back();
+  }
+  return hits;
+}
+
+std::vector<hd::SearchHit> ImcSearchEngine::top_k(const util::BitVec& query,
+                                                  std::size_t first,
+                                                  std::size_t last,
+                                                  std::size_t k) {
+  std::vector<hd::SearchHit> hits;
+  last = std::min(last, refs_.size());
+  if (k == 0 || first >= last) return hits;
+  const double dim = static_cast<double>(query.size());
+
+  for (std::size_t i = first; i < last; ++i) {
+    const double d = dot(query, i);
+    const auto dot_int = static_cast<std::int64_t>(std::llround(d));
+    if (hits.size() == k && dot_int <= hits.back().dot) continue;
+    const hd::SearchHit hit{i, dot_int, (d / dim + 1.0) / 2.0};
+    const auto pos = std::upper_bound(
+        hits.begin(), hits.end(), hit,
+        [](const hd::SearchHit& a, const hd::SearchHit& b) {
+          return a.dot > b.dot;
+        });
+    hits.insert(pos, hit);
+    if (hits.size() > k) hits.pop_back();
+  }
+  return hits;
+}
+
+}  // namespace oms::accel

@@ -1,0 +1,112 @@
+// In-memory Hamming-similarity search (paper §4.1). Reference hypervectors
+// are stored vertically in differential pairs; a query enters as bit-line
+// voltages, and each reference's bipolar dot product is accumulated over
+// D / n_act activation phases of n_act rows each (the paper operates at 64
+// activated rows with 8-level cells).
+//
+// Fidelity:
+//  * kCircuit      — references are programmed into real CrossbarArray
+//                    tiles; every phase runs through the analog model.
+//                    Use for small reference sets (tests, Fig. 9 style).
+//  * kStatistical  — exact popcount dot + Gaussian noise with the phase
+//                    sigma measured by calibrate_mvm_error. Scales to
+//                    full workloads (Figs. 10/11/13).
+//  * kIdeal        — exact search (equivalent to hd::top_k_search).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "accel/error_model.hpp"
+#include "hd/search.hpp"
+#include "rram/chip.hpp"
+#include "util/bitvec.hpp"
+
+namespace oms::accel {
+
+struct ImcSearchConfig {
+  rram::ArrayConfig array{};        ///< Array geometry and device model.
+  std::size_t activated_pairs = 64; ///< Differential pairs per phase.
+  Fidelity fidelity = Fidelity::kStatistical;
+  std::size_t calibration_samples = 4096;
+  std::uint64_t seed = 11;
+  /// Weight precision for the stored (binary) references is 1 bit; the
+  /// cell still uses its configured MLC levels for calibration parity
+  /// with the paper's device experiments.
+  int weight_bits = 1;
+};
+
+class ImcSearchEngine {
+ public:
+  /// Builds the engine over `references` (not owned; must outlive the
+  /// engine). In circuit mode the references are programmed into arrays
+  /// immediately.
+  ImcSearchEngine(std::span<const util::BitVec> references,
+                  const ImcSearchConfig& cfg);
+  ~ImcSearchEngine();
+
+  ImcSearchEngine(const ImcSearchEngine&) = delete;
+  ImcSearchEngine& operator=(const ImcSearchEngine&) = delete;
+
+  [[nodiscard]] const ImcSearchConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t reference_count() const noexcept {
+    return refs_.size();
+  }
+  /// Phase sigma used in statistical mode (0 for ideal fidelity).
+  [[nodiscard]] double phase_sigma() const noexcept { return phase_sigma_; }
+  /// Fitted IR-droop gain applied to statistical scores (1 for ideal).
+  [[nodiscard]] double gain() const noexcept { return gain_; }
+
+  /// Approximate dot product of `query` with reference `index`, as the
+  /// hardware would produce it.
+  [[nodiscard]] double dot(const util::BitVec& query, std::size_t index);
+
+  /// Top-k search over references[first..last) using hardware-fidelity
+  /// scores. Deterministic for a fixed engine state and call sequence.
+  [[nodiscard]] std::vector<hd::SearchHit> top_k(const util::BitVec& query,
+                                                 std::size_t first,
+                                                 std::size_t last,
+                                                 std::size_t k);
+
+  /// Thread-safe, order-independent variant for statistical/ideal
+  /// fidelity: the noise draw is keyed on (seed, stream, reference), so
+  /// results are reproducible no matter how queries are scheduled across
+  /// threads. `stream` should identify the query (e.g. its id).
+  [[nodiscard]] double dot_keyed(const util::BitVec& query, std::size_t index,
+                                 std::uint64_t stream) const;
+
+  /// Thread-safe top-k built on dot_keyed (statistical/ideal only).
+  [[nodiscard]] std::vector<hd::SearchHit> top_k_keyed(
+      const util::BitVec& query, std::size_t first, std::size_t last,
+      std::size_t k, std::uint64_t stream) const;
+
+  /// Operation counters aggregated from the underlying chip (circuit
+  /// mode) or modeled (statistical mode).
+  [[nodiscard]] std::uint64_t phases_executed() const noexcept {
+    return phases_executed_;
+  }
+
+ private:
+  [[nodiscard]] double circuit_dot(const util::BitVec& query,
+                                   std::size_t index);
+  [[nodiscard]] double statistical_dot(const util::BitVec& query,
+                                       std::size_t index);
+
+  ImcSearchConfig cfg_;
+  std::span<const util::BitVec> refs_;
+  double phase_sigma_ = 0.0;
+  double gain_ = 1.0;
+  std::uint64_t phases_executed_ = 0;
+  util::Xoshiro256 rng_;
+
+  // Circuit mode state: one logical column per reference, tiled over
+  // arrays of `activated_pairs` rows per phase.
+  std::unique_ptr<rram::MlcChip> chip_;
+  std::size_t refs_per_array_ = 0;
+  std::size_t phases_per_ref_ = 0;
+};
+
+}  // namespace oms::accel

@@ -1,0 +1,73 @@
+#include "accel/mapper.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oms::accel {
+
+MappingPlan plan_search_mapping(std::size_t references, std::uint32_t dim,
+                                const rram::ChipConfig& chip,
+                                std::size_t activated_pairs) {
+  if (references == 0 || dim == 0) {
+    throw std::invalid_argument("plan_search_mapping: empty problem");
+  }
+  const std::size_t pair_rows = chip.array.pair_rows();
+  if (activated_pairs == 0 || pair_rows % activated_pairs != 0) {
+    throw std::invalid_argument(
+        "plan_search_mapping: activated_pairs must divide array pair rows");
+  }
+
+  MappingPlan plan;
+  plan.references = references;
+  plan.dim = dim;
+  plan.activated_pairs = activated_pairs;
+  plan.pair_rows_per_array = pair_rows;
+  plan.cols_per_array = chip.array.cols;
+  plan.vertical_tiles = (dim + pair_rows - 1) / pair_rows;
+  plan.column_blocks =
+      (references + chip.array.cols - 1) / chip.array.cols;
+  plan.arrays_needed = plan.column_blocks * plan.vertical_tiles;
+  plan.chips_needed =
+      (plan.arrays_needed + chip.array_count - 1) / chip.array_count;
+  plan.cells_used = static_cast<std::uint64_t>(references) * dim * 2;
+  const std::uint64_t provisioned =
+      static_cast<std::uint64_t>(plan.chips_needed) * chip.total_cells();
+  plan.chip_utilization =
+      provisioned == 0 ? 0.0
+                       : static_cast<double>(plan.cells_used) /
+                             static_cast<double>(provisioned);
+  plan.phases_per_candidate =
+      (dim + activated_pairs - 1) / activated_pairs;
+  return plan;
+}
+
+double query_latency_s(const MappingPlan& plan, std::size_t candidates,
+                       std::size_t adcs_per_array, double cycle_s) {
+  if (adcs_per_array == 0) {
+    throw std::invalid_argument("query_latency_s: need at least one ADC");
+  }
+  // Every candidate needs phases_per_candidate activations of its column;
+  // within one array, adcs_per_array candidate columns are sensed per
+  // cycle, and all arrays (column blocks × tiles) run in parallel.
+  const double total_column_phases =
+      static_cast<double>(candidates) *
+      static_cast<double>(plan.phases_per_candidate);
+  const double parallel =
+      static_cast<double>(plan.arrays_needed) *
+      static_cast<double>(adcs_per_array) /
+      static_cast<double>(plan.vertical_tiles);  // tiles work on the same
+                                                 // candidate's partials
+  return total_column_phases / parallel * cycle_s;
+}
+
+double query_energy_j(const MappingPlan& plan, std::size_t candidates,
+                      double e_cell_read_j, double e_adc_j) {
+  const double phases = static_cast<double>(candidates) *
+                        static_cast<double>(plan.phases_per_candidate);
+  const double per_phase =
+      2.0 * static_cast<double>(plan.activated_pairs) * e_cell_read_j +
+      e_adc_j;
+  return phases * per_phase;
+}
+
+}  // namespace oms::accel

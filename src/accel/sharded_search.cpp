@@ -1,0 +1,71 @@
+#include "accel/sharded_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oms::accel {
+
+ShardedSearch::ShardedSearch(std::span<const util::BitVec> references,
+                             const ShardedSearchConfig& cfg)
+    : refs_(references) {
+  if (references.empty()) {
+    throw std::invalid_argument("ShardedSearch: empty reference set");
+  }
+  const std::uint32_t dim =
+      static_cast<std::uint32_t>(references.front().size());
+
+  refs_per_shard_ = cfg.max_refs_per_shard;
+  if (refs_per_shard_ == 0) {
+    // Columns the chip can host: arrays / vertical tiles per reference,
+    // times columns per array.
+    const std::size_t pair_rows = cfg.chip.array.pair_rows();
+    const std::size_t vtiles = (dim + pair_rows - 1) / pair_rows;
+    const std::size_t blocks =
+        std::max<std::size_t>(1, cfg.chip.array_count / vtiles);
+    refs_per_shard_ = blocks * cfg.chip.array.cols;
+  }
+
+  for (std::size_t start = 0; start < references.size();
+       start += refs_per_shard_) {
+    const std::size_t count =
+        std::min(refs_per_shard_, references.size() - start);
+    ImcSearchConfig engine_cfg = cfg.engine;
+    engine_cfg.seed = util::hash_combine(cfg.engine.seed, start);
+    shards_.push_back(std::make_unique<ImcSearchEngine>(
+        references.subspan(start, count), engine_cfg));
+    plans_.push_back(plan_search_mapping(count, dim, cfg.chip,
+                                         cfg.engine.activated_pairs));
+  }
+}
+
+std::vector<hd::SearchHit> ShardedSearch::top_k(const util::BitVec& query,
+                                                std::size_t first,
+                                                std::size_t last,
+                                                std::size_t k,
+                                                std::uint64_t stream) const {
+  last = std::min(last, refs_.size());
+  std::vector<hd::SearchHit> merged;
+  if (k == 0 || first >= last) return merged;
+
+  const std::size_t shard_first = first / refs_per_shard_;
+  const std::size_t shard_last = (last - 1) / refs_per_shard_;
+  for (std::size_t s = shard_first; s <= shard_last; ++s) {
+    const std::size_t base = s * refs_per_shard_;
+    const std::size_t lo = first > base ? first - base : 0;
+    const std::size_t hi = std::min(last - base, refs_per_shard_);
+    auto hits = shards_[s]->top_k_keyed(query, lo, hi, k, stream);
+    for (auto& h : hits) {
+      h.reference_index += base;  // back to global indices
+      merged.push_back(h);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const hd::SearchHit& a, const hd::SearchHit& b) {
+              if (a.dot != b.dot) return a.dot > b.dot;
+              return a.reference_index < b.reference_index;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+}  // namespace oms::accel

@@ -1,0 +1,66 @@
+// Sharded multi-chip search. The paper's motivation is data volume: public
+// MS repositories grow exponentially while single chips do not. This
+// executor splits a reference library into contiguous shards sized to one
+// chip's capacity (via the mapping planner), builds one in-memory search
+// engine per shard, and merges per-shard top-k results — the scale-out
+// layer a deployment of the accelerator needs.
+//
+// Shards inherit the library's precursor-mass order, so a query's mass
+// window intersects only a contiguous run of shards and the executor
+// skips the rest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "accel/imc_search.hpp"
+#include "accel/mapper.hpp"
+
+namespace oms::accel {
+
+struct ShardedSearchConfig {
+  rram::ChipConfig chip{};          ///< Capacity unit per shard.
+  ImcSearchConfig engine{};         ///< Per-shard engine configuration.
+  /// Cap on references per shard; 0 derives it from chip capacity
+  /// (columns × column blocks that fit the chip's arrays).
+  std::size_t max_refs_per_shard = 0;
+};
+
+class ShardedSearch {
+ public:
+  /// Builds shards over `references` (not owned; must outlive this).
+  /// References must be ordered by precursor mass if window-based
+  /// candidate ranges are used (the SpectralLibrary guarantees this).
+  ShardedSearch(std::span<const util::BitVec> references,
+                const ShardedSearchConfig& cfg);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t references_per_shard() const noexcept {
+    return refs_per_shard_;
+  }
+  /// The mapping plan of shard `i` (for capacity/energy accounting).
+  [[nodiscard]] const MappingPlan& plan(std::size_t i) const {
+    return plans_.at(i);
+  }
+
+  /// Top-k search over global reference indices [first, last), merged
+  /// across every intersecting shard. Thread-safe for statistical/ideal
+  /// fidelity (keyed noise).
+  [[nodiscard]] std::vector<hd::SearchHit> top_k(const util::BitVec& query,
+                                                 std::size_t first,
+                                                 std::size_t last,
+                                                 std::size_t k,
+                                                 std::uint64_t stream) const;
+
+ private:
+  std::span<const util::BitVec> refs_;
+  std::size_t refs_per_shard_ = 0;
+  std::vector<std::unique_ptr<ImcSearchEngine>> shards_;
+  std::vector<MappingPlan> plans_;
+};
+
+}  // namespace oms::accel

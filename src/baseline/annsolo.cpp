@@ -1,0 +1,144 @@
+#include "baseline/annsolo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "ms/synthesizer.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oms::baseline {
+
+std::vector<std::pair<std::uint32_t, std::string>>
+AnnSoloResult::identification_set() const {
+  std::vector<std::pair<std::uint32_t, std::string>> ids;
+  ids.reserve(accepted.size());
+  for (const auto& p : accepted) ids.emplace_back(p.query_id, p.peptide);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+AnnSoloSearcher::AnnSoloSearcher(const AnnSoloConfig& cfg) : cfg_(cfg) {}
+
+void AnnSoloSearcher::set_library(const std::vector<ms::Spectrum>& targets) {
+  std::vector<ms::BinnedSpectrum> entries =
+      ms::preprocess_all(targets, cfg_.preprocess);
+  if (cfg_.add_decoys) {
+    std::vector<ms::Spectrum> decoys;
+    decoys.reserve(targets.size());
+    const ms::SynthesisParams decoy_params{};
+    for (const auto& t : targets) {
+      decoys.push_back(ms::make_decoy_spectrum(
+          t, decoy_params, util::hash_combine(cfg_.seed, t.id, 0xDECULL)));
+    }
+    std::vector<ms::BinnedSpectrum> decoy_entries =
+        ms::preprocess_all(decoys, cfg_.preprocess);
+    entries.insert(entries.end(),
+                   std::make_move_iterator(decoy_entries.begin()),
+                   std::make_move_iterator(decoy_entries.end()));
+  }
+  library_ = ms::SpectralLibrary(std::move(entries));
+}
+
+namespace {
+
+/// Best match of one query in [first, last) under the given scorer.
+template <typename ScoreFn>
+bool best_candidate(const ms::BinnedSpectrum& query,
+                    const ms::SpectralLibrary& library, std::size_t first,
+                    std::size_t last, const ScoreFn& score_fn,
+                    core::Psm& out) {
+  double best = -1.0;
+  std::size_t best_idx = last;
+  for (std::size_t i = first; i < last; ++i) {
+    const double s = score_fn(query, library[i]);
+    if (s > best) {
+      best = s;
+      best_idx = i;
+    }
+  }
+  if (best_idx >= last) return false;
+  const ms::BinnedSpectrum& ref = library[best_idx];
+  out.query_id = query.id;
+  out.peptide = ref.peptide;
+  out.score = best;
+  out.is_decoy = ref.is_decoy;
+  out.mass_shift = query.precursor_mass - ref.precursor_mass;
+  out.reference_index = best_idx;
+  return true;
+}
+
+}  // namespace
+
+AnnSoloResult AnnSoloSearcher::run(const std::vector<ms::Spectrum>& queries) {
+  AnnSoloResult result;
+  const std::vector<ms::BinnedSpectrum> prepped =
+      ms::preprocess_all(queries, cfg_.preprocess);
+  result.queries_searched = prepped.size();
+
+  // ---- Pass 1: standard search (narrow window, cosine). ----
+  std::vector<core::Psm> psms1(prepped.size());
+  std::vector<std::uint8_t> valid1(prepped.size(), 0);
+  util::ThreadPool::global().parallel_for(
+      0, prepped.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto [first, last] = library_.mass_window(
+              prepped[i].precursor_mass, cfg_.standard_window_da);
+          valid1[i] = best_candidate(
+              prepped[i], library_, first, last,
+              [](const ms::BinnedSpectrum& q, const ms::BinnedSpectrum& r) {
+                return ms::sparse_dot(q, r);
+              },
+              psms1[i]);
+        }
+      });
+  for (std::size_t i = 0; i < psms1.size(); ++i) {
+    if (valid1[i]) result.standard_psms.push_back(psms1[i]);
+  }
+
+  const std::vector<core::Psm> accepted1 =
+      core::filter_at_fdr(result.standard_psms, cfg_.fdr_threshold);
+  std::unordered_set<std::uint32_t> identified;
+  for (const auto& p : accepted1) identified.insert(p.query_id);
+
+  // ---- Pass 2: open search on the remainder (wide window, shifted dot).
+  const double bin_width = cfg_.preprocess.bin_width;
+  std::vector<core::Psm> psms2(prepped.size());
+  std::vector<std::uint8_t> valid2(prepped.size(), 0);
+  util::ThreadPool::global().parallel_for(
+      0, prepped.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (identified.contains(prepped[i].id)) continue;
+          const auto [first, last] = library_.mass_window(
+              prepped[i].precursor_mass, cfg_.open_window_da);
+          valid2[i] = best_candidate(
+              prepped[i], library_, first, last,
+              [bin_width](const ms::BinnedSpectrum& q,
+                          const ms::BinnedSpectrum& r) {
+                const double shift_da = q.precursor_mass - r.precursor_mass;
+                const auto shift = static_cast<std::int64_t>(
+                    std::llround(shift_da / bin_width));
+                return ms::shifted_dot(q, r, shift);
+              },
+              psms2[i]);
+        }
+      });
+  for (std::size_t i = 0; i < psms2.size(); ++i) {
+    if (valid2[i]) result.open_psms.push_back(psms2[i]);
+  }
+
+  const std::vector<core::Psm> accepted2 =
+      core::filter_at_fdr(result.open_psms, cfg_.fdr_threshold);
+
+  result.accepted = accepted1;
+  result.accepted.insert(result.accepted.end(), accepted2.begin(),
+                         accepted2.end());
+  std::sort(result.accepted.begin(), result.accepted.end(),
+            [](const core::Psm& a, const core::Psm& b) {
+              return a.query_id < b.query_id;
+            });
+  return result;
+}
+
+}  // namespace oms::baseline

@@ -1,0 +1,66 @@
+// ANN-SoLo-like baseline (Arab et al., JPR 2023; Bittremieux et al.). A
+// two-pass cascade open search over sparse binned spectra:
+//   pass 1 — standard search: narrow precursor window, cosine similarity;
+//   pass 2 — open search over the queries pass 1 could not confidently
+//            identify: wide window, *shifted dot product* that lets query
+//            peaks match reference peaks offset by the precursor mass
+//            difference (how an unmodified library entry explains a
+//            modified query).
+// FDR is estimated per pass (ANN-SoLo's cascaded/subgroup scheme). The
+// scoring is exact floating-point — the "complicated high-precision
+// arithmetic with limited parallelism" the paper contrasts against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fdr.hpp"
+#include "ms/library.hpp"
+#include "ms/preprocess.hpp"
+#include "ms/spectrum.hpp"
+
+namespace oms::baseline {
+
+struct AnnSoloConfig {
+  ms::PreprocessConfig preprocess{};
+  double standard_window_da = 0.05;
+  double open_window_da = 500.0;
+  double fdr_threshold = 0.01;
+  bool add_decoys = true;
+  std::uint64_t seed = 77;
+};
+
+struct AnnSoloResult {
+  std::vector<core::Psm> standard_psms;
+  std::vector<core::Psm> open_psms;
+  std::vector<core::Psm> accepted;  ///< Union of both passes' acceptances.
+  std::size_t queries_searched = 0;
+
+  [[nodiscard]] std::size_t identifications() const noexcept {
+    return accepted.size();
+  }
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::string>>
+  identification_set() const;
+};
+
+class AnnSoloSearcher {
+ public:
+  explicit AnnSoloSearcher(const AnnSoloConfig& cfg);
+
+  /// Preprocesses targets, adds shuffled decoys, builds the mass-sorted
+  /// library.
+  void set_library(const std::vector<ms::Spectrum>& targets);
+
+  [[nodiscard]] const ms::SpectralLibrary& library() const noexcept {
+    return library_;
+  }
+
+  /// Runs the two-pass cascade and the per-pass FDR filters.
+  [[nodiscard]] AnnSoloResult run(const std::vector<ms::Spectrum>& queries);
+
+ private:
+  AnnSoloConfig cfg_;
+  ms::SpectralLibrary library_;
+};
+
+}  // namespace oms::baseline

@@ -1,0 +1,36 @@
+#include "baseline/hyperoms.hpp"
+
+namespace oms::baseline {
+
+core::PipelineConfig hyperoms_pipeline_config(const HyperOmsConfig& cfg) {
+  core::PipelineConfig pc;
+  pc.preprocess = cfg.preprocess;
+  pc.encoder.dim = cfg.dim;
+  pc.encoder.bins = cfg.preprocess.bin_count();
+  pc.encoder.levels = cfg.levels;
+  // HyperOMS uses the classic unchunked ID-Level scheme with binary IDs.
+  pc.encoder.chunks = cfg.dim;
+  pc.encoder.id_precision = hd::IdPrecision::k1Bit;
+  pc.encoder.seed = cfg.seed;
+  pc.oms_window_da = cfg.oms_window_da;
+  pc.open_search = true;
+  pc.fdr_threshold = cfg.fdr_threshold;
+  pc.backend = core::Backend::kIdealHd;
+  pc.seed = cfg.seed;
+  return pc;
+}
+
+HyperOmsSearcher::HyperOmsSearcher(const HyperOmsConfig& cfg)
+    : pipeline_(std::make_unique<core::Pipeline>(
+          hyperoms_pipeline_config(cfg))) {}
+
+void HyperOmsSearcher::set_library(const std::vector<ms::Spectrum>& targets) {
+  pipeline_->set_library(targets);
+}
+
+core::PipelineResult HyperOmsSearcher::run(
+    const std::vector<ms::Spectrum>& queries) {
+  return pipeline_->run(queries);
+}
+
+}  // namespace oms::baseline

@@ -1,0 +1,43 @@
+// HyperOMS-like baseline (Kang et al., PACT 2022): binary hyperdimensional
+// encoding with exact digital Hamming search — the algorithm this paper
+// builds on, minus the MLC RRAM substrate and the multi-bit ID scheme.
+// Implemented as a thin configuration of the shared core::Pipeline with
+// the ideal backend and 1-bit ID precision.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace oms::baseline {
+
+struct HyperOmsConfig {
+  ms::PreprocessConfig preprocess{};
+  std::uint32_t dim = 8192;
+  std::uint32_t levels = 32;
+  double oms_window_da = 500.0;
+  double fdr_threshold = 0.01;
+  std::uint64_t seed = 88;
+};
+
+class HyperOmsSearcher {
+ public:
+  explicit HyperOmsSearcher(const HyperOmsConfig& cfg);
+
+  void set_library(const std::vector<ms::Spectrum>& targets);
+  [[nodiscard]] core::PipelineResult run(
+      const std::vector<ms::Spectrum>& queries);
+
+  [[nodiscard]] const core::Pipeline& pipeline() const { return *pipeline_; }
+
+ private:
+  std::unique_ptr<core::Pipeline> pipeline_;
+};
+
+/// The pipeline configuration HyperOMS corresponds to (exposed for tests
+/// and ablations).
+[[nodiscard]] core::PipelineConfig hyperoms_pipeline_config(
+    const HyperOmsConfig& cfg);
+
+}  // namespace oms::baseline

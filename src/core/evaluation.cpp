@@ -1,0 +1,50 @@
+#include "core/evaluation.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace oms::core {
+
+EvaluationResult evaluate(std::span<const Psm> accepted,
+                          const ms::Workload& workload) {
+  std::map<std::uint32_t, const ms::QueryTruth*> truth;
+  for (std::size_t i = 0; i < workload.queries.size(); ++i) {
+    truth[workload.queries[i].id] = &workload.truths[i];
+  }
+
+  EvaluationResult result;
+  result.matched_queries = workload.matched_query_count();
+  result.modified_queries = workload.modified_query_count();
+
+  for (const auto& psm : accepted) {
+    const auto it = truth.find(psm.query_id);
+    if (it == truth.end()) continue;  // not a workload query
+    ++result.accepted;
+    const ms::QueryTruth& t = *it->second;
+    if (!t.in_library) {
+      ++result.accepted_foreign;
+      continue;
+    }
+    if (t.backbone == psm.peptide) {
+      ++result.correct;
+      if (t.modified) ++result.correct_modified;
+    }
+  }
+  return result;
+}
+
+std::string format_evaluation(const EvaluationResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "accepted: %zu  correct: %zu  precision: %.1f%%\n"
+                "recall: %.1f%% (%zu findable)  modified recall: %.1f%% "
+                "(%zu modified)\n"
+                "foreign queries accepted (false positives): %zu\n",
+                r.accepted, r.correct, r.precision() * 100.0,
+                r.recall() * 100.0, r.matched_queries,
+                r.modified_recall() * 100.0, r.modified_queries,
+                r.accepted_foreign);
+  return buf;
+}
+
+}  // namespace oms::core

@@ -1,0 +1,56 @@
+// Ground-truth evaluation of search results. The paper evaluates on real
+// data where "there is no ground truth" (§5.3.1) and must argue via tool
+// agreement; the synthetic workloads *do* carry ground truth, so this
+// module quantifies what Fig. 10 can only suggest: precision and recall,
+// overall and split by query population (unmodified / modified / foreign).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/fdr.hpp"
+#include "ms/synthetic.hpp"
+
+namespace oms::core {
+
+/// Quality metrics of an identification set against workload ground truth.
+struct EvaluationResult {
+  std::size_t accepted = 0;          ///< Accepted target PSMs.
+  std::size_t correct = 0;           ///< ... whose peptide matches truth.
+  std::size_t matched_queries = 0;   ///< Queries whose backbone is findable.
+  std::size_t modified_queries = 0;  ///< ... carrying a PTM.
+  std::size_t correct_modified = 0;  ///< Correct IDs of modified queries.
+  std::size_t accepted_foreign = 0;  ///< Accepted queries absent from the
+                                     ///< library (always false positives).
+
+  /// Fraction of accepted identifications that are correct.
+  [[nodiscard]] double precision() const noexcept {
+    return accepted == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(accepted);
+  }
+  /// Fraction of findable (in-library) queries correctly identified.
+  [[nodiscard]] double recall() const noexcept {
+    return matched_queries == 0 ? 0.0
+                                : static_cast<double>(correct) /
+                                      static_cast<double>(matched_queries);
+  }
+  /// Recall restricted to modified queries — the OMS-specific capability.
+  [[nodiscard]] double modified_recall() const noexcept {
+    return modified_queries == 0
+               ? 0.0
+               : static_cast<double>(correct_modified) /
+                     static_cast<double>(modified_queries);
+  }
+};
+
+/// Scores accepted PSMs against the workload's ground truth. PSM query ids
+/// must come from the workload's query spectra.
+[[nodiscard]] EvaluationResult evaluate(std::span<const Psm> accepted,
+                                        const ms::Workload& workload);
+
+/// Renders the metrics as a short human-readable block.
+[[nodiscard]] std::string format_evaluation(const EvaluationResult& result);
+
+}  // namespace oms::core

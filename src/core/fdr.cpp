@@ -1,0 +1,76 @@
+#include "core/fdr.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace oms::core {
+
+std::vector<double> compute_q_values(std::span<const Psm> psms) {
+  std::vector<std::size_t> order(psms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (psms[a].score != psms[b].score) return psms[a].score > psms[b].score;
+    return a < b;  // deterministic tie-break
+  });
+
+  // Walk down the ranked list accumulating decoy/target counts, then take
+  // the running minimum from the bottom so q-values are monotone.
+  std::vector<double> fdr_at(psms.size(), 0.0);
+  std::size_t decoys = 0;
+  std::size_t targets = 0;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    if (psms[order[rank]].is_decoy) {
+      ++decoys;
+    } else {
+      ++targets;
+    }
+    fdr_at[rank] = targets == 0
+                       ? 1.0
+                       : std::min(1.0, static_cast<double>(decoys) /
+                                           static_cast<double>(targets));
+  }
+  double running = 1.0;
+  std::vector<double> q(psms.size(), 1.0);
+  for (std::size_t rank = order.size(); rank-- > 0;) {
+    running = std::min(running, fdr_at[rank]);
+    q[order[rank]] = running;
+  }
+  return q;
+}
+
+std::vector<Psm> filter_at_fdr(std::span<const Psm> psms, double threshold) {
+  const std::vector<double> q = compute_q_values(psms);
+  std::vector<Psm> accepted;
+  for (std::size_t i = 0; i < psms.size(); ++i) {
+    if (!psms[i].is_decoy && q[i] <= threshold) {
+      accepted.push_back(psms[i]);
+    }
+  }
+  return accepted;
+}
+
+std::vector<Psm> filter_at_fdr_grouped(
+    std::span<const Psm> psms, double threshold,
+    const std::function<int(const Psm&)>& group_of) {
+  std::map<int, std::vector<Psm>> groups;
+  for (const auto& p : psms) groups[group_of(p)].push_back(p);
+
+  std::vector<Psm> accepted;
+  for (const auto& [key, members] : groups) {
+    auto part = filter_at_fdr(members, threshold);
+    accepted.insert(accepted.end(), part.begin(), part.end());
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Psm& a, const Psm& b) { return a.query_id < b.query_id; });
+  return accepted;
+}
+
+std::vector<Psm> filter_at_fdr_standard_open(std::span<const Psm> psms,
+                                             double threshold) {
+  return filter_at_fdr_grouped(psms, threshold, [](const Psm& p) {
+    return p.is_standard() ? 0 : 1;
+  });
+}
+
+}  // namespace oms::core

@@ -1,0 +1,51 @@
+// Target-decoy false discovery rate filtering (paper §3.4). The spectral
+// library is augmented with decoy spectra; every query's best match is a
+// peptide-spectrum match (PSM) that hits either a target or a decoy. The
+// q-value of a PSM is the minimal FDR at which it would still be accepted,
+// where FDR at a score threshold is (#decoys above) / (#targets above).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace oms::core {
+
+/// A peptide-spectrum match: one query's best library hit.
+struct Psm {
+  std::uint32_t query_id = 0;
+  std::string peptide;            ///< Matched reference annotation.
+  double score = 0.0;             ///< Similarity (higher is better).
+  bool is_decoy = false;
+  double mass_shift = 0.0;        ///< Query − reference precursor mass (Da).
+  std::size_t reference_index = 0;
+
+  /// True if the precursor mass shift is within `tol` of zero, i.e. the
+  /// match did not require an open modification.
+  [[nodiscard]] bool is_standard(double tol = 0.5) const noexcept {
+    return mass_shift > -tol && mass_shift < tol;
+  }
+};
+
+/// q-value for every PSM (parallel to the input order).
+[[nodiscard]] std::vector<double> compute_q_values(std::span<const Psm> psms);
+
+/// Accepted *target* PSMs at the given q-value threshold.
+[[nodiscard]] std::vector<Psm> filter_at_fdr(std::span<const Psm> psms,
+                                             double threshold);
+
+/// Grouped (cascaded) FDR in the style of ANN-SoLo: PSMs are partitioned
+/// by `group_of` and q-values are computed within each group, which keeps
+/// the abundant unmodified matches from masking modified ones. Returns
+/// accepted target PSMs across all groups.
+[[nodiscard]] std::vector<Psm> filter_at_fdr_grouped(
+    std::span<const Psm> psms, double threshold,
+    const std::function<int(const Psm&)>& group_of);
+
+/// Standard/open two-group split: group 0 = |mass shift| < 0.5 Da.
+[[nodiscard]] std::vector<Psm> filter_at_fdr_standard_open(
+    std::span<const Psm> psms, double threshold);
+
+}  // namespace oms::core

@@ -1,0 +1,63 @@
+#include "core/overlap.hpp"
+
+#include <algorithm>
+
+namespace oms::core {
+
+std::size_t overlap2(const IdSet& a, const IdSet& b) {
+  std::size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+VennCounts venn3(const IdSet& a, const IdSet& b, const IdSet& c) {
+  VennCounts v;
+  const auto contains = [](const IdSet& s,
+                           const IdSet::value_type& x) {
+    return std::binary_search(s.begin(), s.end(), x);
+  };
+
+  IdSet all;
+  all.reserve(a.size() + b.size() + c.size());
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  all.insert(all.end(), c.begin(), c.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  for (const auto& x : all) {
+    const bool in_a = contains(a, x);
+    const bool in_b = contains(b, x);
+    const bool in_c = contains(c, x);
+    if (in_a && in_b && in_c) {
+      ++v.abc;
+    } else if (in_a && in_b) {
+      ++v.ab;
+    } else if (in_a && in_c) {
+      ++v.ac;
+    } else if (in_b && in_c) {
+      ++v.bc;
+    } else if (in_a) {
+      ++v.only_a;
+    } else if (in_b) {
+      ++v.only_b;
+    } else {
+      ++v.only_c;
+    }
+  }
+  return v;
+}
+
+}  // namespace oms::core

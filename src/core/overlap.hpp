@@ -1,0 +1,45 @@
+// Identification-set overlap analysis for the Venn comparison of search
+// tools (paper Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace oms::core {
+
+using IdSet = std::vector<std::pair<std::uint32_t, std::string>>;
+
+/// Region sizes of a three-set Venn diagram.
+struct VennCounts {
+  std::size_t only_a = 0;
+  std::size_t only_b = 0;
+  std::size_t only_c = 0;
+  std::size_t ab = 0;   ///< In A and B but not C.
+  std::size_t ac = 0;
+  std::size_t bc = 0;
+  std::size_t abc = 0;  ///< In all three.
+
+  [[nodiscard]] std::size_t total_a() const noexcept {
+    return only_a + ab + ac + abc;
+  }
+  [[nodiscard]] std::size_t total_b() const noexcept {
+    return only_b + ab + bc + abc;
+  }
+  [[nodiscard]] std::size_t total_c() const noexcept {
+    return only_c + ac + bc + abc;
+  }
+  [[nodiscard]] std::size_t union_size() const noexcept {
+    return only_a + only_b + only_c + ab + ac + bc + abc;
+  }
+};
+
+/// Computes Venn region sizes for three identification sets. Inputs must
+/// be sorted (PipelineResult::identification_set returns sorted sets).
+[[nodiscard]] VennCounts venn3(const IdSet& a, const IdSet& b, const IdSet& c);
+
+/// Two-set intersection size (inputs sorted).
+[[nodiscard]] std::size_t overlap2(const IdSet& a, const IdSet& b);
+
+}  // namespace oms::core

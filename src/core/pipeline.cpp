@@ -1,0 +1,225 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hd/errors.hpp"
+#include "hd/search.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oms::core {
+
+std::vector<std::pair<std::uint32_t, std::string>>
+PipelineResult::identification_set() const {
+  std::vector<std::pair<std::uint32_t, std::string>> ids;
+  ids.reserve(accepted.size());
+  for (const auto& p : accepted) ids.emplace_back(p.query_id, p.peptide);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Pipeline::Pipeline(const PipelineConfig& cfg)
+    : cfg_(cfg), encoder_(cfg.encoder) {}
+
+Pipeline::~Pipeline() = default;
+
+std::vector<util::BitVec> Pipeline::encode_spectra(
+    const std::vector<ms::BinnedSpectrum>& spectra, std::uint64_t ber_salt) {
+  // Gather sparse vectors; the encoder batches and parallelizes.
+  std::vector<std::vector<std::uint32_t>> bin_lists(spectra.size());
+  std::vector<std::vector<float>> weight_lists(spectra.size());
+  for (std::size_t i = 0; i < spectra.size(); ++i) {
+    bin_lists[i] = spectra[i].bins;
+    weight_lists[i] = spectra[i].weights;
+  }
+
+  std::vector<util::BitVec> hvs;
+  if (cfg_.backend == Backend::kRramStatistical) {
+    if (!imc_encoder_) {
+      imc_encoder_ = std::make_unique<accel::ImcEncoder>(
+          encoder_,
+          accel::ImcEncoderConfig{cfg_.rram_array, accel::Fidelity::kStatistical,
+                                  4096, cfg_.seed});
+    }
+    // Materialize ID rows and calibrate sigmas up front, then encode in
+    // parallel with per-spectrum keyed noise.
+    std::vector<std::uint32_t> used;
+    for (const auto& bl : bin_lists) {
+      used.insert(used.end(), bl.begin(), bl.end());
+    }
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    encoder_.id_bank().ensure(used);
+    imc_encoder_->precalibrate(bin_lists);
+
+    hvs.resize(spectra.size());
+    util::ThreadPool::global().parallel_for(
+        0, spectra.size(), [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            hvs[i] = imc_encoder_->encode_keyed(
+                bin_lists[i], weight_lists[i],
+                util::hash_combine(ber_salt, spectra[i].id));
+          }
+        });
+  } else {
+    hvs = encoder_.encode_batch(bin_lists, weight_lists);
+  }
+
+  if (cfg_.injected_ber > 0.0) {
+    hvs = hd::with_bit_errors(hvs, cfg_.injected_ber,
+                              util::hash_combine(cfg_.seed, ber_salt));
+  }
+  return hvs;
+}
+
+void Pipeline::set_library(const std::vector<ms::Spectrum>& targets) {
+  std::vector<ms::BinnedSpectrum> entries =
+      ms::preprocess_all(targets, cfg_.preprocess);
+
+  if (cfg_.add_decoys) {
+    std::vector<ms::Spectrum> decoys;
+    decoys.reserve(targets.size());
+    const ms::SynthesisParams decoy_params{};  // clean, reference-like
+    for (const auto& t : targets) {
+      decoys.push_back(ms::make_decoy_spectrum(
+          t, decoy_params, util::hash_combine(cfg_.seed, t.id, 0xDECULL)));
+    }
+    std::vector<ms::BinnedSpectrum> decoy_entries =
+        ms::preprocess_all(decoys, cfg_.preprocess);
+    entries.insert(entries.end(),
+                   std::make_move_iterator(decoy_entries.begin()),
+                   std::make_move_iterator(decoy_entries.end()));
+  }
+
+  library_ = ms::SpectralLibrary(std::move(entries));
+
+  // Encode in library (mass-sorted) order so hypervector index == library
+  // index, which the search relies on.
+  std::vector<ms::BinnedSpectrum> ordered(library_.entries().begin(),
+                                          library_.entries().end());
+  ref_hvs_ = encode_spectra(ordered, 0x5245465345ULL /* "REFSE" salt */);
+
+  engine_.reset();
+  if (cfg_.backend == Backend::kRramStatistical) {
+    accel::ImcSearchConfig scfg;
+    scfg.array = cfg_.rram_array;
+    scfg.activated_pairs = cfg_.activated_pairs;
+    scfg.fidelity = accel::Fidelity::kStatistical;
+    scfg.seed = cfg_.seed;
+    engine_ = std::make_unique<accel::ImcSearchEngine>(ref_hvs_, scfg);
+  }
+}
+
+PipelineResult Pipeline::run(const std::vector<ms::Spectrum>& queries) {
+  if (library_.empty()) {
+    throw std::logic_error("Pipeline::run: set_library() first");
+  }
+  PipelineResult result;
+  result.queries_in = queries.size();
+  result.library_targets = library_.target_count();
+  result.library_decoys = library_.decoy_count();
+
+  std::vector<ms::BinnedSpectrum> prepped =
+      ms::preprocess_all(queries, cfg_.preprocess);
+  result.queries_searched = prepped.size();
+
+  const std::vector<util::BitVec> query_hvs =
+      encode_spectra(prepped, 0x51554552ULL /* "QUER" salt */);
+
+  const double window =
+      cfg_.open_search ? cfg_.oms_window_da : cfg_.standard_window_da;
+
+  std::vector<Psm> psms(prepped.size());
+  std::vector<std::uint8_t> valid(prepped.size(), 0);
+
+  const std::size_t k = std::max<std::size_t>(1, cfg_.rescore_top_k);
+  const double bin_width = cfg_.preprocess.bin_width;
+
+  util::ThreadPool::global().parallel_for(
+      0, prepped.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto& q = prepped[i];
+
+          // Candidate precursor-mass interpretations: the recorded charge,
+          // plus z±1 when charge-tolerant search is on. The neutral mass
+          // scales as m·z_alt/z_rec for a fixed observed m/z.
+          double masses[3];
+          std::size_t n_masses = 0;
+          masses[n_masses++] = q.precursor_mass;
+          if (cfg_.charge_tolerant) {
+            const int z = q.precursor_charge;
+            if (z > 1) {
+              masses[n_masses++] =
+                  q.precursor_mass * static_cast<double>(z - 1) / z;
+            }
+            masses[n_masses++] =
+                q.precursor_mass * static_cast<double>(z + 1) / z;
+          }
+
+          std::vector<hd::SearchHit> hits;
+          double matched_mass = q.precursor_mass;
+          for (std::size_t m = 0; m < n_masses; ++m) {
+            const auto [first, last] =
+                library_.mass_window(masses[m], window);
+            if (first >= last) continue;
+            std::vector<hd::SearchHit> part;
+            if (engine_) {
+              part = engine_->top_k_keyed(query_hvs[i], first, last, k,
+                                          q.id);
+            } else {
+              part =
+                  hd::top_k_search(query_hvs[i], ref_hvs_, first, last, k);
+            }
+            if (!part.empty() &&
+                (hits.empty() || part.front().dot > hits.front().dot)) {
+              hits = std::move(part);
+              matched_mass = masses[m];
+            }
+          }
+          if (hits.empty()) continue;
+
+          hd::SearchHit best = hits.front();
+          double best_score = best.similarity;
+          if (k > 1) {
+            // Rescore the HD candidates with the exact shifted dot
+            // product and keep the strongest.
+            best_score = -1.0;
+            for (const auto& h : hits) {
+              const ms::BinnedSpectrum& cand = library_[h.reference_index];
+              const double shift_da = matched_mass - cand.precursor_mass;
+              const auto shift = static_cast<std::int64_t>(
+                  std::llround(shift_da / bin_width));
+              const double s = ms::shifted_dot(q, cand, shift);
+              if (s > best_score) {
+                best_score = s;
+                best = h;
+              }
+            }
+          }
+
+          const ms::BinnedSpectrum& ref = library_[best.reference_index];
+          Psm psm;
+          psm.query_id = q.id;
+          psm.peptide = ref.peptide;
+          psm.score = best_score;
+          psm.is_decoy = ref.is_decoy;
+          psm.mass_shift = matched_mass - ref.precursor_mass;
+          psm.reference_index = best.reference_index;
+          psms[i] = std::move(psm);
+          valid[i] = 1;
+        }
+      });
+
+  for (std::size_t i = 0; i < psms.size(); ++i) {
+    if (valid[i]) result.psms.push_back(std::move(psms[i]));
+  }
+
+  result.accepted =
+      cfg_.grouped_fdr
+          ? filter_at_fdr_standard_open(result.psms, cfg_.fdr_threshold)
+          : filter_at_fdr(result.psms, cfg_.fdr_threshold);
+  return result;
+}
+
+}  // namespace oms::core

@@ -1,0 +1,112 @@
+// End-to-end OMS pipeline (paper Fig. 2): preprocessing → HD encoding →
+// Hamming search over a precursor-mass window → target-decoy FDR filter.
+//
+// Backends:
+//  * kIdealHd          — exact digital HD (this is HyperOMS' algorithm);
+//  * kRramStatistical  — encode and search through the calibrated MLC
+//                        RRAM error model ("this work" on hardware).
+// Independent of the backend, `injected_ber` flips encoded bits at a given
+// rate (the Fig. 11 robustness protocol).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "accel/imc_encoder.hpp"
+#include "accel/imc_search.hpp"
+#include "core/fdr.hpp"
+#include "hd/encoder.hpp"
+#include "ms/library.hpp"
+#include "ms/preprocess.hpp"
+#include "ms/spectrum.hpp"
+#include "ms/synthesizer.hpp"
+
+namespace oms::core {
+
+enum class Backend : std::uint8_t { kIdealHd, kRramStatistical };
+
+struct PipelineConfig {
+  ms::PreprocessConfig preprocess{};
+  hd::EncoderConfig encoder{};
+  double oms_window_da = 500.0;       ///< Open search precursor window (±).
+  double standard_window_da = 0.05;   ///< Standard search window (±).
+  bool open_search = true;            ///< false → standard search only.
+  double fdr_threshold = 0.01;
+  bool grouped_fdr = true;            ///< ANN-SoLo style standard/open split.
+  bool add_decoys = true;
+  /// If > 1, the HD search keeps this many candidates per query and each
+  /// is rescored with the exact shifted dot product before the best is
+  /// kept — HD as the fast prefilter, floating-point scoring as the
+  /// refinement (the natural HyperOMS × ANN-SoLo hybrid).
+  std::size_t rescore_top_k = 1;
+  /// Also search the precursor-mass interpretations at charge z±1: charge
+  /// state assignment from the instrument is not always right, and a
+  /// wrong charge moves the neutral mass far outside any window. The best
+  /// hit across interpretations wins.
+  bool charge_tolerant = false;
+  double injected_ber = 0.0;          ///< Bit errors on all encoded HVs.
+  Backend backend = Backend::kIdealHd;
+  rram::ArrayConfig rram_array{};     ///< Device model for kRramStatistical.
+  std::size_t activated_pairs = 64;
+  std::uint64_t seed = 2024;
+};
+
+struct PipelineResult {
+  std::vector<Psm> psms;        ///< Best match per searchable query.
+  std::vector<Psm> accepted;    ///< Target PSMs passing the FDR filter.
+  std::size_t queries_in = 0;   ///< Queries given to run().
+  std::size_t queries_searched = 0;  ///< Survived preprocessing.
+  std::size_t library_targets = 0;
+  std::size_t library_decoys = 0;
+
+  [[nodiscard]] std::size_t identifications() const noexcept {
+    return accepted.size();
+  }
+  /// (query id, matched peptide) pairs for overlap/Venn analysis.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::string>>
+  identification_set() const;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(const PipelineConfig& cfg);
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
+
+  /// Builds the reference side: preprocess targets, synthesize decoys,
+  /// encode everything (with optional BER injection), and prepare the
+  /// search backend. Must be called before run().
+  void set_library(const std::vector<ms::Spectrum>& targets);
+
+  [[nodiscard]] const ms::SpectralLibrary& library() const {
+    return library_;
+  }
+  /// Encoded reference hypervectors, aligned with library() order.
+  [[nodiscard]] const std::vector<util::BitVec>& reference_hvs()
+      const noexcept {
+    return ref_hvs_;
+  }
+
+  /// Searches all queries and applies the FDR filter.
+  [[nodiscard]] PipelineResult run(const std::vector<ms::Spectrum>& queries);
+
+ private:
+  [[nodiscard]] std::vector<util::BitVec> encode_spectra(
+      const std::vector<ms::BinnedSpectrum>& spectra, std::uint64_t ber_salt);
+
+  PipelineConfig cfg_;
+  hd::Encoder encoder_;
+  ms::SpectralLibrary library_;
+  std::vector<util::BitVec> ref_hvs_;
+  std::unique_ptr<accel::ImcSearchEngine> engine_;
+  std::unique_ptr<accel::ImcEncoder> imc_encoder_;
+};
+
+}  // namespace oms::core

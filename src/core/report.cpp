@@ -1,0 +1,41 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace oms::core {
+
+void write_psm_tsv(std::ostream& out, std::span<const Psm> psms) {
+  const std::vector<double> q = compute_q_values(psms);
+  out << "query_id\tpeptide\tscore\tq_value\tmass_shift\tis_decoy\t"
+         "reference_index\n";
+  for (std::size_t i = 0; i < psms.size(); ++i) {
+    const Psm& p = psms[i];
+    out << p.query_id << '\t' << p.peptide << '\t' << p.score << '\t' << q[i]
+        << '\t' << p.mass_shift << '\t' << (p.is_decoy ? 1 : 0) << '\t'
+        << p.reference_index << '\n';
+  }
+}
+
+void write_summary(std::ostream& out, const PipelineResult& result) {
+  out << "queries in:        " << result.queries_in << '\n';
+  out << "queries searched:  " << result.queries_searched << '\n';
+  out << "library targets:   " << result.library_targets << '\n';
+  out << "library decoys:    " << result.library_decoys << '\n';
+  out << "PSMs scored:       " << result.psms.size() << '\n';
+  out << "identifications:   " << result.identifications() << '\n';
+  std::size_t open_matches = 0;
+  for (const auto& p : result.accepted) {
+    if (!p.is_standard()) ++open_matches;
+  }
+  out << "  with mass shift: " << open_matches << '\n';
+}
+
+void write_psm_tsv_file(const std::string& path, std::span<const Psm> psms) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write TSV file: " + path);
+  write_psm_tsv(out, psms);
+}
+
+}  // namespace oms::core

@@ -1,0 +1,27 @@
+// Result export: PSMs as tab-separated values (a de-facto interchange
+// format consumed by downstream proteomics tooling) plus a compact run
+// summary. Writers only — the canonical in-memory form is PipelineResult.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/fdr.hpp"
+#include "core/pipeline.hpp"
+
+namespace oms::core {
+
+/// Writes PSMs as TSV with a header row:
+///   query_id  peptide  score  q_value  mass_shift  is_decoy  reference
+/// q-values are recomputed over the given set.
+void write_psm_tsv(std::ostream& out, std::span<const Psm> psms);
+
+/// Writes accepted identifications plus run statistics in a
+/// human-readable block (used by examples and logs).
+void write_summary(std::ostream& out, const PipelineResult& result);
+
+/// Convenience file variants; throw std::runtime_error on IO failure.
+void write_psm_tsv_file(const std::string& path, std::span<const Psm> psms);
+
+}  // namespace oms::core

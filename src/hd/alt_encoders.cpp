@@ -1,0 +1,106 @@
+#include "hd/alt_encoders.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace oms::hd {
+
+PermutationEncoder::PermutationEncoder(std::uint32_t dim,
+                                       std::uint32_t levels,
+                                       std::uint64_t seed)
+    : dim_(dim), levels_(levels), seed_(seed) {
+  if (dim_ == 0 || dim_ % 64 != 0) {
+    throw std::invalid_argument(
+        "PermutationEncoder: dim must be a multiple of 64");
+  }
+  if (levels_ < 2) {
+    throw std::invalid_argument("PermutationEncoder: need >= 2 levels");
+  }
+}
+
+util::BitVec PermutationEncoder::id_vector(std::uint32_t bin) const {
+  util::BitVec hv(dim_);
+  hv.randomize(util::hash_combine(seed_, bin, 0x5045524dULL));
+  return hv;
+}
+
+util::BitVec PermutationEncoder::rotate(const util::BitVec& hv,
+                                        std::uint32_t shift) {
+  const std::size_t dim = hv.size();
+  util::BitVec out(dim);
+  shift %= static_cast<std::uint32_t>(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (hv.get(i)) out.set((i + shift) % dim, true);
+  }
+  return out;
+}
+
+util::BitVec PermutationEncoder::encode(std::span<const std::uint32_t> bins,
+                                        std::span<const float> weights) const {
+  if (bins.size() != weights.size()) {
+    throw std::invalid_argument("PermutationEncoder::encode: size mismatch");
+  }
+  float max_w = 0.0F;
+  for (const float w : weights) max_w = std::max(max_w, w);
+
+  std::vector<std::int32_t> acc(dim_, 0);
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double rel = max_w > 0.0F ? weights[i] / max_w : 0.0;
+    const auto level = std::min<std::uint32_t>(
+        levels_ - 1, static_cast<std::uint32_t>(rel * levels_));
+    // Rotate by a level-proportional stride so distinct levels land far
+    // apart (the defining property — and weakness — of this scheme).
+    const util::BitVec rotated =
+        rotate(id_vector(bins[i]), level * (dim_ / levels_));
+    for (std::uint32_t d = 0; d < dim_; ++d) {
+      acc[d] += rotated.get(d) ? 1 : -1;
+    }
+  }
+  util::BitVec out(dim_);
+  for (std::uint32_t d = 0; d < dim_; ++d) {
+    if (acc[d] > 0 || (acc[d] == 0 && (d & 1) != 0)) out.set(d, true);
+  }
+  return out;
+}
+
+RandomProjectionEncoder::RandomProjectionEncoder(std::uint32_t dim,
+                                                 std::uint64_t seed)
+    : dim_(dim), seed_(seed) {
+  if (dim_ == 0 || dim_ % 64 != 0) {
+    throw std::invalid_argument(
+        "RandomProjectionEncoder: dim must be a multiple of 64");
+  }
+}
+
+util::BitVec RandomProjectionEncoder::encode(
+    std::span<const std::uint32_t> bins,
+    std::span<const float> weights) const {
+  if (bins.size() != weights.size()) {
+    throw std::invalid_argument(
+        "RandomProjectionEncoder::encode: size mismatch");
+  }
+  std::vector<double> acc(dim_, 0.0);
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    // Row of R for this bin, generated counter-based 64 signs at a time.
+    const std::uint64_t row_seed =
+        util::hash_combine(seed_, bins[i], 0x52504aULL);
+    for (std::uint32_t w = 0; w * 64 < dim_; ++w) {
+      std::uint64_t word = util::mix64(row_seed ^ (w * 0x9e3779b97f4a7c15ULL));
+      const std::uint32_t base = w * 64;
+      const std::uint32_t count = std::min<std::uint32_t>(64, dim_ - base);
+      for (std::uint32_t k = 0; k < count; ++k, word >>= 1) {
+        acc[base + k] +=
+            (word & 1) ? weights[i] : -static_cast<double>(weights[i]);
+      }
+    }
+  }
+  util::BitVec out(dim_);
+  for (std::uint32_t d = 0; d < dim_; ++d) {
+    if (acc[d] > 0.0 || (acc[d] == 0.0 && (d & 1) != 0)) out.set(d, true);
+  }
+  return out;
+}
+
+}  // namespace oms::hd

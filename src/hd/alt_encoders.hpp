@@ -1,0 +1,69 @@
+// Alternative HD encoders from the literature the paper compares against
+// (§3.2): permutation-based encoding (Salamat et al., F5-HD) and random
+// projection encoding (Cannings et al.). The paper argues both capture the
+// m/z-position and intensity structure of spectra less effectively than
+// ID-Level encoding; bench/ablation_encoding reproduces that comparison.
+//
+// Both encoders share the Encoder interface shape: encode parallel
+// (bin, weight) spans into a binary hypervector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace oms::hd {
+
+/// Permutation-based encoding: each peak's position hypervector is rotated
+/// by its quantized intensity level, and the rotated vectors are bundled:
+///     h = Sign( Σ_i ρ^{q_i}( ID_{bin_i} ) )
+/// Rotation preserves pairwise distances but, unlike correlated level
+/// hypervectors, nearby intensity levels produce *uncorrelated* rotations —
+/// the weakness the paper points out.
+class PermutationEncoder {
+ public:
+  PermutationEncoder(std::uint32_t dim, std::uint32_t levels,
+                     std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::uint32_t levels() const noexcept { return levels_; }
+
+  [[nodiscard]] util::BitVec encode(std::span<const std::uint32_t> bins,
+                                    std::span<const float> weights) const;
+
+  /// Binary position hypervector for a bin (deterministic, stateless).
+  [[nodiscard]] util::BitVec id_vector(std::uint32_t bin) const;
+
+  /// Circular rotation of a hypervector by `shift` components.
+  [[nodiscard]] static util::BitVec rotate(const util::BitVec& hv,
+                                           std::uint32_t shift);
+
+ private:
+  std::uint32_t dim_;
+  std::uint32_t levels_;
+  std::uint64_t seed_;
+};
+
+/// Random projection encoding: the binned intensity vector x is projected
+/// through a random ±1 matrix R and binarized:
+///     h_d = Sign( Σ_i  x_i · R[bin_i][d] )
+/// Intensities enter as raw weights (no level quantization); positions get
+/// random rows. This preserves angles on average but has no mechanism to
+/// privilege the peak positions that matter.
+class RandomProjectionEncoder {
+ public:
+  RandomProjectionEncoder(std::uint32_t dim, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+
+  [[nodiscard]] util::BitVec encode(std::span<const std::uint32_t> bins,
+                                    std::span<const float> weights) const;
+
+ private:
+  std::uint32_t dim_;
+  std::uint64_t seed_;
+};
+
+}  // namespace oms::hd

@@ -1,0 +1,100 @@
+#include "hd/encoder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oms::hd {
+
+Encoder::Encoder(const EncoderConfig& cfg)
+    : cfg_(cfg),
+      ids_(cfg.bins, cfg.dim, cfg.id_precision, cfg.seed),
+      levels_(cfg.levels, cfg.dim, cfg.chunks, cfg.seed) {
+  if (cfg.dim == 0 || cfg.dim % 64 != 0) {
+    throw std::invalid_argument("EncoderConfig: dim must be a multiple of 64");
+  }
+}
+
+std::vector<std::uint32_t> Encoder::quantize_levels(
+    std::span<const float> weights) const {
+  float max_w = 0.0F;
+  for (const float w : weights) max_w = std::max(max_w, w);
+  std::vector<std::uint32_t> out(weights.size(), 0);
+  if (max_w <= 0.0F) return out;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    out[i] = levels_.quantize(static_cast<double>(weights[i]) / max_w);
+  }
+  return out;
+}
+
+void Encoder::accumulate(std::span<const std::uint32_t> bins,
+                         std::span<const float> weights,
+                         std::span<std::int32_t> acc) const {
+  if (bins.size() != weights.size()) {
+    throw std::invalid_argument("Encoder::accumulate: size mismatch");
+  }
+  if (acc.size() != cfg_.dim) {
+    throw std::invalid_argument("Encoder::accumulate: bad accumulator size");
+  }
+  const std::vector<std::uint32_t> lvls = quantize_levels(weights);
+
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const std::span<const std::int8_t> id = ids_.row(bins[i]);
+    // Chunked LV scheme: within one chunk all LV components share a sign,
+    // so the element-wise product reduces to adding or subtracting a
+    // contiguous ID segment (this is what Fig. 5c exploits in hardware).
+    // The bank pre-expands each level to a ±1 row, which keeps this inner
+    // loop a flat, vectorizable multiply-accumulate for any chunk width.
+    const std::span<const std::int8_t> lv = levels_.expanded_signs(lvls[i]);
+    const std::int8_t* idp = id.data();
+    const std::int8_t* lvp = lv.data();
+    std::int32_t* out = acc.data();
+    for (std::uint32_t d = 0; d < cfg_.dim; ++d) {
+      out[d] += static_cast<std::int32_t>(idp[d]) * lvp[d];
+    }
+  }
+}
+
+util::BitVec Encoder::binarize(std::span<const std::int32_t> acc) {
+  util::BitVec hv(acc.size());
+  for (std::size_t d = 0; d < acc.size(); ++d) {
+    const bool bit = acc[d] > 0 || (acc[d] == 0 && (d & 1) != 0);
+    if (bit) hv.set(d, true);
+  }
+  return hv;
+}
+
+util::BitVec Encoder::encode(std::span<const std::uint32_t> bins,
+                             std::span<const float> weights) const {
+  std::vector<std::int32_t> acc(cfg_.dim, 0);
+  accumulate(bins, weights, acc);
+  return binarize(acc);
+}
+
+std::vector<util::BitVec> Encoder::encode_batch(
+    std::span<const std::vector<std::uint32_t>> bin_lists,
+    std::span<const std::vector<float>> weight_lists) {
+  if (bin_lists.size() != weight_lists.size()) {
+    throw std::invalid_argument("Encoder::encode_batch: size mismatch");
+  }
+  // Materialize every ID row used anywhere before the parallel region; the
+  // bank is then read-only and safe to share.
+  std::vector<std::uint32_t> used;
+  for (const auto& bl : bin_lists) used.insert(used.end(), bl.begin(), bl.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  ids_.ensure(used);
+
+  std::vector<util::BitVec> out(bin_lists.size());
+  util::ThreadPool::global().parallel_for(
+      0, bin_lists.size(), [&](std::size_t lo, std::size_t hi) {
+        std::vector<std::int32_t> acc(cfg_.dim);
+        for (std::size_t i = lo; i < hi; ++i) {
+          std::fill(acc.begin(), acc.end(), 0);
+          accumulate(bin_lists[i], weight_lists[i], acc);
+          out[i] = binarize(acc);
+        }
+      });
+  return out;
+}
+
+}  // namespace oms::hd

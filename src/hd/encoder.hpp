@@ -1,0 +1,78 @@
+// ID-Level hypervector encoder (paper Eq. 1):
+//
+//   h = Sign( Σ_{i ∈ S} ID_i ⊗ LV_i )
+//
+// For each peak i of a preprocessed spectrum S, the position hypervector
+// ID_i (selected by the peak's m/z bin) is element-wise multiplied by the
+// level hypervector LV_i (selected by the peak's quantized intensity), the
+// products are accumulated per dimension, and the result is binarized.
+//
+// The encoder is deliberately independent of the mass-spectrometry types:
+// it consumes parallel (bin, weight) spans, so any sparse non-negative
+// feature vector can be encoded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hd/id_bank.hpp"
+#include "hd/level_bank.hpp"
+#include "util/bitvec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oms::hd {
+
+struct EncoderConfig {
+  std::uint32_t dim = 8192;        ///< Hypervector dimension D.
+  std::uint32_t bins = 27981;      ///< Number of m/z bins (ID rows).
+  std::uint32_t levels = 32;       ///< Intensity quantization levels Q.
+  std::uint32_t chunks = 256;      ///< LV chunks (paper §4.2.1); divides dim.
+  IdPrecision id_precision = IdPrecision::k3Bit;
+  std::uint64_t seed = 0x0D0C5EEDULL;
+};
+
+class Encoder {
+ public:
+  explicit Encoder(const EncoderConfig& cfg);
+
+  [[nodiscard]] const EncoderConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const IdBank& id_bank() const noexcept { return ids_; }
+  [[nodiscard]] IdBank& id_bank() noexcept { return ids_; }
+  [[nodiscard]] const LevelBank& level_bank() const noexcept {
+    return levels_;
+  }
+
+  /// Quantized intensity level for each weight, relative to the largest
+  /// weight in the spectrum.
+  [[nodiscard]] std::vector<std::uint32_t> quantize_levels(
+      std::span<const float> weights) const;
+
+  /// Accumulates Σ ID_i ⊗ LV_i into `acc` (size dim, zero-initialized by
+  /// the caller). Exposed separately because the in-memory encoder needs
+  /// the pre-binarization MAC values to model analog errors.
+  void accumulate(std::span<const std::uint32_t> bins,
+                  std::span<const float> weights,
+                  std::span<std::int32_t> acc) const;
+
+  /// Full encode: accumulate + Sign binarization.
+  [[nodiscard]] util::BitVec encode(std::span<const std::uint32_t> bins,
+                                    std::span<const float> weights) const;
+
+  /// Batch encode with the global thread pool. `bin_lists`/`weight_lists`
+  /// are parallel arrays of sparse vectors.
+  [[nodiscard]] std::vector<util::BitVec> encode_batch(
+      std::span<const std::vector<std::uint32_t>> bin_lists,
+      std::span<const std::vector<float>> weight_lists);
+
+  /// Sign() binarization with a deterministic tie-break on zero (component
+  /// parity), so encodings are reproducible bit-for-bit.
+  [[nodiscard]] static util::BitVec binarize(std::span<const std::int32_t> acc);
+
+ private:
+  EncoderConfig cfg_;
+  IdBank ids_;
+  LevelBank levels_;
+};
+
+}  // namespace oms::hd

@@ -1,0 +1,43 @@
+#include "hd/errors.hpp"
+
+#include <cmath>
+
+namespace oms::hd {
+
+void inject_bit_errors(util::BitVec& hv, double ber, util::Xoshiro256& rng) {
+  if (ber <= 0.0 || hv.size() == 0) return;
+  if (ber >= 1.0) {
+    for (std::size_t i = 0; i < hv.size(); ++i) hv.flip(i);
+    return;
+  }
+  // Geometric skip sampling: the gap between consecutive flipped bits is
+  // geometrically distributed with parameter ber.
+  const double denom = std::log1p(-ber);
+  double pos = std::floor(std::log(1.0 - rng.uniform()) / denom);
+  while (pos < static_cast<double>(hv.size())) {
+    hv.flip(static_cast<std::size_t>(pos));
+    pos += 1.0 + std::floor(std::log(1.0 - rng.uniform()) / denom);
+  }
+}
+
+std::vector<util::BitVec> with_bit_errors(std::span<const util::BitVec> hvs,
+                                          double ber, std::uint64_t seed) {
+  std::vector<util::BitVec> out(hvs.begin(), hvs.end());
+  util::Xoshiro256 rng(util::hash_combine(seed, 0xBE12ULL));
+  for (auto& hv : out) inject_bit_errors(hv, ber, rng);
+  return out;
+}
+
+double measured_ber(std::span<const util::BitVec> original,
+                    std::span<const util::BitVec> corrupted) {
+  if (original.size() != corrupted.size() || original.empty()) return 0.0;
+  std::size_t flips = 0;
+  std::size_t bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    flips += util::hamming_distance(original[i], corrupted[i]);
+    bits += original[i].size();
+  }
+  return bits == 0 ? 0.0 : static_cast<double>(flips) / static_cast<double>(bits);
+}
+
+}  // namespace oms::hd

@@ -1,0 +1,30 @@
+// Bit-error injection for the robustness experiments (paper Fig. 11).
+// Errors are injected into already-encoded hypervectors, modelling both
+// storage errors (reference hypervectors sitting in MLC RRAM) and compute
+// errors (noisy in-memory encode/search).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace oms::hd {
+
+/// Flips each bit of `hv` independently with probability `ber`, using
+/// geometric skip sampling (O(#flips), not O(D)).
+void inject_bit_errors(util::BitVec& hv, double ber, util::Xoshiro256& rng);
+
+/// Returns a copy of every hypervector with errors injected; deterministic
+/// in `seed`.
+[[nodiscard]] std::vector<util::BitVec> with_bit_errors(
+    std::span<const util::BitVec> hvs, double ber, std::uint64_t seed);
+
+/// Measures the empirical flip rate between an original and a corrupted
+/// set (used to validate the injector itself).
+[[nodiscard]] double measured_ber(std::span<const util::BitVec> original,
+                                  std::span<const util::BitVec> corrupted);
+
+}  // namespace oms::hd

@@ -1,0 +1,54 @@
+#include "hd/id_bank.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace oms::hd {
+
+IdBank::IdBank(std::uint32_t bins, std::uint32_t dim, IdPrecision precision,
+               std::uint64_t seed)
+    : bins_(bins), dim_(dim), precision_(precision), seed_(seed),
+      rows_(bins) {}
+
+void IdBank::generate_row(std::uint32_t bin,
+                          std::span<std::int8_t> out) const {
+  // Counter-based generation: every 64-bit word of entropy yields 16
+  // components (4 bits each: 1 sign bit + up to 2 magnitude bits). The
+  // stream is independent per (seed, bin, word index).
+  const int mags = magnitude_count(precision_);
+  const std::uint64_t row_seed = util::hash_combine(seed_, bin, 0x4944ULL);
+  std::uint32_t produced = 0;
+  std::uint64_t counter = 0;
+  while (produced < dim_) {
+    std::uint64_t word = util::mix64(row_seed ^ (counter++ * 0x9e3779b97f4a7c15ULL));
+    for (int k = 0; k < 16 && produced < dim_; ++k, word >>= 4) {
+      const int sign = (word & 1) ? 1 : -1;
+      // Odd magnitudes 1, 3, ..., 2^p - 1, uniform.
+      const int mag =
+          2 * (static_cast<int>((word >> 1) & 3) % mags) + 1;
+      out[produced++] = static_cast<std::int8_t>(sign * mag);
+    }
+  }
+}
+
+void IdBank::ensure(std::span<const std::uint32_t> bins) {
+  for (const std::uint32_t bin : bins) {
+    if (bin >= bins_) {
+      throw std::out_of_range("IdBank::ensure: bin out of range");
+    }
+    if (rows_[bin]) continue;
+    auto row = std::make_unique<std::int8_t[]>(dim_);
+    generate_row(bin, {row.get(), dim_});
+    rows_[bin] = std::move(row);
+  }
+}
+
+std::span<const std::int8_t> IdBank::row(std::uint32_t bin) const {
+  if (bin >= rows_.size() || !rows_[bin]) {
+    throw std::logic_error("IdBank::row: bin not materialized");
+  }
+  return {rows_[bin].get(), dim_};
+}
+
+}  // namespace oms::hd

@@ -1,0 +1,72 @@
+// ID hypervector bank. Every m/z bin owns a pseudo-random "position"
+// hypervector (paper §3.2); with the multi-bit scheme (§4.2.2) each
+// component is a signed value of 1..3-bit precision. Components take the
+// odd values ±{1}, ±{1,3}, ±{1,3,5,7} at 1/2/3-bit precision: scaled by
+// the maximum magnitude these land exactly on the uniform 2^n-level
+// differential conductance grid of an n-bit MLC cell (Eqs. 2-3), so the
+// in-memory encoder stores ID components without quantization error.
+// (The paper's example set {-4..-1, 1..4} is the same lattice up to an
+// affine rescale, which Sign() in Eq. 1 is invariant to.)
+//
+// Rows are generated deterministically from (seed, bin) with a counter-based
+// hash, so the bank never needs to persist 28k × 8192 values: rows are
+// materialized lazily into a cache before parallel encoding begins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace oms::hd {
+
+/// Precision of ID hypervector components, in bits (paper §4.2.2).
+enum class IdPrecision : std::uint8_t { k1Bit = 1, k2Bit = 2, k3Bit = 3 };
+
+/// Largest component magnitude at a given precision (1→1, 2→3, 3→7).
+[[nodiscard]] constexpr int max_magnitude(IdPrecision p) noexcept {
+  return (1 << static_cast<int>(p)) - 1;
+}
+
+/// Number of distinct magnitudes at a given precision (1, 2, 4).
+[[nodiscard]] constexpr int magnitude_count(IdPrecision p) noexcept {
+  return 1 << (static_cast<int>(p) - 1);
+}
+
+class IdBank {
+ public:
+  /// `bins` is the number of distinct m/z bins (rows); `dim` the
+  /// hypervector dimension D.
+  IdBank(std::uint32_t bins, std::uint32_t dim, IdPrecision precision,
+         std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::uint32_t bin_count() const noexcept { return bins_; }
+  [[nodiscard]] IdPrecision precision() const noexcept { return precision_; }
+
+  /// Materializes the rows for every bin in `bins` (deduplicated); must be
+  /// called before row() is used from multiple threads.
+  void ensure(std::span<const std::uint32_t> bins);
+
+  /// Read-only view of a materialized row (size dim()); components are
+  /// nonzero signed int8 values with |v| ≤ max_magnitude(precision).
+  [[nodiscard]] std::span<const std::int8_t> row(std::uint32_t bin) const;
+
+  /// True if the row has been materialized.
+  [[nodiscard]] bool materialized(std::uint32_t bin) const noexcept {
+    return bin < rows_.size() && rows_[bin] != nullptr;
+  }
+
+  /// Generates one row into `out` (size dim()) without caching. This is the
+  /// same deterministic function ensure()/row() use.
+  void generate_row(std::uint32_t bin, std::span<std::int8_t> out) const;
+
+ private:
+  std::uint32_t bins_;
+  std::uint32_t dim_;
+  IdPrecision precision_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<std::int8_t[]>> rows_;
+};
+
+}  // namespace oms::hd

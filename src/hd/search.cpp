@@ -1,0 +1,46 @@
+#include "hd/search.hpp"
+
+#include <algorithm>
+
+namespace oms::hd {
+
+std::vector<SearchHit> top_k_search(const util::BitVec& query,
+                                    std::span<const util::BitVec> references,
+                                    std::size_t first, std::size_t last,
+                                    std::size_t k) {
+  std::vector<SearchHit> hits;
+  if (k == 0 || first >= last) return hits;
+  last = std::min(last, references.size());
+
+  const double dim = static_cast<double>(query.size());
+  const std::uint64_t* qwords = query.words().data();
+  const std::size_t nwords = query.word_count();
+
+  // Keep a small sorted buffer of the k best; k is tiny (≤ 16) in practice.
+  for (std::size_t i = first; i < last; ++i) {
+    const std::size_t ham =
+        util::xor_popcount(qwords, references[i].words().data(), nwords);
+    const auto dot = static_cast<std::int64_t>(query.size()) -
+                     2 * static_cast<std::int64_t>(ham);
+    if (hits.size() == k && dot <= hits.back().dot) continue;
+    const SearchHit hit{i, dot, 1.0 - static_cast<double>(ham) / dim};
+    const auto pos = std::upper_bound(
+        hits.begin(), hits.end(), hit,
+        [](const SearchHit& a, const SearchHit& b) { return a.dot > b.dot; });
+    hits.insert(pos, hit);
+    if (hits.size() > k) hits.pop_back();
+  }
+  return hits;
+}
+
+SearchHit best_match(const util::BitVec& query,
+                     std::span<const util::BitVec> references,
+                     std::size_t first, std::size_t last) {
+  const auto hits = top_k_search(query, references, first, last, 1);
+  if (hits.empty()) {
+    return SearchHit{references.size(), 0, 0.0};
+  }
+  return hits.front();
+}
+
+}  // namespace oms::hd

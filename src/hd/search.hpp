@@ -1,0 +1,38 @@
+// Exact Hamming-similarity search over a set of encoded reference
+// hypervectors (paper §3.3). Candidates are restricted to an index range —
+// the precursor-mass window computed by the spectral library — which is
+// what turns the same kernel into either a standard search (narrow window)
+// or an open modification search (wide window).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace oms::hd {
+
+/// One search hit: index into the reference set plus the similarity score.
+struct SearchHit {
+  std::size_t reference_index = 0;
+  std::int64_t dot = 0;        ///< Bipolar dot product in [-D, D].
+  double similarity = 0.0;     ///< Hamming similarity in [0, 1].
+
+  [[nodiscard]] bool operator==(const SearchHit&) const = default;
+};
+
+/// Scores `query` against references[first..last) and returns up to `k`
+/// best hits sorted by decreasing similarity (ties broken by lower index,
+/// so results are deterministic).
+[[nodiscard]] std::vector<SearchHit> top_k_search(
+    const util::BitVec& query, std::span<const util::BitVec> references,
+    std::size_t first, std::size_t last, std::size_t k);
+
+/// Convenience single-best search; returns a hit with reference_index ==
+/// references.size() if the range is empty.
+[[nodiscard]] SearchHit best_match(const util::BitVec& query,
+                                   std::span<const util::BitVec> references,
+                                   std::size_t first, std::size_t last);
+
+}  // namespace oms::hd

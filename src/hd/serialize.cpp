@@ -1,0 +1,109 @@
+#include "hd/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace oms::hd {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4f4d5348;  // "OMSH"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t dim = 0;
+  std::uint32_t bins = 0;
+  std::uint32_t levels = 0;
+  std::uint32_t chunks = 0;
+  std::uint32_t id_precision = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t count = 0;
+};
+
+void write_raw(std::ostream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+void read_raw(std::istream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in.gcount()) != size) {
+    throw std::runtime_error("encoded library: truncated stream");
+  }
+}
+
+}  // namespace
+
+void save_encoded_library(std::ostream& out, const EncoderConfig& cfg,
+                          std::span<const util::BitVec> hvs) {
+  for (const auto& hv : hvs) {
+    if (hv.size() != cfg.dim) {
+      throw std::invalid_argument(
+          "save_encoded_library: hypervector dimension mismatch");
+    }
+  }
+  Header header;
+  header.dim = cfg.dim;
+  header.bins = cfg.bins;
+  header.levels = cfg.levels;
+  header.chunks = cfg.chunks;
+  header.id_precision = static_cast<std::uint32_t>(cfg.id_precision);
+  header.seed = cfg.seed;
+  header.count = hvs.size();
+  write_raw(out, &header, sizeof header);
+  for (const auto& hv : hvs) {
+    write_raw(out, hv.words().data(),
+              hv.word_count() * sizeof(std::uint64_t));
+  }
+}
+
+std::vector<util::BitVec> load_encoded_library(std::istream& in,
+                                               const EncoderConfig& expected) {
+  Header header;
+  read_raw(in, &header, sizeof header);
+  if (header.magic != kMagic) {
+    throw std::runtime_error("encoded library: bad magic");
+  }
+  if (header.version != kVersion) {
+    throw std::runtime_error("encoded library: unsupported version");
+  }
+  if (header.dim != expected.dim || header.bins != expected.bins ||
+      header.levels != expected.levels || header.chunks != expected.chunks ||
+      header.id_precision !=
+          static_cast<std::uint32_t>(expected.id_precision) ||
+      header.seed != expected.seed) {
+    throw std::invalid_argument(
+        "encoded library: encoder fingerprint mismatch — re-encode the "
+        "library with this configuration");
+  }
+
+  std::vector<util::BitVec> hvs(header.count);
+  for (auto& hv : hvs) {
+    hv = util::BitVec(header.dim);
+    read_raw(in, hv.words().data(),
+             hv.word_count() * sizeof(std::uint64_t));
+  }
+  return hvs;
+}
+
+void save_encoded_library_file(const std::string& path,
+                               const EncoderConfig& cfg,
+                               std::span<const util::BitVec> hvs) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write: " + path);
+  save_encoded_library(out, cfg, hvs);
+}
+
+std::vector<util::BitVec> load_encoded_library_file(
+    const std::string& path, const EncoderConfig& expected) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return load_encoded_library(in, expected);
+}
+
+}  // namespace oms::hd

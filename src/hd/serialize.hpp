@@ -1,0 +1,39 @@
+// Binary serialization of encoded hypervector libraries. Encoding a
+// million-spectrum library dominates setup time; persisting the encoded
+// form lets a deployment encode once and search forever ("encode offline,
+// store in memory" is the paper's own data flow, §4). The format is a
+// small versioned header plus raw little-endian words, with the encoder
+// configuration embedded so a mismatched load fails loudly instead of
+// silently searching garbage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hd/encoder.hpp"
+#include "util/bitvec.hpp"
+
+namespace oms::hd {
+
+/// Writes hypervectors (all of dimension cfg.dim) with their encoder
+/// fingerprint. Throws std::invalid_argument on dimension mismatch.
+void save_encoded_library(std::ostream& out, const EncoderConfig& cfg,
+                          std::span<const util::BitVec> hvs);
+
+/// Loads a library saved by save_encoded_library. Throws
+/// std::runtime_error on format/version errors and std::invalid_argument
+/// if `expected` does not match the stored encoder fingerprint (dim,
+/// seed, precision, levels, chunks, bins).
+[[nodiscard]] std::vector<util::BitVec> load_encoded_library(
+    std::istream& in, const EncoderConfig& expected);
+
+/// File variants; throw std::runtime_error on IO failure.
+void save_encoded_library_file(const std::string& path,
+                               const EncoderConfig& cfg,
+                               std::span<const util::BitVec> hvs);
+[[nodiscard]] std::vector<util::BitVec> load_encoded_library_file(
+    const std::string& path, const EncoderConfig& expected);
+
+}  // namespace oms::hd

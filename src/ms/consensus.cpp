@@ -1,0 +1,114 @@
+#include "ms/consensus.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace oms::ms {
+
+Spectrum build_consensus(const std::vector<Spectrum>& replicates,
+                         const ConsensusConfig& cfg) {
+  Spectrum consensus;
+  if (replicates.empty()) return consensus;
+  consensus.id = replicates.front().id;
+  consensus.title = replicates.front().title;
+  consensus.peptide = replicates.front().peptide;
+  consensus.is_decoy = replicates.front().is_decoy;
+
+  // Median precursor m/z; majority charge.
+  std::vector<double> mzs;
+  std::map<int, int> charge_votes;
+  for (const auto& r : replicates) {
+    mzs.push_back(r.precursor_mz);
+    ++charge_votes[r.precursor_charge];
+  }
+  std::sort(mzs.begin(), mzs.end());
+  consensus.precursor_mz = mzs[mzs.size() / 2];
+  consensus.precursor_charge =
+      std::max_element(charge_votes.begin(), charge_votes.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       })
+          ->first;
+
+  // Pool all peaks sorted by m/z, then sweep and cluster within tolerance.
+  struct Pooled {
+    double mz;
+    float intensity;
+    std::size_t replicate;
+  };
+  std::vector<Pooled> pool;
+  for (std::size_t r = 0; r < replicates.size(); ++r) {
+    for (const auto& p : replicates[r].peaks) {
+      pool.push_back({p.mz, p.intensity, r});
+    }
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const Pooled& a, const Pooled& b) { return a.mz < b.mz; });
+
+  const auto min_votes = static_cast<std::size_t>(
+      std::max(1.0, cfg.min_replicate_fraction *
+                        static_cast<double>(replicates.size())));
+
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    // Extend the cluster while consecutive peaks stay within tolerance.
+    std::size_t j = i + 1;
+    while (j < pool.size() && pool[j].mz - pool[j - 1].mz <= cfg.mz_tolerance) {
+      ++j;
+    }
+    // Count distinct replicates contributing; compute the intensity-
+    // weighted centroid.
+    std::vector<bool> seen(replicates.size(), false);
+    double weighted_mz = 0.0;
+    double total_intensity = 0.0;
+    std::size_t votes = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (!seen[pool[k].replicate]) {
+        seen[pool[k].replicate] = true;
+        ++votes;
+      }
+      weighted_mz += pool[k].mz * pool[k].intensity;
+      total_intensity += pool[k].intensity;
+    }
+    if (votes >= min_votes && total_intensity > 0.0) {
+      consensus.peaks.push_back(
+          {weighted_mz / total_intensity,
+           static_cast<float>(total_intensity /
+                              static_cast<double>(replicates.size()))});
+    }
+    i = j;
+  }
+
+  // Cap to the strongest max_peaks.
+  if (consensus.peaks.size() > cfg.max_peaks) {
+    std::nth_element(consensus.peaks.begin(),
+                     consensus.peaks.begin() +
+                         static_cast<std::ptrdiff_t>(cfg.max_peaks),
+                     consensus.peaks.end(),
+                     [](const Peak& a, const Peak& b) {
+                       return a.intensity > b.intensity;
+                     });
+    consensus.peaks.resize(cfg.max_peaks);
+  }
+  consensus.sort_peaks();
+  return consensus;
+}
+
+std::vector<Spectrum> build_consensus_library(
+    const std::vector<Spectrum>& spectra, const ConsensusConfig& cfg) {
+  std::map<std::string, std::vector<Spectrum>> groups;
+  std::vector<Spectrum> out;
+  for (const auto& s : spectra) {
+    if (s.peptide.empty()) {
+      out.push_back(s);  // unannotated: pass through
+    } else {
+      groups[s.peptide].push_back(s);
+    }
+  }
+  for (const auto& [peptide, replicates] : groups) {
+    out.push_back(build_consensus(replicates, cfg));
+  }
+  return out;
+}
+
+}  // namespace oms::ms

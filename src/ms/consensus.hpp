@@ -1,0 +1,36 @@
+// Consensus spectrum construction. Real spectral libraries are built by
+// merging replicate spectra of the same peptide into one consensus entry:
+// peaks observed consistently across replicates are kept (at their average
+// position and combined intensity), one-off noise peaks are voted out.
+// This is the library-construction step upstream of everything the paper
+// does; the synthetic generator bypasses it, but real-data users need it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace oms::ms {
+
+struct ConsensusConfig {
+  double mz_tolerance = 0.02;     ///< Peaks within this merge (Da).
+  double min_replicate_fraction = 0.5;  ///< Keep peaks seen in ≥ this share
+                                        ///< of replicates.
+  std::size_t max_peaks = 150;    ///< Cap on consensus peaks.
+};
+
+/// Merges replicate spectra of the same analyte into a consensus
+/// spectrum. Precursor m/z and charge are taken from the median replicate;
+/// metadata (id, peptide) from the first. Returns an empty-peak spectrum
+/// if `replicates` is empty.
+[[nodiscard]] Spectrum build_consensus(const std::vector<Spectrum>& replicates,
+                                       const ConsensusConfig& cfg = {});
+
+/// Groups a mixed collection by peptide annotation and produces one
+/// consensus spectrum per distinct annotated peptide (spectra without
+/// annotations are passed through unchanged).
+[[nodiscard]] std::vector<Spectrum> build_consensus_library(
+    const std::vector<Spectrum>& spectra, const ConsensusConfig& cfg = {});
+
+}  // namespace oms::ms

@@ -1,0 +1,32 @@
+#include "ms/decoy.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace oms::ms {
+
+std::string shuffle_decoy(std::string_view sequence, std::uint64_t seed) {
+  std::string decoy(sequence);
+  if (decoy.size() < 3) return decoy;
+  util::Xoshiro256 rng(util::hash_combine(seed, 0x6465636f79ULL));
+  const std::size_t n = decoy.size() - 1;  // keep C-terminal residue fixed
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    // Fisher-Yates over the first n residues.
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = rng.below(i);
+      std::swap(decoy[i - 1], decoy[j]);
+    }
+    if (decoy != sequence) break;
+  }
+  return decoy;
+}
+
+std::string reverse_decoy(std::string_view sequence) {
+  std::string decoy(sequence);
+  if (decoy.size() < 3) return decoy;
+  std::reverse(decoy.begin(), decoy.end() - 1);
+  return decoy;
+}
+
+}  // namespace oms::ms

@@ -1,0 +1,25 @@
+// Decoy generation for target-decoy FDR estimation (paper §3.4). Decoy
+// peptides are sequence shuffles that preserve composition, length, and the
+// C-terminal residue (tryptic convention), so decoy spectra have realistic
+// precursor masses but uncorrelated fragment patterns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ms/peptide.hpp"
+
+namespace oms::ms {
+
+/// Shuffles all residues except the C-terminal one. The shuffle is
+/// deterministic in `seed` and re-draws until the decoy differs from the
+/// target (up to a bounded number of attempts for low-entropy sequences).
+[[nodiscard]] std::string shuffle_decoy(std::string_view sequence,
+                                        std::uint64_t seed);
+
+/// Reverses all residues except the C-terminal one (the classic
+/// "pseudo-reverse" decoy scheme).
+[[nodiscard]] std::string reverse_decoy(std::string_view sequence);
+
+}  // namespace oms::ms

@@ -1,0 +1,160 @@
+#include "ms/fasta.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "ms/masses.hpp"
+#include "util/rng.hpp"
+
+namespace oms::ms {
+
+std::vector<ProteinEntry> read_fasta(std::istream& in) {
+  std::vector<ProteinEntry> entries;
+  std::string line;
+  ProteinEntry current;
+  bool have_entry = false;
+
+  const auto flush = [&] {
+    if (have_entry && !current.sequence.empty()) {
+      entries.push_back(std::move(current));
+    }
+    current = ProteinEntry{};
+  };
+
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      have_entry = true;
+      const auto space = line.find_first_of(" \t");
+      current.id = line.substr(1, space == std::string::npos
+                                      ? std::string::npos
+                                      : space - 1);
+      if (space != std::string::npos) {
+        current.description = line.substr(space + 1);
+      }
+    } else if (have_entry) {
+      for (const char c : line) {
+        if (c == '*' || std::isspace(static_cast<unsigned char>(c))) continue;
+        current.sequence +=
+            static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+    }
+  }
+  flush();
+  return entries;
+}
+
+std::vector<ProteinEntry> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<ProteinEntry>& entries) {
+  for (const auto& e : entries) {
+    out << '>' << e.id;
+    if (!e.description.empty()) out << ' ' << e.description;
+    out << '\n';
+    // 60-column wrapping, the conventional FASTA line width.
+    for (std::size_t i = 0; i < e.sequence.size(); i += 60) {
+      out << e.sequence.substr(i, 60) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<ProteinEntry>& entries) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write FASTA file: " + path);
+  write_fasta(out, entries);
+}
+
+std::vector<Peptide> digest_tryptic(const std::string& sequence,
+                                    const DigestConfig& cfg) {
+  // Cleavage sites: after position i when seq[i] ∈ {K, R} and (no proline
+  // rule or seq[i+1] != P). Fragment boundaries include 0 and n.
+  std::vector<std::size_t> boundaries = {0};
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    if ((sequence[i] == 'K' || sequence[i] == 'R') &&
+        (!cfg.proline_rule || sequence[i + 1] != 'P')) {
+      boundaries.push_back(i + 1);
+    }
+  }
+  boundaries.push_back(sequence.size());
+
+  std::vector<Peptide> peptides;
+  const std::size_t segments = boundaries.size() - 1;
+  for (std::size_t start = 0; start < segments; ++start) {
+    for (int missed = 0;
+         missed <= cfg.missed_cleavages && start + missed < segments;
+         ++missed) {
+      const std::size_t from = boundaries[start];
+      const std::size_t to = boundaries[start + missed + 1];
+      const std::size_t len = to - from;
+      if (len < cfg.min_length || len > cfg.max_length) continue;
+      const std::string pep = sequence.substr(from, len);
+      const double mass = peptide_mass(pep);
+      if (mass < cfg.min_mass || mass > cfg.max_mass) continue;
+      peptides.emplace_back(pep);
+    }
+  }
+  return peptides;
+}
+
+std::vector<Peptide> digest_proteome(const std::vector<ProteinEntry>& proteins,
+                                     const DigestConfig& cfg) {
+  std::vector<Peptide> out;
+  std::unordered_set<std::string> seen;
+  for (const auto& protein : proteins) {
+    for (auto& pep : digest_tryptic(protein.sequence, cfg)) {
+      if (seen.insert(pep.sequence()).second) {
+        out.push_back(std::move(pep));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ProteinEntry> generate_proteome(std::size_t count,
+                                            std::size_t mean_length,
+                                            std::uint64_t seed) {
+  util::Xoshiro256 rng(util::hash_combine(seed, 0x50524f54ULL));
+  const std::string_view residues = standard_residues();
+
+  std::vector<ProteinEntry> proteome;
+  proteome.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    ProteinEntry entry;
+    entry.id = "SYN" + std::to_string(p);
+    entry.description = "synthetic protein " + std::to_string(p);
+    // Length: uniform in [mean/2, 3*mean/2] — simple and bounded.
+    const std::size_t len =
+        mean_length / 2 + rng.below(std::max<std::uint64_t>(1, mean_length));
+    entry.sequence.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      // ~11% K/R so tryptic peptides average ~9 residues, as in real
+      // proteomes; the rest uniform over the other 18 residues.
+      if (rng.bernoulli(0.11)) {
+        entry.sequence += rng.bernoulli(0.5) ? 'K' : 'R';
+      } else {
+        char c = 'K';
+        while (c == 'K' || c == 'R') {
+          c = residues[rng.below(residues.size())];
+        }
+        entry.sequence += c;
+      }
+    }
+    proteome.push_back(std::move(entry));
+  }
+  return proteome;
+}
+
+}  // namespace oms::ms

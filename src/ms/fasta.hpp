@@ -1,0 +1,61 @@
+// FASTA protein sequences and proteolytic digestion. Real spectral
+// libraries are built from proteome databases: proteins are digested in
+// silico (trypsin cleaves after K/R except before P), and each resulting
+// peptide contributes reference spectra. This module provides the FASTA
+// parser/writer, the digestion rules, and a synthetic proteome generator.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ms/peptide.hpp"
+
+namespace oms::ms {
+
+/// One FASTA entry.
+struct ProteinEntry {
+  std::string id;          ///< Accession (first token of the header).
+  std::string description; ///< Remainder of the header line.
+  std::string sequence;
+};
+
+/// Parses FASTA from a stream. Sequence lines are concatenated; lowercase
+/// is folded to uppercase; '*' terminators are dropped.
+[[nodiscard]] std::vector<ProteinEntry> read_fasta(std::istream& in);
+[[nodiscard]] std::vector<ProteinEntry> read_fasta_file(
+    const std::string& path);
+
+void write_fasta(std::ostream& out, const std::vector<ProteinEntry>& entries);
+void write_fasta_file(const std::string& path,
+                      const std::vector<ProteinEntry>& entries);
+
+/// In-silico digestion parameters.
+struct DigestConfig {
+  std::size_t min_length = 7;
+  std::size_t max_length = 30;
+  int missed_cleavages = 1;     ///< Peptides spanning up to this many sites.
+  bool proline_rule = true;     ///< No cleavage before P (trypsin).
+  double min_mass = 500.0;      ///< Precursor mass range filter (Da).
+  double max_mass = 5000.0;
+};
+
+/// Tryptic digest of one protein: cleaves after K/R (subject to the
+/// proline rule), emits every peptide with ≤ missed_cleavages internal
+/// sites that passes the length/mass filters. Peptides containing
+/// non-standard residues are skipped.
+[[nodiscard]] std::vector<Peptide> digest_tryptic(const std::string& sequence,
+                                                  const DigestConfig& cfg);
+
+/// Digests a whole proteome and deduplicates peptide sequences.
+[[nodiscard]] std::vector<Peptide> digest_proteome(
+    const std::vector<ProteinEntry>& proteins, const DigestConfig& cfg);
+
+/// Generates a synthetic proteome of `count` proteins with realistic
+/// lengths (geometric around `mean_length`) and K/R frequencies that give
+/// tryptic peptides of typical size. Deterministic in `seed`.
+[[nodiscard]] std::vector<ProteinEntry> generate_proteome(
+    std::size_t count, std::size_t mean_length, std::uint64_t seed);
+
+}  // namespace oms::ms

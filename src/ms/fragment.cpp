@@ -1,0 +1,45 @@
+#include "ms/fragment.hpp"
+
+#include <algorithm>
+
+#include "ms/masses.hpp"
+
+namespace oms::ms {
+
+std::vector<FragmentIon> fragment_ions(const Peptide& peptide,
+                                       int max_charge) {
+  std::vector<FragmentIon> ions;
+  const std::string& seq = peptide.sequence();
+  const std::size_t n = seq.size();
+  if (n < 2) return ions;
+
+  // Prefix residue masses including modification deltas at each position.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + residue_mass(seq[i]);
+  }
+  for (const auto& mod : peptide.modifications()) {
+    for (std::size_t i = mod.position + 1; i <= n; ++i) {
+      prefix[i] += mod.delta_mass;
+    }
+  }
+  const double total = prefix[n];
+
+  ions.reserve(2 * (n - 1) * static_cast<std::size_t>(max_charge));
+  for (int z = 1; z <= max_charge; ++z) {
+    for (std::size_t i = 1; i < n; ++i) {
+      // b_i: first i residues, no water.
+      ions.push_back({IonType::kB, i, z, mass_to_mz(prefix[i], z)});
+      // y_i: last i residues plus water.
+      const double suffix = total - prefix[n - i];
+      ions.push_back({IonType::kY, i, z, mass_to_mz(suffix + kWaterMass, z)});
+    }
+  }
+  std::sort(ions.begin(), ions.end(),
+            [](const FragmentIon& a, const FragmentIon& b) {
+              return a.mz < b.mz;
+            });
+  return ions;
+}
+
+}  // namespace oms::ms

@@ -1,0 +1,31 @@
+// Theoretical fragment-ion generation. HCD spectra are dominated by b- and
+// y-ions; the synthetic workload generator builds reference and query
+// spectra from these ion series, propagating placed-modification deltas to
+// the prefix/suffix masses they affect.
+#pragma once
+
+#include <vector>
+
+#include "ms/peptide.hpp"
+
+namespace oms::ms {
+
+/// Fragment ion series type.
+enum class IonType : std::uint8_t { kB, kY };
+
+/// One theoretical fragment ion.
+struct FragmentIon {
+  IonType type = IonType::kB;
+  std::size_t index = 1;  ///< Ion ordinal (b1..b_{n-1}, y1..y_{n-1}).
+  int charge = 1;
+  double mz = 0.0;
+};
+
+/// Generates the complete singly charged b/y ion series for `peptide`
+/// (2·(n-1) ions for an n-residue peptide), sorted by m/z. Modifications
+/// shift every prefix (b) ion at or after their position and every suffix
+/// (y) ion that contains their residue.
+[[nodiscard]] std::vector<FragmentIon> fragment_ions(const Peptide& peptide,
+                                                     int max_charge = 1);
+
+}  // namespace oms::ms

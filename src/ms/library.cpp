@@ -1,0 +1,30 @@
+#include "ms/library.hpp"
+
+#include <algorithm>
+
+namespace oms::ms {
+
+SpectralLibrary::SpectralLibrary(std::vector<BinnedSpectrum> entries)
+    : entries_(std::move(entries)) {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const BinnedSpectrum& a, const BinnedSpectrum& b) {
+                     return a.precursor_mass < b.precursor_mass;
+                   });
+  target_count_ = static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const BinnedSpectrum& s) { return !s.is_decoy; }));
+}
+
+std::pair<std::size_t, std::size_t> SpectralLibrary::mass_window(
+    double mass, double tolerance) const noexcept {
+  const auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), mass - tolerance,
+      [](const BinnedSpectrum& s, double m) { return s.precursor_mass < m; });
+  const auto hi = std::upper_bound(
+      entries_.begin(), entries_.end(), mass + tolerance,
+      [](double m, const BinnedSpectrum& s) { return m < s.precursor_mass; });
+  return {static_cast<std::size_t>(lo - entries_.begin()),
+          static_cast<std::size_t>(hi - entries_.begin())};
+}
+
+}  // namespace oms::ms

@@ -1,0 +1,48 @@
+// Spectral library container: preprocessed reference spectra sorted by
+// precursor mass, supporting the precursor-mass window queries that
+// distinguish standard search (narrow window) from OMS (wide window).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ms/preprocess.hpp"
+
+namespace oms::ms {
+
+class SpectralLibrary {
+ public:
+  SpectralLibrary() = default;
+
+  /// Builds a library from preprocessed spectra; sorts by precursor mass.
+  explicit SpectralLibrary(std::vector<BinnedSpectrum> entries);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const BinnedSpectrum& operator[](std::size_t i) const {
+    return entries_[i];
+  }
+  [[nodiscard]] std::span<const BinnedSpectrum> entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] std::size_t target_count() const noexcept {
+    return target_count_;
+  }
+  [[nodiscard]] std::size_t decoy_count() const noexcept {
+    return entries_.size() - target_count_;
+  }
+
+  /// Index range [first, last) of entries whose precursor mass lies within
+  /// [mass - tolerance, mass + tolerance].
+  [[nodiscard]] std::pair<std::size_t, std::size_t> mass_window(
+      double mass, double tolerance) const noexcept;
+
+ private:
+  std::vector<BinnedSpectrum> entries_;
+  std::size_t target_count_ = 0;
+};
+
+}  // namespace oms::ms

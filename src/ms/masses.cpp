@@ -1,0 +1,61 @@
+#include "ms/masses.hpp"
+
+namespace oms::ms {
+namespace {
+
+// Monoisotopic residue masses indexed by 'A'..'Z'; -1 marks non-residues
+// (B, J, O, U, X, Z are not standard residues).
+constexpr std::array<double, 26> kResidueMass = {
+    /*A*/ 71.03711381,
+    /*B*/ -1.0,
+    /*C*/ 103.00918496,
+    /*D*/ 115.02694302,
+    /*E*/ 129.04259309,
+    /*F*/ 147.06841391,
+    /*G*/ 57.02146374,
+    /*H*/ 137.05891186,
+    /*I*/ 113.08406398,
+    /*J*/ -1.0,
+    /*K*/ 128.09496302,
+    /*L*/ 113.08406398,
+    /*M*/ 131.04048509,
+    /*N*/ 114.04292744,
+    /*O*/ -1.0,
+    /*P*/ 97.05276385,
+    /*Q*/ 128.05857751,
+    /*R*/ 156.10111102,
+    /*S*/ 87.03202841,
+    /*T*/ 101.04767847,
+    /*U*/ -1.0,
+    /*V*/ 99.06841392,
+    /*W*/ 186.07931295,
+    /*X*/ -1.0,
+    /*Y*/ 163.06332853,
+    /*Z*/ -1.0,
+};
+
+}  // namespace
+
+double residue_mass(char aa) noexcept {
+  if (aa < 'A' || aa > 'Z') return -1.0;
+  return kResidueMass[static_cast<std::size_t>(aa - 'A')];
+}
+
+bool is_amino_acid(char aa) noexcept { return residue_mass(aa) > 0.0; }
+
+std::string_view standard_residues() noexcept {
+  return "GASPVTCLINDQKEMHFRYW";
+}
+
+double peptide_mass(std::string_view sequence) noexcept {
+  if (sequence.empty()) return -1.0;
+  double total = kWaterMass;
+  for (const char aa : sequence) {
+    const double m = residue_mass(aa);
+    if (m < 0.0) return -1.0;
+    total += m;
+  }
+  return total;
+}
+
+}  // namespace oms::ms

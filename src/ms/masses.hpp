@@ -1,0 +1,42 @@
+// Monoisotopic masses for peptide mass-spectrometry. Values follow the
+// standard amino-acid residue masses (Unimod / ProteoWizard conventions).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace oms::ms {
+
+/// Mass of a proton (Da); converts between neutral mass and m/z.
+inline constexpr double kProtonMass = 1.007276466;
+/// Mass of a water molecule (Da); a peptide's neutral mass is the sum of its
+/// residue masses plus one water.
+inline constexpr double kWaterMass = 18.010564684;
+
+/// Monoisotopic residue mass of amino acid `aa` (one-letter code), or a
+/// negative value if `aa` is not one of the 20 standard residues.
+[[nodiscard]] double residue_mass(char aa) noexcept;
+
+/// True if `aa` is one of the 20 standard one-letter amino-acid codes.
+[[nodiscard]] bool is_amino_acid(char aa) noexcept;
+
+/// The 20 standard residues, ordered by increasing mass (G first, W last).
+[[nodiscard]] std::string_view standard_residues() noexcept;
+
+/// Neutral monoisotopic mass of an unmodified peptide sequence. Returns a
+/// negative value if any residue is invalid.
+[[nodiscard]] double peptide_mass(std::string_view sequence) noexcept;
+
+/// Converts a neutral mass to m/z at the given positive charge.
+[[nodiscard]] constexpr double mass_to_mz(double neutral_mass,
+                                          int charge) noexcept {
+  return neutral_mass / charge + kProtonMass;
+}
+
+/// Converts an observed m/z at the given charge back to neutral mass.
+[[nodiscard]] constexpr double mz_to_mass(double mz, int charge) noexcept {
+  return (mz - kProtonMass) * charge;
+}
+
+}  // namespace oms::ms

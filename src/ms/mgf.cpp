@@ -1,0 +1,121 @@
+#include "ms/mgf.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oms::ms {
+namespace {
+
+/// Trims trailing CR/LF and surrounding spaces.
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+/// Parses "2+" / "+2" / "2" into a charge; returns 0 on failure.
+int parse_charge(const std::string& v) {
+  int charge = 0;
+  for (const char c : v) {
+    if (c >= '0' && c <= '9') charge = charge * 10 + (c - '0');
+  }
+  return charge;
+}
+
+}  // namespace
+
+std::vector<Spectrum> read_mgf(std::istream& in) {
+  std::vector<Spectrum> spectra;
+  std::string line;
+  bool in_block = false;
+  Spectrum current;
+  std::uint32_t fallback_id = 0;
+  bool id_seen = false;
+
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+
+    if (t == "BEGIN IONS") {
+      in_block = true;
+      current = Spectrum{};
+      id_seen = false;
+      continue;
+    }
+    if (t == "END IONS") {
+      if (in_block && !current.peaks.empty()) {
+        if (!id_seen) current.id = fallback_id;
+        ++fallback_id;
+        current.sort_peaks();
+        spectra.push_back(std::move(current));
+      }
+      in_block = false;
+      continue;
+    }
+    if (!in_block) continue;
+
+    const auto eq = t.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = t.substr(0, eq);
+      const std::string value = trim(t.substr(eq + 1));
+      if (key == "TITLE") {
+        current.title = value;
+      } else if (key == "PEPMASS") {
+        // PEPMASS may carry "mz intensity"; only the first token matters.
+        current.precursor_mz = std::strtod(value.c_str(), nullptr);
+      } else if (key == "CHARGE") {
+        const int z = parse_charge(value);
+        if (z > 0) current.precursor_charge = z;
+      } else if (key == "SEQ") {
+        current.peptide = value;
+      } else if (key == "SCANS") {
+        current.id = static_cast<std::uint32_t>(
+            std::strtoul(value.c_str(), nullptr, 10));
+        id_seen = true;
+      }
+      continue;
+    }
+
+    // Peak line: "mz intensity [charge]".
+    std::istringstream ps(t);
+    double mz = 0.0;
+    double intensity = 0.0;
+    if (ps >> mz >> intensity) {
+      current.peaks.push_back({mz, static_cast<float>(intensity)});
+    }
+  }
+  return spectra;
+}
+
+std::vector<Spectrum> read_mgf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open MGF file: " + path);
+  return read_mgf(in);
+}
+
+void write_mgf(std::ostream& out, const std::vector<Spectrum>& spectra) {
+  for (const auto& s : spectra) {
+    out << "BEGIN IONS\n";
+    if (!s.title.empty()) out << "TITLE=" << s.title << '\n';
+    out << "PEPMASS=" << s.precursor_mz << '\n';
+    out << "CHARGE=" << s.precursor_charge << "+\n";
+    out << "SCANS=" << s.id << '\n';
+    if (!s.peptide.empty()) out << "SEQ=" << s.peptide << '\n';
+    for (const auto& p : s.peaks) {
+      out << p.mz << ' ' << p.intensity << '\n';
+    }
+    out << "END IONS\n";
+  }
+}
+
+void write_mgf_file(const std::string& path,
+                    const std::vector<Spectrum>& spectra) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write MGF file: " + path);
+  write_mgf(out, spectra);
+}
+
+}  // namespace oms::ms

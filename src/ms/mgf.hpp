@@ -1,0 +1,29 @@
+// Mascot Generic Format (MGF) reader/writer. MGF is the simplest of the
+// common spectrum interchange formats: repeated BEGIN IONS / END IONS
+// blocks with KEY=VALUE headers followed by "mz intensity" peak lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace oms::ms {
+
+/// Parses all spectra from an MGF stream. Unknown header keys are ignored;
+/// malformed blocks (no peaks, bad numbers) are skipped. Recognized keys:
+/// TITLE, PEPMASS, CHARGE, SEQ (peptide annotation), SCANS (numeric id).
+[[nodiscard]] std::vector<Spectrum> read_mgf(std::istream& in);
+
+/// Reads an MGF file from disk; throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<Spectrum> read_mgf_file(const std::string& path);
+
+/// Writes spectra in MGF format.
+void write_mgf(std::ostream& out, const std::vector<Spectrum>& spectra);
+
+/// Writes an MGF file to disk; throws std::runtime_error on failure.
+void write_mgf_file(const std::string& path,
+                    const std::vector<Spectrum>& spectra);
+
+}  // namespace oms::ms

@@ -1,0 +1,39 @@
+#include "ms/modifications.hpp"
+
+#include <array>
+
+namespace oms::ms {
+namespace {
+
+const std::array<Modification, 12>& catalogue() {
+  static const std::array<Modification, 12> kMods = {{
+      {"Deamidation", 0.984016, "NQ"},
+      {"Methylation", 14.015650, "KR"},
+      {"Oxidation", 15.994915, "MW"},
+      {"Formylation", 27.994915, "K"},
+      {"Acetylation", 42.010565, "K"},
+      {"Trimethylation", 42.046950, "KR"},
+      {"Carbamylation", 43.005814, "K"},
+      {"Carbamidomethyl", 57.021464, "C"},
+      {"Phosphorylation", 79.966331, "STY"},
+      {"Succinylation", 100.016044, "K"},
+      {"GlyGly", 114.042927, "K"},
+      {"Palmitoylation", 238.229666, "CKST"},
+  }};
+  return kMods;
+}
+
+}  // namespace
+
+std::span<const Modification> common_modifications() noexcept {
+  return catalogue();
+}
+
+const Modification* find_modification(std::string_view name) noexcept {
+  for (const auto& m : catalogue()) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace oms::ms

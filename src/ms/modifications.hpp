@@ -1,0 +1,42 @@
+// Post-translational modification (PTM) catalogue. OMS exists to identify
+// spectra whose peptides carry one of these mass shifts; the synthetic
+// workload generator draws modifications from this table.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oms::ms {
+
+/// A named post-translational modification.
+struct Modification {
+  std::string name;       ///< Human-readable name (Unimod-style).
+  double delta_mass;      ///< Monoisotopic mass shift in Da.
+  std::string residues;   ///< Residues it can attach to ("*" = any).
+
+  [[nodiscard]] bool applies_to(char aa) const noexcept {
+    return residues == "*" || residues.find(aa) != std::string::npos;
+  }
+};
+
+/// The built-in catalogue of frequent PTMs (oxidation, phosphorylation,
+/// acetylation, ...). Ordered by |delta_mass| ascending.
+[[nodiscard]] std::span<const Modification> common_modifications() noexcept;
+
+/// Looks up a modification by name; returns nullptr if absent.
+[[nodiscard]] const Modification* find_modification(std::string_view name) noexcept;
+
+/// A modification instance placed on a specific residue of a peptide.
+struct PlacedModification {
+  std::size_t position = 0;  ///< 0-based residue index.
+  double delta_mass = 0.0;
+  std::string name;
+
+  [[nodiscard]] bool operator==(const PlacedModification& o) const noexcept {
+    return position == o.position && delta_mass == o.delta_mass;
+  }
+};
+
+}  // namespace oms::ms

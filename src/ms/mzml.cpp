@@ -1,0 +1,263 @@
+#include "ms/mzml.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oms::ms {
+namespace detail {
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int decode_char(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string base64_encode(const std::vector<std::uint8_t>& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+    out += kAlphabet[v & 63];
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += "==";
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> base64_decode(const std::string& text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (const char c : text) {
+    if (c == '=' || c == '\n' || c == '\r' || c == ' ') continue;
+    const int v = decode_char(c);
+    if (v < 0) continue;
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+}  // namespace detail
+
+namespace {
+
+std::vector<double> decode_double_array(const std::string& b64) {
+  const std::vector<std::uint8_t> bytes = detail::base64_decode(b64);
+  std::vector<double> values(bytes.size() / sizeof(double));
+  std::memcpy(values.data(), bytes.data(), values.size() * sizeof(double));
+  return values;
+}
+
+std::vector<double> decode_float_array(const std::string& b64) {
+  const std::vector<std::uint8_t> bytes = detail::base64_decode(b64);
+  std::vector<float> raw(bytes.size() / sizeof(float));
+  std::memcpy(raw.data(), bytes.data(), raw.size() * sizeof(float));
+  return {raw.begin(), raw.end()};
+}
+
+std::string encode_double_array(const std::vector<double>& values) {
+  std::vector<std::uint8_t> bytes(values.size() * sizeof(double));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return detail::base64_encode(bytes);
+}
+
+/// Extracts attribute `name="value"` from an XML tag string.
+std::string attribute(const std::string& tag, const std::string& name) {
+  const std::string needle = name + "=\"";
+  const auto pos = tag.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  const auto end = tag.find('"', start);
+  if (end == std::string::npos) return {};
+  return tag.substr(start, end - start);
+}
+
+}  // namespace
+
+std::vector<Spectrum> read_mzml(std::istream& in) {
+  // A forgiving line-free scanner: reads the whole stream and walks tags.
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<Spectrum> spectra;
+  std::size_t pos = 0;
+  std::uint32_t fallback_id = 0;
+
+  while (true) {
+    const auto spec_begin = text.find("<spectrum ", pos);
+    if (spec_begin == std::string::npos) break;
+    const auto spec_end = text.find("</spectrum>", spec_begin);
+    if (spec_end == std::string::npos) break;
+    const std::string body =
+        text.substr(spec_begin, spec_end - spec_begin);
+    pos = spec_end + 11;
+
+    Spectrum s;
+    const auto tag_end = body.find('>');
+    const std::string open_tag = body.substr(0, tag_end);
+    const std::string id_attr = attribute(open_tag, "index");
+    s.id = id_attr.empty()
+               ? fallback_id
+               : static_cast<std::uint32_t>(std::strtoul(id_attr.c_str(),
+                                                         nullptr, 10));
+    ++fallback_id;
+    s.title = attribute(open_tag, "id");
+
+    // cvParams: precursor m/z, charge state, optional peptide annotation.
+    std::size_t cv = 0;
+    while ((cv = body.find("<cvParam ", cv)) != std::string::npos) {
+      const auto cv_end = body.find("/>", cv);
+      const std::string tag = body.substr(cv, cv_end - cv);
+      const std::string name = attribute(tag, "name");
+      const std::string value = attribute(tag, "value");
+      if (name == "selected ion m/z") {
+        s.precursor_mz = std::strtod(value.c_str(), nullptr);
+      } else if (name == "charge state") {
+        s.precursor_charge = static_cast<int>(
+            std::strtol(value.c_str(), nullptr, 10));
+      } else if (name == "peptide sequence") {
+        s.peptide = value;
+      }
+      cv = cv_end;
+    }
+
+    // Binary data arrays: identified by their cvParam names when present
+    // ("m/z array" / "intensity array"), otherwise by order; 64-bit floats
+    // by default, 32-bit when the array declares it.
+    std::vector<double> mz_array;
+    std::vector<double> intensity_array;
+    std::size_t bda = 0;
+    std::size_t array_index = 0;
+    while ((bda = body.find("<binaryDataArray", bda)) != std::string::npos) {
+      const auto bda_end = body.find("</binaryDataArray>", bda);
+      if (bda_end == std::string::npos) break;
+      const std::string block = body.substr(bda, bda_end - bda);
+      bda = bda_end;
+
+      const bool is_float32 =
+          block.find("name=\"32-bit float\"") != std::string::npos ||
+          block.find("MS:1000521") != std::string::npos;
+      const bool named_mz =
+          block.find("name=\"m/z array\"") != std::string::npos;
+      const bool named_intensity =
+          block.find("name=\"intensity array\"") != std::string::npos;
+
+      const auto open = block.find("<binary>");
+      const auto close = block.find("</binary>");
+      if (open == std::string::npos || close == std::string::npos) continue;
+      const std::string payload = block.substr(open + 8, close - open - 8);
+      std::vector<double> values = is_float32 ? decode_float_array(payload)
+                                              : decode_double_array(payload);
+      if (named_mz || (!named_intensity && array_index == 0)) {
+        mz_array = std::move(values);
+      } else {
+        intensity_array = std::move(values);
+      }
+      ++array_index;
+    }
+    if (!mz_array.empty() && mz_array.size() == intensity_array.size()) {
+      s.peaks.reserve(mz_array.size());
+      for (std::size_t i = 0; i < mz_array.size(); ++i) {
+        s.peaks.push_back(
+            {mz_array[i], static_cast<float>(intensity_array[i])});
+      }
+      s.sort_peaks();
+      if (s.precursor_mz > 0.0) spectra.push_back(std::move(s));
+    }
+  }
+  return spectra;
+}
+
+std::vector<Spectrum> read_mzml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open mzML file: " + path);
+  return read_mzml(in);
+}
+
+void write_mzml(std::ostream& out, const std::vector<Spectrum>& spectra) {
+  out << "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+  out << "<mzML xmlns=\"http://psi.hupo.org/ms/mzml\" version=\"1.1.0\">\n";
+  out << " <run id=\"run0\">\n  <spectrumList count=\"" << spectra.size()
+      << "\">\n";
+  for (const auto& s : spectra) {
+    out << "   <spectrum index=\"" << s.id << "\" id=\""
+        << (s.title.empty() ? ("scan=" + std::to_string(s.id)) : s.title)
+        << "\" defaultArrayLength=\"" << s.peaks.size() << "\">\n";
+    out << "    <cvParam cvRef=\"MS\" accession=\"MS:1000744\" "
+           "name=\"selected ion m/z\" value=\""
+        << s.precursor_mz << "\"/>\n";
+    out << "    <cvParam cvRef=\"MS\" accession=\"MS:1000041\" "
+           "name=\"charge state\" value=\""
+        << s.precursor_charge << "\"/>\n";
+    if (!s.peptide.empty()) {
+      out << "    <cvParam cvRef=\"MS\" accession=\"MS:1000888\" "
+             "name=\"peptide sequence\" value=\""
+          << s.peptide << "\"/>\n";
+    }
+    std::vector<double> mz;
+    std::vector<double> intensity;
+    mz.reserve(s.peaks.size());
+    intensity.reserve(s.peaks.size());
+    for (const auto& p : s.peaks) {
+      mz.push_back(p.mz);
+      intensity.push_back(static_cast<double>(p.intensity));
+    }
+    out << "    <binaryDataArrayList count=\"2\">\n";
+    out << "     <binaryDataArray><cvParam cvRef=\"MS\" "
+           "accession=\"MS:1000523\" name=\"64-bit float\"/>"
+           "<cvParam cvRef=\"MS\" "
+           "accession=\"MS:1000514\" name=\"m/z array\"/>"
+        << "<binary>" << encode_double_array(mz) << "</binary>"
+        << "</binaryDataArray>\n";
+    out << "     <binaryDataArray><cvParam cvRef=\"MS\" "
+           "accession=\"MS:1000523\" name=\"64-bit float\"/>"
+           "<cvParam cvRef=\"MS\" "
+           "accession=\"MS:1000515\" name=\"intensity array\"/>"
+        << "<binary>" << encode_double_array(intensity) << "</binary>"
+        << "</binaryDataArray>\n";
+    out << "    </binaryDataArrayList>\n   </spectrum>\n";
+  }
+  out << "  </spectrumList>\n </run>\n</mzML>\n";
+}
+
+void write_mzml_file(const std::string& path,
+                     const std::vector<Spectrum>& spectra) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write mzML file: " + path);
+  write_mzml(out, spectra);
+}
+
+}  // namespace oms::ms

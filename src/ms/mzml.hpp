@@ -1,0 +1,38 @@
+// Minimal mzML reader/writer. Full mzML is a large PSI standard; this
+// implementation covers the subset the pipeline needs (and that our writer
+// emits): <spectrum> elements with selected-ion cvParams for precursor m/z
+// and charge, and uncompressed base64 little-endian 64-bit float binary
+// data arrays for m/z and intensity. zlib-compressed arrays are not
+// supported (documented substitution: mzML parsing libraries are thin in
+// this environment, so we implement the uncompressed profile natively).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+
+namespace oms::ms {
+
+/// Parses spectra from a (subset-)mzML stream. Spectra without peaks or
+/// without a precursor are skipped.
+[[nodiscard]] std::vector<Spectrum> read_mzml(std::istream& in);
+
+/// Reads an mzML file from disk; throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<Spectrum> read_mzml_file(const std::string& path);
+
+/// Writes spectra as subset-mzML (uncompressed 64-bit base64 arrays).
+void write_mzml(std::ostream& out, const std::vector<Spectrum>& spectra);
+
+/// Writes an mzML file to disk; throws std::runtime_error on failure.
+void write_mzml_file(const std::string& path,
+                     const std::vector<Spectrum>& spectra);
+
+namespace detail {
+/// Base64 helpers exposed for testing.
+[[nodiscard]] std::string base64_encode(const std::vector<std::uint8_t>& data);
+[[nodiscard]] std::vector<std::uint8_t> base64_decode(const std::string& text);
+}  // namespace detail
+
+}  // namespace oms::ms

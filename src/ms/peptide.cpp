@@ -1,0 +1,96 @@
+#include "ms/peptide.hpp"
+
+#include <algorithm>
+
+#include "ms/masses.hpp"
+
+namespace oms::ms {
+
+Peptide::Peptide(std::string sequence) : sequence_(std::move(sequence)) {}
+
+Peptide::Peptide(std::string sequence, std::vector<PlacedModification> mods)
+    : sequence_(std::move(sequence)), mods_(std::move(mods)) {
+  std::sort(mods_.begin(), mods_.end(),
+            [](const PlacedModification& a, const PlacedModification& b) {
+              return a.position < b.position;
+            });
+}
+
+bool Peptide::valid() const noexcept {
+  if (sequence_.empty()) return false;
+  for (const char aa : sequence_) {
+    if (!is_amino_acid(aa)) return false;
+  }
+  for (const auto& m : mods_) {
+    if (m.position >= sequence_.size()) return false;
+  }
+  return true;
+}
+
+double Peptide::mass() const noexcept {
+  const double base = peptide_mass(sequence_);
+  if (base < 0.0) return -1.0;
+  return base + modification_delta();
+}
+
+double Peptide::modification_delta() const noexcept {
+  double delta = 0.0;
+  for (const auto& m : mods_) delta += m.delta_mass;
+  return delta;
+}
+
+void Peptide::add_modification(PlacedModification mod) {
+  mods_.push_back(std::move(mod));
+  std::sort(mods_.begin(), mods_.end(),
+            [](const PlacedModification& a, const PlacedModification& b) {
+              return a.position < b.position;
+            });
+}
+
+std::string Peptide::annotation() const {
+  std::string out = sequence_;
+  for (const auto& m : mods_) {
+    out += '[';
+    out += m.name.empty() ? "mod" : m.name;
+    out += '@';
+    out += std::to_string(m.position);
+    out += ']';
+  }
+  return out;
+}
+
+bool Peptide::parse(std::string_view annotation, Peptide& out) {
+  const auto first_bracket = annotation.find('[');
+  std::string sequence(annotation.substr(0, first_bracket));
+  if (sequence.empty()) return false;
+
+  std::vector<PlacedModification> mods;
+  std::string_view rest = first_bracket == std::string_view::npos
+                              ? std::string_view{}
+                              : annotation.substr(first_bracket);
+  while (!rest.empty()) {
+    if (rest.front() != '[') return false;
+    const auto close = rest.find(']');
+    const auto at = rest.find('@');
+    if (close == std::string_view::npos || at == std::string_view::npos ||
+        at > close) {
+      return false;
+    }
+    const std::string_view name = rest.substr(1, at - 1);
+    const std::string_view pos_text = rest.substr(at + 1, close - at - 1);
+    std::size_t position = 0;
+    for (const char c : pos_text) {
+      if (c < '0' || c > '9') return false;
+      position = position * 10 + static_cast<std::size_t>(c - '0');
+    }
+    const Modification* mod = find_modification(name);
+    if (mod == nullptr) return false;
+    mods.push_back({position, mod->delta_mass, mod->name});
+    rest = rest.substr(close + 1);
+  }
+
+  out = Peptide(std::move(sequence), std::move(mods));
+  return out.valid();
+}
+
+}  // namespace oms::ms

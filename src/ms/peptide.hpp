@@ -1,0 +1,67 @@
+// Peptide model: a residue sequence plus zero or more placed modifications.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ms/modifications.hpp"
+
+namespace oms::ms {
+
+class Peptide {
+ public:
+  Peptide() = default;
+  explicit Peptide(std::string sequence);
+  Peptide(std::string sequence, std::vector<PlacedModification> mods);
+
+  [[nodiscard]] const std::string& sequence() const noexcept {
+    return sequence_;
+  }
+  [[nodiscard]] std::size_t length() const noexcept {
+    return sequence_.size();
+  }
+  [[nodiscard]] const std::vector<PlacedModification>& modifications()
+      const noexcept {
+    return mods_;
+  }
+  [[nodiscard]] bool is_modified() const noexcept { return !mods_.empty(); }
+
+  /// True if every residue is a standard amino acid and every modification
+  /// sits on a valid position.
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// Neutral monoisotopic mass including modification deltas.
+  [[nodiscard]] double mass() const noexcept;
+
+  /// Total modification mass shift (0 for unmodified peptides).
+  [[nodiscard]] double modification_delta() const noexcept;
+
+  /// Adds a modification; positions out of range make the peptide invalid.
+  void add_modification(PlacedModification mod);
+
+  /// Annotation string like "PEPTIDEK" or "PEPTIDEK[Oxidation@3]" used as
+  /// the canonical identity of an identification.
+  [[nodiscard]] std::string annotation() const;
+
+  /// Parses an annotation produced by annotation() back into a Peptide.
+  /// Modification names are resolved through the built-in catalogue;
+  /// returns false (leaving `out` unspecified) for malformed annotations
+  /// or unknown modification names.
+  [[nodiscard]] static bool parse(std::string_view annotation, Peptide& out);
+
+  /// Bare-sequence comparison ignoring modifications.
+  [[nodiscard]] bool same_backbone(const Peptide& other) const noexcept {
+    return sequence_ == other.sequence_;
+  }
+
+  [[nodiscard]] bool operator==(const Peptide& other) const noexcept {
+    return sequence_ == other.sequence_ && mods_ == other.mods_;
+  }
+
+ private:
+  std::string sequence_;
+  std::vector<PlacedModification> mods_;
+};
+
+}  // namespace oms::ms

@@ -1,0 +1,90 @@
+#include "ms/synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ms/decoy.hpp"
+#include "ms/fragment.hpp"
+#include "util/rng.hpp"
+
+namespace oms::ms {
+
+Spectrum synthesize_spectrum(const Peptide& peptide, int charge,
+                             const SynthesisParams& params, std::uint64_t seed,
+                             std::uint32_t id) {
+  util::Xoshiro256 rng(util::hash_combine(seed, id, 0x53504543ULL));
+
+  Spectrum s;
+  s.id = id;
+  s.peptide = peptide.annotation();
+  s.precursor_charge = charge;
+  s.precursor_mz = mass_to_mz(peptide.mass(), charge) +
+                   rng.normal(0.0, params.precursor_jitter);
+
+  const int frag_charge = std::clamp(
+      std::min(params.fragment_max_charge, charge - 1), 1, 4);
+  constexpr double kIsotopeSpacing = 1.003355;  // ¹³C − ¹²C mass difference
+  for (const auto& ion : fragment_ions(peptide, frag_charge)) {
+    if (!rng.bernoulli(params.keep_probability)) continue;
+    const double mz = ion.mz + rng.normal(0.0, params.mz_jitter);
+    if (mz < params.min_mz || mz > params.max_mz) continue;
+    double base = ion.type == IonType::kY ? params.y_ion_intensity
+                                          : params.b_ion_intensity;
+    // Multiply charged fragments are systematically weaker.
+    base /= static_cast<double>(ion.charge);
+    const double intensity =
+        base * std::exp(rng.normal(0.0, params.intensity_sigma));
+    s.peaks.push_back({mz, static_cast<float>(intensity)});
+    // Isotope envelope of this fragment.
+    double iso = intensity;
+    for (int k = 1; k <= params.isotope_peaks; ++k) {
+      iso *= params.isotope_decay;
+      const double iso_mz = mz + k * kIsotopeSpacing / ion.charge;
+      if (iso_mz > params.max_mz) break;
+      s.peaks.push_back({iso_mz, static_cast<float>(iso)});
+    }
+  }
+
+  // Chemical noise: a few uniformly placed low-intensity peaks.
+  const float base_peak = s.base_peak_intensity();
+  for (std::size_t k = 0; k < params.noise_peaks; ++k) {
+    const double mz = rng.uniform(params.min_mz, params.max_mz);
+    const double intensity =
+        rng.uniform(0.0, params.noise_intensity) * std::max(base_peak, 1.0F);
+    s.peaks.push_back({mz, static_cast<float>(intensity)});
+  }
+
+  // Normalize so the base peak is 1000 (common convention in libraries).
+  const float peak_max = s.base_peak_intensity();
+  if (peak_max > 0.0F) {
+    for (auto& p : s.peaks) p.intensity = p.intensity / peak_max * 1000.0F;
+  }
+  s.sort_peaks();
+  return s;
+}
+
+Spectrum make_decoy_spectrum(const Spectrum& target,
+                             const SynthesisParams& params,
+                             std::uint64_t seed) {
+  const Peptide annotated(target.peptide);
+  if (annotated.valid()) {
+    const Peptide decoy_peptide(shuffle_decoy(annotated.sequence(), seed));
+    Spectrum decoy = synthesize_spectrum(decoy_peptide, target.precursor_charge,
+                                         params, seed, target.id);
+    decoy.is_decoy = true;
+    return decoy;
+  }
+
+  // No annotation: keep intensities, redraw positions (naive decoy).
+  util::Xoshiro256 rng(util::hash_combine(seed, target.id, 0xDEC0ULL));
+  Spectrum decoy = target;
+  decoy.is_decoy = true;
+  decoy.peptide.clear();
+  for (auto& p : decoy.peaks) {
+    p.mz = rng.uniform(params.min_mz, params.max_mz);
+  }
+  decoy.sort_peaks();
+  return decoy;
+}
+
+}  // namespace oms::ms

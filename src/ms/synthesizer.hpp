@@ -1,0 +1,50 @@
+// Spectrum synthesis from a peptide: turns theoretical b/y fragments into a
+// realistic measured spectrum (intensity model, m/z jitter, peak dropout,
+// chemical noise). Used by the synthetic workload generator and by decoy
+// spectrum construction.
+#pragma once
+
+#include <cstdint>
+
+#include "ms/peptide.hpp"
+#include "ms/spectrum.hpp"
+
+namespace oms::ms {
+
+struct SynthesisParams {
+  double mz_jitter = 0.003;       ///< σ of fragment m/z error (Da).
+  double precursor_jitter = 0.002;///< σ of precursor m/z error (Da).
+  double keep_probability = 1.0;  ///< Fragment survival probability.
+  std::size_t noise_peaks = 6;    ///< Uniform chemical-noise peaks added.
+  double noise_intensity = 0.08;  ///< Max noise intensity vs base peak.
+  double b_ion_intensity = 0.6;   ///< Mean relative intensity of b ions.
+  double y_ion_intensity = 1.0;   ///< Mean relative intensity of y ions.
+  double intensity_sigma = 0.5;   ///< Log-normal σ of per-ion intensity.
+  double min_mz = 101.0;          ///< Instrument fragment range.
+  double max_mz = 1500.0;
+  /// Fragment charge states up to min(this, precursor charge - 1, 1..):
+  /// higher-charge precursors shed multiply charged fragments.
+  int fragment_max_charge = 1;
+  /// Isotope envelope: peaks at +k·1.003355/z with geometrically decaying
+  /// intensity, k = 1..isotope_peaks (0 = monoisotopic only).
+  int isotope_peaks = 0;
+  double isotope_decay = 0.45;    ///< Intensity ratio between +k and +k-1.
+};
+
+/// Synthesizes an MS/MS spectrum of `peptide` at the given precursor
+/// charge. Deterministic in `seed`. The returned spectrum is annotated
+/// (peptide field set) and its peaks are sorted by m/z.
+[[nodiscard]] Spectrum synthesize_spectrum(const Peptide& peptide, int charge,
+                                           const SynthesisParams& params,
+                                           std::uint64_t seed,
+                                           std::uint32_t id);
+
+/// Builds a decoy counterpart for an annotated target spectrum by shuffling
+/// the peptide (see decoy.hpp) and re-synthesizing. If the target carries
+// no valid annotation, peaks are uniformly re-positioned instead (a
+/// mass-preserving "naive" decoy).
+[[nodiscard]] Spectrum make_decoy_spectrum(const Spectrum& target,
+                                           const SynthesisParams& params,
+                                           std::uint64_t seed);
+
+}  // namespace oms::ms

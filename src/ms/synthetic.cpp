@@ -1,0 +1,171 @@
+#include "ms/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "ms/modifications.hpp"
+#include "util/rng.hpp"
+
+namespace oms::ms {
+
+WorkloadConfig WorkloadConfig::iprg2012_like(double scale) {
+  WorkloadConfig cfg;
+  cfg.name = "iPRG2012-like";
+  cfg.query_count = std::max<std::size_t>(
+      64, static_cast<std::size_t>(16000.0 * scale));
+  cfg.reference_count = std::max<std::size_t>(
+      512, static_cast<std::size_t>(1000000.0 * scale));
+  cfg.modified_fraction = 0.45;
+  cfg.unmatched_fraction = 0.15;
+  cfg.seed = 20120101;
+  return cfg;
+}
+
+WorkloadConfig WorkloadConfig::hek293_like(double scale) {
+  WorkloadConfig cfg;
+  cfg.name = "HEK293-like";
+  cfg.query_count = std::max<std::size_t>(
+      64, static_cast<std::size_t>(47000.0 * scale));
+  cfg.reference_count = std::max<std::size_t>(
+      512, static_cast<std::size_t>(3000000.0 * scale));
+  // Chick et al. report a large fraction of unassigned spectra being
+  // modified peptides; reflect that with a higher modified share.
+  cfg.modified_fraction = 0.55;
+  cfg.unmatched_fraction = 0.20;
+  cfg.seed = 19062015;
+  return cfg;
+}
+
+std::size_t Workload::modified_query_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(truths.begin(), truths.end(),
+                    [](const QueryTruth& t) { return t.modified; }));
+}
+
+std::size_t Workload::matched_query_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(truths.begin(), truths.end(),
+                    [](const QueryTruth& t) { return t.in_library; }));
+}
+
+std::vector<Peptide> generate_tryptic_peptides(std::size_t count,
+                                               std::size_t min_length,
+                                               std::size_t max_length,
+                                               std::uint64_t seed) {
+  if (min_length < 2 || max_length < min_length) {
+    throw std::invalid_argument("generate_tryptic_peptides: bad lengths");
+  }
+  util::Xoshiro256 rng(util::hash_combine(seed, 0x50455054ULL));
+  const std::string_view residues = standard_residues();
+
+  std::vector<Peptide> peptides;
+  peptides.reserve(count);
+  std::unordered_set<std::string> seen;
+  seen.reserve(count * 2);
+
+  while (peptides.size() < count) {
+    const std::size_t len =
+        min_length + rng.below(max_length - min_length + 1);
+    std::string seq(len, 'A');
+    for (std::size_t i = 0; i + 1 < len; ++i) {
+      seq[i] = residues[rng.below(residues.size())];
+    }
+    seq[len - 1] = rng.bernoulli(0.5) ? 'K' : 'R';  // tryptic C-terminus
+    if (seen.insert(seq).second) {
+      peptides.emplace_back(std::move(seq));
+    }
+  }
+  return peptides;
+}
+
+namespace {
+
+/// Picks a random applicable modification for `sequence`, or nullopt-like
+/// empty PlacedModification list if none applies.
+std::vector<PlacedModification> draw_modification(const std::string& sequence,
+                                                  util::Xoshiro256& rng) {
+  const auto mods = common_modifications();
+  // Try a few random catalogue entries before scanning for any applicable.
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const auto& mod = mods[rng.below(mods.size())];
+    std::vector<std::size_t> sites;
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+      if (mod.applies_to(sequence[i])) sites.push_back(i);
+    }
+    if (!sites.empty()) {
+      const std::size_t pos = sites[rng.below(sites.size())];
+      return {{pos, mod.delta_mass, mod.name}};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Workload generate_workload(const WorkloadConfig& config) {
+  Workload wl;
+  wl.config = config;
+
+  // Targets plus a disjoint pool of foreign peptides for unmatched queries.
+  const std::size_t foreign_pool = std::max<std::size_t>(
+      16, static_cast<std::size_t>(static_cast<double>(config.query_count) *
+                                   config.unmatched_fraction) +
+              16);
+  std::vector<Peptide> all = generate_tryptic_peptides(
+      config.reference_count + foreign_pool, config.min_peptide_length,
+      config.max_peptide_length, config.seed);
+  const std::span<const Peptide> targets{all.data(), config.reference_count};
+  const std::span<const Peptide> foreign{all.data() + config.reference_count,
+                                         foreign_pool};
+
+  util::Xoshiro256 rng(util::hash_combine(config.seed, 0x574cULL));
+  const auto draw_charge = [&]() {
+    return config.min_charge +
+           static_cast<int>(rng.below(
+               static_cast<std::uint64_t>(config.max_charge -
+                                          config.min_charge + 1)));
+  };
+
+  // Reference library: one clean spectrum per target peptide.
+  wl.references.reserve(targets.size());
+  std::uint32_t next_id = 0;
+  for (const auto& pep : targets) {
+    wl.references.push_back(synthesize_spectrum(
+        pep, draw_charge(), config.reference_synthesis, config.seed, next_id));
+    ++next_id;
+  }
+
+  // Queries.
+  wl.queries.reserve(config.query_count);
+  wl.truths.reserve(config.query_count);
+  for (std::size_t q = 0; q < config.query_count; ++q) {
+    QueryTruth truth;
+    Peptide pep;
+    if (rng.bernoulli(config.unmatched_fraction)) {
+      pep = foreign[rng.below(foreign.size())];
+      truth.in_library = false;
+      truth.backbone = pep.sequence();
+    } else {
+      pep = targets[rng.below(targets.size())];
+      truth.in_library = true;
+      truth.backbone = pep.sequence();
+      if (rng.bernoulli(config.modified_fraction)) {
+        auto mods = draw_modification(pep.sequence(), rng);
+        if (!mods.empty()) {
+          truth.modified = true;
+          truth.modification = mods.front().name;
+          pep = Peptide(pep.sequence(), std::move(mods));
+        }
+      }
+    }
+    wl.queries.push_back(synthesize_spectrum(pep, draw_charge(),
+                                             config.query_synthesis,
+                                             config.seed ^ 0xABCDULL, next_id));
+    ++next_id;
+    wl.truths.push_back(std::move(truth));
+  }
+  return wl;
+}
+
+}  // namespace oms::ms

@@ -1,0 +1,79 @@
+// Synthetic OMS workload generator — the stand-in for the paper's
+// iPRG2012 / human-yeast-library and HEK293 / human-library datasets
+// (Table 1). It produces:
+//   * a reference library of annotated spectra for distinct tryptic
+//     peptides, and
+//   * query spectra drawn from those peptides, a configurable fraction of
+//     which carry a post-translational modification (the population OMS
+//     exists to identify) plus a fraction of "foreign" peptides absent
+//     from the library (the population the FDR filter must reject).
+//
+// Counts default to scaled-down versions of the paper's datasets; the
+// paper-scale presets are available behind an explicit scale factor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ms/spectrum.hpp"
+#include "ms/synthesizer.hpp"
+
+namespace oms::ms {
+
+struct WorkloadConfig {
+  std::string name = "custom";
+  std::size_t reference_count = 20000;  ///< Distinct target peptides.
+  std::size_t query_count = 2000;
+  double modified_fraction = 0.45;   ///< Queries carrying one PTM.
+  double unmatched_fraction = 0.15;  ///< Queries absent from the library.
+  std::size_t min_peptide_length = 7;
+  std::size_t max_peptide_length = 25;
+  int min_charge = 2;
+  int max_charge = 3;
+  SynthesisParams reference_synthesis{};  ///< Clean consensus-like spectra.
+  SynthesisParams query_synthesis{
+      .mz_jitter = 0.01,
+      .precursor_jitter = 0.003,
+      .keep_probability = 0.85,
+      .noise_peaks = 10,
+      .noise_intensity = 0.12,
+  };
+  std::uint64_t seed = 42;
+
+  /// Scaled preset of the iPRG2012 dataset (paper: 16k queries, 1M
+  /// references). scale = 1.0 reproduces the paper's counts.
+  [[nodiscard]] static WorkloadConfig iprg2012_like(double scale);
+
+  /// Scaled preset of the HEK293 dataset (paper: 47k queries, 3M
+  /// references).
+  [[nodiscard]] static WorkloadConfig hek293_like(double scale);
+};
+
+/// Ground truth for one query spectrum.
+struct QueryTruth {
+  bool in_library = false;   ///< Backbone peptide exists in the library.
+  bool modified = false;     ///< Query carries a PTM.
+  std::string backbone;      ///< Unmodified sequence (empty if foreign).
+  std::string modification;  ///< PTM name if modified.
+};
+
+struct Workload {
+  WorkloadConfig config;
+  std::vector<Spectrum> references;  ///< Targets only; decoys added later.
+  std::vector<Spectrum> queries;
+  std::vector<QueryTruth> truths;    ///< Parallel to queries.
+
+  [[nodiscard]] std::size_t modified_query_count() const noexcept;
+  [[nodiscard]] std::size_t matched_query_count() const noexcept;
+};
+
+/// Generates the full workload; deterministic in config.seed.
+[[nodiscard]] Workload generate_workload(const WorkloadConfig& config);
+
+/// Generates `count` distinct random tryptic peptides (C-terminal K/R).
+[[nodiscard]] std::vector<Peptide> generate_tryptic_peptides(
+    std::size_t count, std::size_t min_length, std::size_t max_length,
+    std::uint64_t seed);
+
+}  // namespace oms::ms

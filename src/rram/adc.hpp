@@ -1,0 +1,54 @@
+// Uniform analog-to-digital converter model. The open-circuit sensing
+// scheme (paper Eq. 5) produces a source-line voltage offset proportional
+// to the normalized MAC value in [-1, 1]; the ADC quantizes that offset.
+// Because the offset shrinks as 1/N with more activated rows while the ADC
+// step stays fixed, quantization becomes relatively more damaging at high
+// row counts — one of the effects behind Fig. 9.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace oms::rram {
+
+class Adc {
+ public:
+  /// `bits` resolution over the full-scale range [-full_scale, +full_scale].
+  constexpr Adc(int bits, double full_scale) noexcept
+      : bits_(bits), full_scale_(full_scale) {}
+
+  [[nodiscard]] constexpr int bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr double full_scale() const noexcept {
+    return full_scale_;
+  }
+  [[nodiscard]] constexpr int code_count() const noexcept {
+    return 1 << bits_;
+  }
+  [[nodiscard]] constexpr double lsb() const noexcept {
+    return 2.0 * full_scale_ / static_cast<double>(code_count());
+  }
+
+  /// Converts an analog value to the integer output code (clamped).
+  [[nodiscard]] int convert(double value) const noexcept {
+    const double clamped = std::clamp(value, -full_scale_, full_scale_);
+    const auto code = static_cast<int>(
+        std::floor((clamped + full_scale_) / lsb()));
+    return std::clamp(code, 0, code_count() - 1);
+  }
+
+  /// Mid-rise reconstruction of a code back to the analog domain.
+  [[nodiscard]] double reconstruct(int code) const noexcept {
+    return -full_scale_ + (static_cast<double>(code) + 0.5) * lsb();
+  }
+
+  /// Quantize-and-reconstruct round trip.
+  [[nodiscard]] double quantize(double value) const noexcept {
+    return reconstruct(convert(value));
+  }
+
+ private:
+  int bits_;
+  double full_scale_;
+};
+
+}  // namespace oms::rram

@@ -1,0 +1,152 @@
+#include "rram/array.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oms::rram {
+
+CrossbarArray::CrossbarArray(const ArrayConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      adc_(cfg.adc_bits, 1.0),
+      rng_(util::hash_combine(seed, 0xA88A1ULL)),
+      g_plus_(cfg.pair_rows() * cfg.cols, cfg.cell.g_min_us),
+      g_minus_(cfg.pair_rows() * cfg.cols, cfg.cell.g_min_us),
+      w_ideal_(cfg.pair_rows() * cfg.cols, 0.0),
+      programmed_(cfg.pair_rows() * cfg.cols, 0),
+      row_reads_(cfg.pair_rows(), 0) {
+  if (cfg.rows < 2 || cfg.cols == 0) {
+    throw std::invalid_argument("CrossbarArray: bad geometry");
+  }
+}
+
+void CrossbarArray::program_weight(std::size_t pair_row, std::size_t col,
+                                   double weight) {
+  if (pair_row >= cfg_.pair_rows() || col >= cfg_.cols) {
+    throw std::out_of_range("CrossbarArray::program_weight");
+  }
+  const double w = std::clamp(weight, -1.0, 1.0);
+
+  // Quantize W to the grid realizable with 2^n conductance levels: the
+  // positive cell's level index determines the weight exactly (the
+  // negative cell mirrors it).
+  const int levels = cfg_.cell.levels;
+  const auto level_plus = static_cast<int>(
+      std::lround((w + 1.0) / 2.0 * static_cast<double>(levels - 1)));
+  const int level_minus = (levels - 1) - level_plus;
+  const double w_q =
+      2.0 * static_cast<double>(level_plus) / static_cast<double>(levels - 1) -
+      1.0;
+
+  const std::size_t idx = pair_index(pair_row, col);
+  const double gp = program_cell(cfg_.cell, level_plus, rng_);
+  const double gm = program_cell(cfg_.cell, level_minus, rng_);
+  const PairConductance relaxed =
+      relax_pair(cfg_.cell, gp, gm, cfg_.read_time_s, rng_);
+  g_plus_[idx] = relaxed.g_plus;
+  g_minus_[idx] = relaxed.g_minus;
+  w_ideal_[idx] = w_q;
+  programmed_[idx] = 1;
+  row_reads_[pair_row] = 0;
+  stats_.cells_programmed += 2;
+}
+
+double CrossbarArray::ideal_weight(std::size_t pair_row,
+                                   std::size_t col) const {
+  return w_ideal_.at(pair_index(pair_row, col));
+}
+
+std::vector<double> CrossbarArray::ideal_mvm(std::span<const int> x,
+                                             std::size_t first_pair,
+                                             std::size_t n_pairs,
+                                             std::size_t col_first,
+                                             std::size_t col_last) const {
+  std::vector<double> out;
+  out.reserve(col_last - col_first);
+  for (std::size_t c = col_first; c < col_last; ++c) {
+    double mac = 0.0;
+    for (std::size_t r = 0; r < n_pairs; ++r) {
+      mac += static_cast<double>(x[r]) * w_ideal_[pair_index(first_pair + r, c)];
+    }
+    out.push_back(mac);
+  }
+  return out;
+}
+
+std::vector<double> CrossbarArray::mvm(std::span<const int> x,
+                                       std::size_t first_pair,
+                                       std::size_t n_pairs,
+                                       std::size_t col_first,
+                                       std::size_t col_last) {
+  if (x.size() < n_pairs || first_pair + n_pairs > cfg_.pair_rows() ||
+      col_last > cfg_.cols || col_first > col_last) {
+    throw std::out_of_range("CrossbarArray::mvm");
+  }
+  const double n = static_cast<double>(n_pairs);
+  const double g_max = cfg_.cell.g_max_us;
+  const double row_fraction = n / static_cast<double>(cfg_.pair_rows());
+
+  std::vector<double> out;
+  out.reserve(col_last - col_first);
+  for (std::size_t c = col_first; c < col_last; ++c) {
+    // Settled SL offset per Eq. 5 (normalized by V_pulse):
+    //   offset = Σ x_i (g+_i − g-_i) / (2N·g_max) · 2
+    // The factor simplifies to Σ x_i W_i / N in the ideal case.
+    double current_sum = 0.0;
+    double load_sum = 0.0;
+    for (std::size_t r = 0; r < n_pairs; ++r) {
+      const std::size_t idx = pair_index(first_pair + r, c);
+      // Read disturb accumulated since the last program/refresh nudges
+      // both cells SET-ward (applied lazily from the per-row counter).
+      const double disturb =
+          cfg_.read_disturb_us *
+          static_cast<double>(row_reads_[first_pair + r]);
+      const double gp =
+          std::min(g_plus_[idx] + disturb, cfg_.cell.g_max_us);
+      const double gm =
+          std::min(g_minus_[idx] + disturb, cfg_.cell.g_max_us);
+      current_sum += static_cast<double>(x[r]) * (gp - gm);
+      load_sum += gp + gm;
+    }
+    double offset = current_sum / (n * g_max);
+
+    // IR-drop gain compression: driving more rows sags the effective
+    // pulse. The droop tracks the *actual* total conductance of the
+    // activated column segment, so it is data dependent — after removing
+    // the mean gain, the residual acts as noise that grows with N.
+    const double load = load_sum / (2.0 * n * g_max);  // ∈ [0, 1]
+    const double gain =
+        1.0 / (1.0 + cfg_.ir_alpha * row_fraction * 2.0 * load);
+    offset *= gain;
+
+    // Sensing noise plus wire/IR fluctuations that scale with the number
+    // of rows driven (total current).
+    offset += rng_.normal(
+        0.0, cfg_.sense_sigma + cfg_.wire_sigma * row_fraction);
+
+    const double digitized = adc_.quantize(offset);
+    out.push_back(digitized * n);
+    ++stats_.adc_conversions;
+  }
+  ++stats_.mvm_phases;
+  stats_.row_activations += 2 * n_pairs;
+  for (std::size_t r = 0; r < n_pairs; ++r) {
+    ++row_reads_[first_pair + r];
+  }
+  return out;
+}
+
+void CrossbarArray::refresh() {
+  for (std::size_t pair = 0; pair < cfg_.pair_rows(); ++pair) {
+    for (std::size_t c = 0; c < cfg_.cols; ++c) {
+      const std::size_t idx = pair_index(pair, c);
+      if (programmed_[idx]) {
+        program_weight(pair, c, w_ideal_[idx]);
+      }
+    }
+    row_reads_[pair] = 0;
+  }
+  ++stats_.refreshes;
+}
+
+}  // namespace oms::rram

@@ -1,0 +1,127 @@
+// 1T1R crossbar array with differential weight mapping and open-circuit
+// voltage sensing (paper §4.1).
+//
+// Weights W ∈ [-1, 1] are stored in differential cell pairs (Eqs. 2-3):
+//     g+ = (1 + W)/2 · g_max,     g- = (1 - W)/2 · g_max
+// so an n-bit weight grid maps exactly onto the 2^n MLC conductance levels
+// of each cell. During MVM the query enters as differential bit-line
+// voltages and the settled source-line voltage obeys Eq. 5:
+//     V_SL = V_ref + Σ x_i (g+_i − g-_i) / (N·g_max) · V_pulse
+// i.e. the voltage offset equals the normalized MAC value. Non-idealities:
+// per-cell programming/relaxation noise (from CellConfig), IR-drop gain
+// compression growing with the number of activated rows, per-read sensing
+// noise, and ADC quantization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rram/adc.hpp"
+#include "rram/cell.hpp"
+
+namespace oms::rram {
+
+struct ArrayConfig {
+  std::size_t rows = 256;       ///< Word lines (cells, not pairs).
+  std::size_t cols = 256;       ///< Bit/source lines.
+  CellConfig cell{};            ///< Device model (levels = 2^bits).
+  int adc_bits = 8;
+  double v_pulse = 0.3;         ///< Read pulse amplitude (V).
+  double ir_alpha = 0.15;       ///< Gain droop at full row activation; the
+                                ///< actual droop depends on the activated
+                                ///< cells' total conductance (data-
+                                ///< dependent, so it acts as noise too).
+  double sense_sigma = 0.002;   ///< Per-read sensing noise on the offset.
+  double wire_sigma = 0.006;    ///< Wire/IR fluctuation per read, scaled by
+                                ///< the activated-row fraction (this is the
+                                ///< term that makes error grow with rows,
+                                ///< Fig. 9).
+  double read_time_s = 7200.0;  ///< Age of stored weights when read (≥2 h
+                                ///< after programming, paper §5.2.1).
+  /// Read disturb: every activation nudges the driven cells' conductance
+  /// SET-ward by this much (µS). Accumulates across MVMs until refresh()
+  /// reprograms the array — the maintenance cost of in-memory compute.
+  double read_disturb_us = 0.0;
+
+  /// Differential pairs available per column.
+  [[nodiscard]] std::size_t pair_rows() const noexcept { return rows / 2; }
+};
+
+/// Per-array operation counters used by the performance/energy model.
+struct ArrayStats {
+  std::uint64_t cells_programmed = 0;
+  std::uint64_t mvm_phases = 0;       ///< Row-group activations.
+  std::uint64_t row_activations = 0;  ///< Rows driven across all phases.
+  std::uint64_t adc_conversions = 0;
+  std::uint64_t refreshes = 0;        ///< Full-array reprogram events.
+};
+
+class CrossbarArray {
+ public:
+  explicit CrossbarArray(const ArrayConfig& cfg, std::uint64_t seed = 1);
+
+  [[nodiscard]] const ArrayConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const ArrayStats& stats() const noexcept { return stats_; }
+
+  /// Programs weight W ∈ [-1, 1] (quantized to the cell's level grid) into
+  /// the differential pair at (pair_row, col). The stored conductances
+  /// include programming noise and `read_time_s` of relaxation.
+  void program_weight(std::size_t pair_row, std::size_t col, double weight);
+
+  /// The ideal (noise-free) quantized weight stored at (pair_row, col).
+  [[nodiscard]] double ideal_weight(std::size_t pair_row,
+                                    std::size_t col) const;
+
+  /// In-memory MVM over one activation group: rows [first_pair,
+  /// first_pair + n_pairs) are driven with bipolar inputs `x` (±1), and
+  /// every column in [col_first, col_last) is sensed and digitized.
+  /// Returns the reconstructed MAC estimate per column, in MAC units
+  /// (i.e. multiplied back by n_pairs so the ideal value is Σ x_i W_i).
+  [[nodiscard]] std::vector<double> mvm(std::span<const int> x,
+                                        std::size_t first_pair,
+                                        std::size_t n_pairs,
+                                        std::size_t col_first,
+                                        std::size_t col_last);
+
+  /// Exact (noise-free) MAC per column over the same operands, for error
+  /// measurement.
+  [[nodiscard]] std::vector<double> ideal_mvm(std::span<const int> x,
+                                              std::size_t first_pair,
+                                              std::size_t n_pairs,
+                                              std::size_t col_first,
+                                              std::size_t col_last) const;
+
+  /// Number of read activations a pair row has accumulated since it was
+  /// last (re)programmed — the read-disturb exposure.
+  [[nodiscard]] std::uint64_t reads_since_refresh(
+      std::size_t pair_row) const {
+    return row_reads_.at(pair_row);
+  }
+
+  /// Reprograms every previously written pair to its stored ideal weight,
+  /// clearing accumulated read disturb (fresh programming noise applies).
+  void refresh();
+
+ private:
+  [[nodiscard]] std::size_t pair_index(std::size_t pair_row,
+                                       std::size_t col) const noexcept {
+    return pair_row * cfg_.cols + col;
+  }
+
+  ArrayConfig cfg_;
+  Adc adc_;
+  util::Xoshiro256 rng_;
+  ArrayStats stats_;
+  /// Relaxed conductances of the positive/negative cells per pair, µS.
+  std::vector<double> g_plus_;
+  std::vector<double> g_minus_;
+  /// Quantized programmed weights (for ideal_mvm / ideal_weight).
+  std::vector<double> w_ideal_;
+  /// Whether a pair has ever been programmed (refresh() reprograms these).
+  std::vector<std::uint8_t> programmed_;
+  /// Read activations per pair row since the last (re)program.
+  std::vector<std::uint64_t> row_reads_;
+};
+
+}  // namespace oms::rram

@@ -1,0 +1,107 @@
+#include "rram/cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oms::rram {
+
+int CellConfig::nearest_level(double g_us) const noexcept {
+  const double step =
+      (g_max_us - g_min_us) / static_cast<double>(levels - 1);
+  const auto level =
+      static_cast<int>(std::lround((g_us - g_min_us) / step));
+  return std::clamp(level, 0, levels - 1);
+}
+
+double CellConfig::state_noise_shape(double g_us) const noexcept {
+  const double range = g_max_us - g_min_us;
+  if (range <= 0.0) return 1.0;
+  const double x = std::clamp((g_us - g_min_us) / range, 0.0, 1.0);
+  // Parabolic bump peaking mid-range: 4x(1-x) ∈ [0, 1].
+  return 1.0 + (mid_state_factor - 1.0) * 4.0 * x * (1.0 - x);
+}
+
+double CellConfig::ln_time(double seconds) const noexcept {
+  if (seconds <= 0.0) return 0.0;
+  return std::log1p(seconds / relax_tau_s);
+}
+
+CellConfig CellConfig::for_bits(int bits_per_cell) {
+  if (bits_per_cell < 1 || bits_per_cell > 3) {
+    throw std::invalid_argument("CellConfig::for_bits: need 1..3 bits");
+  }
+  CellConfig cfg;
+  cfg.levels = 1 << bits_per_cell;
+  return cfg;
+}
+
+double program_cell(const CellConfig& cfg, int level, util::Xoshiro256& rng,
+                    int* pulses) {
+  const double target = cfg.level_conductance(level);
+  const double sigma = cfg.sigma_program_us * cfg.state_noise_shape(target);
+  const int attempts = std::max(1, cfg.write_verify_iterations);
+  double g = target;
+  int used = 0;
+  for (int i = 0; i < attempts; ++i) {
+    ++used;
+    g = std::clamp(target + rng.normal(0.0, sigma), cfg.g_min_us,
+                   cfg.g_max_us);
+    if (std::abs(g - target) <= cfg.verify_tolerance_us) break;
+  }
+  if (pulses != nullptr) *pulses += used;
+  return g;
+}
+
+double relax_cell(const CellConfig& cfg, double g_us, double seconds,
+                  util::Xoshiro256& rng) {
+  const double lt = cfg.ln_time(seconds);
+  if (lt <= 0.0) return g_us;
+
+  const double shape = cfg.state_noise_shape(g_us);
+  const double sigma = cfg.relax_sigma_us * lt * shape;
+  const double drift = cfg.drift_frac * lt * (g_us - cfg.g_min_us);
+  double g = g_us - drift + rng.normal(0.0, sigma);
+
+  // Heavy-tail retention events: a small, time-growing population of cells
+  // jumps far from its programmed state.
+  const double p_tail = std::min(0.5, cfg.tail_prob_per_ln * lt);
+  if (rng.bernoulli(p_tail)) {
+    g += rng.normal(0.0, cfg.tail_sigma_us);
+  }
+  return std::clamp(g, cfg.g_min_us, cfg.g_max_us);
+}
+
+int program_relax_read(const CellConfig& cfg, int level, double seconds,
+                       util::Xoshiro256& rng) {
+  const double g0 = program_cell(cfg, level, rng);
+  const double g = relax_cell(cfg, g0, seconds, rng);
+  return cfg.nearest_level(g);
+}
+
+PairConductance relax_pair(const CellConfig& cfg, double g_plus,
+                           double g_minus, double seconds,
+                           util::Xoshiro256& rng) {
+  const double lt = cfg.ln_time(seconds);
+  if (lt <= 0.0) return {g_plus, g_minus};
+
+  const double f = std::clamp(cfg.common_mode_fraction, 0.0, 1.0);
+  const double ind = std::sqrt(1.0 - f * f);
+  const double sigma = cfg.relax_sigma_us * lt;
+  const double eta_common = rng.normal();
+
+  const auto relax_one = [&](double g) {
+    const double shape = cfg.state_noise_shape(g);
+    const double drift = cfg.drift_frac * lt * (g - cfg.g_min_us);
+    double out = g - drift +
+                 sigma * shape * (f * eta_common + ind * rng.normal());
+    const double p_tail = std::min(0.5, cfg.tail_prob_per_ln * lt);
+    if (rng.bernoulli(p_tail)) {
+      out += rng.normal(0.0, cfg.tail_sigma_us);
+    }
+    return std::clamp(out, cfg.g_min_us, cfg.g_max_us);
+  };
+  return {relax_one(g_plus), relax_one(g_minus)};
+}
+
+}  // namespace oms::rram

@@ -1,0 +1,106 @@
+// MLC RRAM cell model. A cell stores one of 2^n conductance levels spread
+// over [g_min, g_max] (paper §4.3; n = 1, 2, 3 bits per cell). Two
+// non-idealities matter for the paper's experiments:
+//
+//  * programming noise — write-verify leaves a residual error around the
+//    target level;
+//  * conductance relaxation — after programming, conductance drifts with a
+//    spread that grows roughly with log(time) and is largest for
+//    intermediate (partially formed) conductance states, while fully
+//    SET/RESET states are comparatively stable. A small population of
+//    cells additionally suffers large random-telegraph/retention events
+//    (the heavy tail that dominates widely spaced levels).
+//
+// Constants are calibrated (tests/rram/cell_calibration_test.cpp) so the
+// storage bit-error-rate curves reproduce the shape of paper Fig. 7 and
+// the histograms of Fig. 8.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace oms::rram {
+
+struct CellConfig {
+  int levels = 8;                 ///< 2^n conductance levels (2, 4, or 8).
+  double g_min_us = 0.0;          ///< Lowest level conductance (µS).
+  double g_max_us = 50.0;         ///< Highest level conductance (µS).
+  double sigma_program_us = 1.0;  ///< Residual write-verify error (µS).
+  double relax_sigma_us = 0.16;   ///< Relaxation spread per ln-time unit.
+  double relax_tau_s = 20.0;      ///< Relaxation time constant (s).
+  double drift_frac = 0.006;      ///< Mean downward drift ∝ g per ln unit.
+  double mid_state_factor = 2.0;  ///< Noise amplification for mid states.
+  double tail_prob_per_ln = 0.012;///< Telegraph/retention event rate.
+  double tail_sigma_us = 8.0;     ///< Spread of tail events (µS).
+  /// Fraction of the relaxation that is common-mode across a differential
+  /// pair (ambient/temporal drift hits both cells together). The
+  /// differential mapping of §4.1.1 rejects this share during MVM, which
+  /// is exactly why the paper prefers it over single-ended storage.
+  double common_mode_fraction = 0.85;
+  /// Program-and-verify: number of write attempts per cell. Each attempt
+  /// redraws the programming residual; the loop stops once the cell lands
+  /// within verify_tolerance_us of the target. More iterations trade
+  /// write energy/latency for tighter levels (the knob real MLC
+  /// controllers expose; Li et al. JSSC'22 call it on-chip write-verify).
+  int write_verify_iterations = 1;
+  double verify_tolerance_us = 1.0;
+
+  /// Bits stored per cell (log2 of levels).
+  [[nodiscard]] int bits() const noexcept {
+    int b = 0;
+    for (int l = levels; l > 1; l >>= 1) ++b;
+    return b;
+  }
+
+  /// Conductance of level index `level` in [0, levels-1].
+  [[nodiscard]] double level_conductance(int level) const noexcept {
+    return g_min_us +
+           (g_max_us - g_min_us) * static_cast<double>(level) /
+               static_cast<double>(levels - 1);
+  }
+
+  /// Nearest level index for an observed conductance.
+  [[nodiscard]] int nearest_level(double g_us) const noexcept;
+
+  /// Noise shape factor: 1 at the extremes, `mid_state_factor` mid-range.
+  [[nodiscard]] double state_noise_shape(double g_us) const noexcept;
+
+  /// Log-time relaxation growth factor ln(1 + t/τ).
+  [[nodiscard]] double ln_time(double seconds) const noexcept;
+
+  /// Preset for an n-bit cell (n = 1, 2, 3) with default non-idealities.
+  [[nodiscard]] static CellConfig for_bits(int bits_per_cell);
+};
+
+/// Programs a cell toward the given level; returns the conductance
+/// immediately after write-verify (target + residual noise, clamped to the
+/// physical range). Honors cfg.write_verify_iterations; if `pulses` is
+/// non-null it receives the number of write attempts consumed.
+[[nodiscard]] double program_cell(const CellConfig& cfg, int level,
+                                  util::Xoshiro256& rng,
+                                  int* pulses = nullptr);
+
+/// Applies `seconds` of conductance relaxation to a freshly programmed
+/// conductance `g_us` and returns the relaxed value.
+[[nodiscard]] double relax_cell(const CellConfig& cfg, double g_us,
+                                double seconds, util::Xoshiro256& rng);
+
+/// Convenience: program at `level`, relax for `seconds`, read back the
+/// nearest level.
+[[nodiscard]] int program_relax_read(const CellConfig& cfg, int level,
+                                     double seconds, util::Xoshiro256& rng);
+
+/// Relaxes both conductances of a differential pair with the configured
+/// common-mode correlation: a shared drift component (rejected by
+/// differential sensing) plus independent per-cell components and
+/// independent heavy-tail events.
+struct PairConductance {
+  double g_plus = 0.0;
+  double g_minus = 0.0;
+};
+[[nodiscard]] PairConductance relax_pair(const CellConfig& cfg, double g_plus,
+                                         double g_minus, double seconds,
+                                         util::Xoshiro256& rng);
+
+}  // namespace oms::rram

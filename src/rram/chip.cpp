@@ -1,0 +1,26 @@
+#include "rram/chip.hpp"
+
+#include "util/rng.hpp"
+
+namespace oms::rram {
+
+MlcChip::MlcChip(const ChipConfig& cfg, std::uint64_t seed) : cfg_(cfg) {
+  arrays_.reserve(cfg.array_count);
+  for (std::size_t i = 0; i < cfg.array_count; ++i) {
+    arrays_.push_back(std::make_unique<CrossbarArray>(
+        cfg.array, util::hash_combine(seed, i, 0xC41FULL)));
+  }
+}
+
+ArrayStats MlcChip::total_stats() const {
+  ArrayStats total;
+  for (const auto& a : arrays_) {
+    total.cells_programmed += a->stats().cells_programmed;
+    total.mvm_phases += a->stats().mvm_phases;
+    total.row_activations += a->stats().row_activations;
+    total.adc_conversions += a->stats().adc_conversions;
+  }
+  return total;
+}
+
+}  // namespace oms::rram

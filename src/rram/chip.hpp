@@ -1,0 +1,50 @@
+// Multi-array MLC RRAM chip. The fabricated chip in the paper (Wan et al.,
+// Nature 2022) integrates ~3 M cells; we model it as a grid of identical
+// crossbar arrays plus aggregate operation counters for the performance
+// and energy model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rram/array.hpp"
+
+namespace oms::rram {
+
+struct ChipConfig {
+  std::size_t array_count = 48;  ///< 48 × 256×256 ≈ 3.1 M cells.
+  ArrayConfig array{};
+
+  [[nodiscard]] std::uint64_t total_cells() const noexcept {
+    return static_cast<std::uint64_t>(array_count) * array.rows * array.cols;
+  }
+
+  /// Storage capacity in bits at the configured bits/cell.
+  [[nodiscard]] std::uint64_t capacity_bits() const noexcept {
+    return total_cells() * static_cast<std::uint64_t>(array.cell.bits());
+  }
+};
+
+class MlcChip {
+ public:
+  explicit MlcChip(const ChipConfig& cfg, std::uint64_t seed = 3);
+
+  [[nodiscard]] const ChipConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t array_count() const noexcept {
+    return arrays_.size();
+  }
+  [[nodiscard]] CrossbarArray& array(std::size_t i) { return *arrays_.at(i); }
+  [[nodiscard]] const CrossbarArray& array(std::size_t i) const {
+    return *arrays_.at(i);
+  }
+
+  /// Sum of per-array operation counters.
+  [[nodiscard]] ArrayStats total_stats() const;
+
+ private:
+  ChipConfig cfg_;
+  std::vector<std::unique_ptr<CrossbarArray>> arrays_;
+};
+
+}  // namespace oms::rram

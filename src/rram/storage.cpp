@@ -1,0 +1,134 @@
+#include "rram/storage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oms::rram {
+
+int encode_level(int value, LevelCoding coding) noexcept {
+  if (coding == LevelCoding::kGray) {
+    return value ^ (value >> 1);
+  }
+  return value;
+}
+
+int decode_level(int level, LevelCoding coding) noexcept {
+  if (coding == LevelCoding::kGray) {
+    int value = level;
+    for (int shift = 1; shift < 8; shift <<= 1) {
+      value ^= value >> shift;
+    }
+    return value;
+  }
+  return level;
+}
+
+std::vector<int> pack_levels(const util::BitVec& hv, int bits_per_cell,
+                             LevelCoding coding) {
+  if (bits_per_cell < 1 || bits_per_cell > 3) {
+    throw std::invalid_argument("pack_levels: bits_per_cell must be 1..3");
+  }
+  const std::size_t n = static_cast<std::size_t>(bits_per_cell);
+  const std::size_t cells = (hv.size() + n - 1) / n;
+  std::vector<int> levels(cells, 0);
+  for (std::size_t i = 0; i < hv.size(); ++i) {
+    if (hv.get(i)) {
+      levels[i / n] |= 1 << (i % n);
+    }
+  }
+  for (auto& level : levels) level = encode_level(level, coding);
+  return levels;
+}
+
+util::BitVec unpack_levels(const std::vector<int>& levels, int bits_per_cell,
+                           std::size_t dim, LevelCoding coding) {
+  const std::size_t n = static_cast<std::size_t>(bits_per_cell);
+  util::BitVec hv(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const int value = decode_level(levels[i / n], coding);
+    if ((value >> (i % n)) & 1) hv.set(i, true);
+  }
+  return hv;
+}
+
+HypervectorStore::HypervectorStore(const CellConfig& cell, std::uint64_t seed,
+                                   LevelCoding coding)
+    : cell_(cell), coding_(coding),
+      rng_(util::hash_combine(seed, 0x5704AEULL)) {}
+
+std::size_t HypervectorStore::store(const util::BitVec& hv) {
+  const std::vector<int> levels = pack_levels(hv, cell_.bits(), coding_);
+  offsets_.push_back(g_programmed_.size());
+  dims_.push_back(hv.size());
+  originals_.push_back(hv);
+  for (const int level : levels) {
+    const double g = program_cell(cell_, level, rng_);
+    g_programmed_.push_back(g);
+    g_current_.push_back(g);
+  }
+  cells_used_ += levels.size();
+  return offsets_.size() - 1;
+}
+
+void HypervectorStore::age(double seconds) {
+  if (seconds <= 0.0) return;
+  // Relaxation is defined against the programming instant: the spread at
+  // age t is σ·ln(1+t/τ). To advance from age a to age a+s we add an
+  // independent increment with the variance difference, which keeps the
+  // marginal distribution at any age equal to a single-shot relaxation.
+  const double lt_old = cell_.ln_time(age_seconds_);
+  const double lt_new = cell_.ln_time(age_seconds_ + seconds);
+  const double dlt = lt_new - lt_old;
+  if (dlt <= 0.0) {
+    age_seconds_ += seconds;
+    return;
+  }
+  const double sigma_inc = std::sqrt(
+      std::max(0.0, lt_new * lt_new - lt_old * lt_old));
+  for (std::size_t i = 0; i < g_current_.size(); ++i) {
+    const double shape = cell_.state_noise_shape(g_programmed_[i]);
+    const double drift =
+        cell_.drift_frac * dlt * (g_current_[i] - cell_.g_min_us);
+    double g = g_current_[i] - drift +
+               rng_.normal(0.0, cell_.relax_sigma_us * sigma_inc * shape);
+    const double p_tail = std::min(0.5, cell_.tail_prob_per_ln * dlt);
+    if (rng_.bernoulli(p_tail)) {
+      g += rng_.normal(0.0, cell_.tail_sigma_us);
+    }
+    g_current_[i] = std::clamp(g, cell_.g_min_us, cell_.g_max_us);
+  }
+  age_seconds_ += seconds;
+}
+
+util::BitVec HypervectorStore::load(std::size_t handle) const {
+  if (handle >= offsets_.size()) {
+    throw std::out_of_range("HypervectorStore::load");
+  }
+  const std::size_t n = static_cast<std::size_t>(cell_.bits());
+  const std::size_t dim = dims_[handle];
+  const std::size_t cells = (dim + n - 1) / n;
+  std::vector<int> levels(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    levels[i] = cell_.nearest_level(g_current_[offsets_[handle] + i]);
+  }
+  return unpack_levels(levels, cell_.bits(), dim, coding_);
+}
+
+double HypervectorStore::bit_error_rate() const {
+  std::size_t flips = 0;
+  std::size_t bits = 0;
+  for (std::size_t h = 0; h < offsets_.size(); ++h) {
+    const util::BitVec back = load(h);
+    flips += util::hamming_distance(originals_[h], back);
+    bits += originals_[h].size();
+  }
+  return bits == 0 ? 0.0
+                   : static_cast<double>(flips) / static_cast<double>(bits);
+}
+
+std::vector<double> HypervectorStore::conductances() const {
+  return g_current_;
+}
+
+}  // namespace oms::rram

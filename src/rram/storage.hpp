@@ -1,0 +1,90 @@
+// Non-differential hypervector storage in MLC RRAM (paper §4.3): a D-bit
+// binary hypervector is reshaped into D/n n-bit unsigned integers h', and
+// each h' is mapped linearly onto a cell conductance g = h'/h'_max · g_max.
+// This maximizes density (3 bits/cell → 3× capacity) at the cost of the
+// storage bit-error rates of Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rram/cell.hpp"
+#include "util/bitvec.hpp"
+
+namespace oms::rram {
+
+/// How n-bit values map onto the 2^n conductance levels.
+///  * kBinary — the paper's direct mapping (§4.3): h' = value.
+///  * kGray   — reflected Gray code: adjacent conductance levels differ in
+///    exactly one bit, so the dominant error mode (±1-level misreads)
+///    flips a single bit instead of up to n. An ablation the paper leaves
+///    on the table; bench/fig7_storage_ber --gray quantifies the gain.
+enum class LevelCoding : std::uint8_t { kBinary, kGray };
+
+/// value → level index under the coding (and its inverse).
+[[nodiscard]] int encode_level(int value, LevelCoding coding) noexcept;
+[[nodiscard]] int decode_level(int level, LevelCoding coding) noexcept;
+
+/// Packs a binary hypervector into per-cell level indices (bits() bits per
+/// cell, little-endian within a cell). The tail is zero-padded if D is not
+/// divisible by the bits-per-cell.
+[[nodiscard]] std::vector<int> pack_levels(
+    const util::BitVec& hv, int bits_per_cell,
+    LevelCoding coding = LevelCoding::kBinary);
+
+/// Reverses pack_levels into a hypervector of `dim` bits.
+[[nodiscard]] util::BitVec unpack_levels(
+    const std::vector<int>& levels, int bits_per_cell, std::size_t dim,
+    LevelCoding coding = LevelCoding::kBinary);
+
+/// A bank of MLC cells storing hypervectors non-differentially.
+class HypervectorStore {
+ public:
+  HypervectorStore(const CellConfig& cell, std::uint64_t seed = 7,
+                   LevelCoding coding = LevelCoding::kBinary);
+
+  [[nodiscard]] const CellConfig& cell_config() const noexcept {
+    return cell_;
+  }
+  [[nodiscard]] std::size_t stored_count() const noexcept {
+    return dims_.size();
+  }
+  [[nodiscard]] std::uint64_t cells_used() const noexcept {
+    return cells_used_;
+  }
+
+  /// Programs a hypervector; returns its handle. Conductances reflect the
+  /// instant right after write-verify (age 0).
+  std::size_t store(const util::BitVec& hv);
+
+  /// Advances all stored cells by `seconds` of relaxation. Cumulative:
+  /// calling age(30*60) then age(30*60) models one hour. (Relaxation noise
+  /// accumulates sub-linearly via the log-time law internally.)
+  void age(double seconds);
+
+  /// Reads a hypervector back through nearest-level detection.
+  [[nodiscard]] util::BitVec load(std::size_t handle) const;
+
+  /// Fraction of bits that differ between the stored original and the
+  /// current readback (over all stored hypervectors).
+  [[nodiscard]] double bit_error_rate() const;
+
+  /// Current conductances (µS) of every cell, e.g. for histograms (Fig 8).
+  [[nodiscard]] std::vector<double> conductances() const;
+
+ private:
+  CellConfig cell_;
+  LevelCoding coding_;
+  util::Xoshiro256 rng_;
+  /// Per-hypervector bookkeeping.
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> dims_;
+  std::vector<util::BitVec> originals_;
+  /// Flat cell state: conductance programmed at age 0, plus current value.
+  std::vector<double> g_programmed_;
+  std::vector<double> g_current_;
+  double age_seconds_ = 0.0;
+  std::uint64_t cells_used_ = 0;
+};
+
+}  // namespace oms::rram

@@ -1,0 +1,64 @@
+#include "util/bitvec.hpp"
+
+namespace oms::util {
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+void BitVec::clear_tail() noexcept {
+  const std::size_t tail = bits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+void BitVec::randomize(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : words_) w = sm.next();
+  clear_tail();
+}
+
+void BitVec::inject_errors(double ber, Xoshiro256& rng) {
+  if (ber <= 0.0) return;
+  // For small error rates, drawing the number of flips per word from the
+  // per-bit Bernoulli directly is fine at these sizes (D ≤ 32k).
+  for (std::size_t i = 0; i < bits_; ++i) {
+    if (rng.bernoulli(ber)) flip(i);
+  }
+}
+
+std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n) noexcept {
+  std::size_t total = 0;
+  // Unrolled by four: the compiler vectorizes this into pshufb/popcnt loops.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    total += std::popcount(a[i + 0] ^ b[i + 0]);
+    total += std::popcount(a[i + 1] ^ b[i + 1]);
+    total += std::popcount(a[i + 2] ^ b[i + 2]);
+    total += std::popcount(a[i + 3] ^ b[i + 3]);
+  }
+  for (; i < n; ++i) total += std::popcount(a[i] ^ b[i]);
+  return total;
+}
+
+std::size_t hamming_distance(const BitVec& a, const BitVec& b) noexcept {
+  return xor_popcount(a.words().data(), b.words().data(), a.word_count());
+}
+
+std::int64_t bipolar_dot(const BitVec& a, const BitVec& b) noexcept {
+  const auto d = static_cast<std::int64_t>(a.size());
+  const auto h = static_cast<std::int64_t>(hamming_distance(a, b));
+  return d - 2 * h;
+}
+
+double hamming_similarity(const BitVec& a, const BitVec& b) noexcept {
+  if (a.size() == 0) return 1.0;
+  return 1.0 - static_cast<double>(hamming_distance(a, b)) /
+                   static_cast<double>(a.size());
+}
+
+}  // namespace oms::util

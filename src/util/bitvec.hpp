@@ -1,0 +1,92 @@
+// Packed bit vector and the popcount kernels used by Hamming-similarity
+// search. A binary hypervector of dimension D is stored as ceil(D/64)
+// uint64 words; bit value 1 encodes hypervector component +1 and bit value 0
+// encodes component -1 (the bipolar convention used throughout the paper).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace oms::util {
+
+/// Fixed-size packed bit vector with bipolar semantics (bit=1 ↔ +1).
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Creates an all-zero (all -1 in bipolar terms) vector of `bits` bits.
+  explicit BitVec(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
+
+  [[nodiscard]] bool get(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool v) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void flip(std::size_t i) noexcept { words_[i >> 6] ^= 1ULL << (i & 63); }
+
+  /// Bipolar value of component i: +1 or -1.
+  [[nodiscard]] int sign(std::size_t i) const noexcept {
+    return get(i) ? +1 : -1;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// Fills the vector with uniform random bits from `seed`, clearing any
+  /// tail bits beyond size() so popcount stays exact.
+  void randomize(std::uint64_t seed);
+
+  /// Flips each bit independently with probability `ber` (bit-error
+  /// injection used by the robustness experiments, Fig. 11).
+  void inject_errors(double ber, Xoshiro256& rng);
+
+  [[nodiscard]] bool operator==(const BitVec& other) const noexcept {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+ private:
+  void clear_tail() noexcept;
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Hamming distance (# of differing components) between equally sized
+/// vectors. Precondition: a.size() == b.size().
+[[nodiscard]] std::size_t hamming_distance(const BitVec& a, const BitVec& b) noexcept;
+
+/// Bipolar dot product ⟨a, b⟩ = D - 2·hamming = (#equal − #different).
+[[nodiscard]] std::int64_t bipolar_dot(const BitVec& a, const BitVec& b) noexcept;
+
+/// Hamming similarity in [0, 1]: fraction of equal components.
+[[nodiscard]] double hamming_similarity(const BitVec& a, const BitVec& b) noexcept;
+
+/// Raw word-level kernel: popcount of XOR over `n` words.
+[[nodiscard]] std::size_t xor_popcount(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t n) noexcept;
+
+}  // namespace oms::util

@@ -1,0 +1,33 @@
+// Tiny command-line option parser for the bench and example binaries.
+// Supports --key=value and --flag forms plus environment-variable overrides,
+// so `OMSHD_SCALE=1.0 bench/fig10_venn` and `bench/fig10_venn --scale=1.0`
+// behave identically.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace oms::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& name, double fallback) const;
+  [[nodiscard]] long get(const std::string& name, long fallback) const;
+
+  /// Reads --name, falling back to env var OMSHD_<NAME-upper-cased>.
+  [[nodiscard]] double get_scaled(const std::string& name,
+                                  double fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace oms::util

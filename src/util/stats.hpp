@@ -1,0 +1,71 @@
+// Small statistics helpers shared by the noise models, the error-rate
+// experiments, and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace oms::util {
+
+/// Streaming accumulator for mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Root-mean-square error between two equally sized sequences.
+[[nodiscard]] double rmse(std::span<const double> a, std::span<const double> b);
+
+/// RMSE normalized by the range (max-min) of the reference sequence `a`.
+[[nodiscard]] double normalized_rmse(std::span<const double> a,
+                                     std::span<const double> b);
+
+/// Pearson correlation coefficient; 0 if either side has zero variance.
+[[nodiscard]] double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into
+/// the boundary bins. Used to reproduce the conductance-relaxation plots.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Renders a compact vertical ASCII bar chart (for bench output).
+  [[nodiscard]] std::string ascii(std::size_t max_height = 8) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace oms::util

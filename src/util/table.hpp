@@ -1,0 +1,36 @@
+// Aligned text tables and CSV output for the benchmark harnesses. Every
+// figure/table in the paper is regenerated as rows printed by a bench
+// binary; this formatter keeps that output consistent and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace oms::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string fmt(double v, int precision = 3);
+  [[nodiscard]] static std::string fmt_pct(double fraction, int precision = 2);
+
+  /// Renders with padded columns and a header underline.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as CSV (no padding, comma separated, header first).
+  [[nodiscard]] std::string csv() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oms::util

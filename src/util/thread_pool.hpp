@@ -1,0 +1,50 @@
+// Minimal fixed-size thread pool with a blocking parallel_for. Search and
+// encoding over tens of thousands of spectra are embarrassingly parallel;
+// this pool gives deterministic work partitioning (static chunking) so that
+// results do not depend on scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace oms::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (0 → hardware_concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Runs fn(begin..end) partitioned statically over the pool and blocks
+  /// until all chunks complete. fn receives a half-open index range
+  /// [chunk_begin, chunk_end). Exceptions from fn terminate (by design:
+  /// worker functions in this codebase are noexcept in spirit).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Global pool shared by the library (lazily constructed).
+  [[nodiscard]] static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace oms::util

@@ -1,0 +1,81 @@
+#include "accel/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms::accel {
+namespace {
+
+TEST(ErrorModel, DeterministicInSeed) {
+  const rram::ArrayConfig cfg;
+  const auto a = calibrate_mvm_error(cfg, 64, 1, 512, 5);
+  const auto b = calibrate_mvm_error(cfg, 64, 1, 512, 5);
+  EXPECT_DOUBLE_EQ(a.sigma_mac, b.sigma_mac);
+  EXPECT_DOUBLE_EQ(a.rmse_mac, b.rmse_mac);
+  EXPECT_DOUBLE_EQ(a.bias_gain, b.bias_gain);
+}
+
+TEST(ErrorModel, SigmaGrowsWithActivatedRows) {
+  const rram::ArrayConfig cfg;
+  double prev = -1.0;
+  for (const std::size_t rows : {16U, 64U, 128U}) {
+    const auto stats = calibrate_mvm_error(cfg, rows, 3, 2048, 6);
+    EXPECT_GT(stats.rmse_mac, prev) << rows;
+    prev = stats.rmse_mac;
+  }
+}
+
+TEST(ErrorModel, MoreBitsPerCellMoreError) {
+  // Fig. 9b ordering: at the same operating point, more levels per cell →
+  // higher *normalized* MAC error (mid-conductance states relax more and
+  // the per-weight signal shrinks).
+  const rram::ArrayConfig cfg;
+  double prev = -1.0;
+  for (const int bits : {1, 2, 3}) {
+    const auto stats = calibrate_mvm_error(cfg, 64, bits, 4096, 7);
+    EXPECT_GT(stats.rmse_normalized, prev) << bits;
+    prev = stats.rmse_normalized;
+  }
+}
+
+TEST(ErrorModel, NormalizedRmseGrowsWithRows) {
+  // Fig. 9b shape: normalized error rises with the activated-row count.
+  const rram::ArrayConfig cfg;
+  double prev = -1.0;
+  for (const std::size_t rows : {16U, 64U, 128U}) {
+    const auto stats = calibrate_mvm_error(cfg, rows, 3, 4096, 17);
+    EXPECT_GT(stats.rmse_normalized, prev) << rows;
+    prev = stats.rmse_normalized;
+  }
+}
+
+TEST(ErrorModel, GainBelowUnityWithIrDroop) {
+  rram::ArrayConfig cfg;
+  cfg.ir_alpha = 0.2;
+  const auto stats = calibrate_mvm_error(cfg, 128, 1, 2048, 8);
+  EXPECT_LT(stats.bias_gain, 1.0);
+  EXPECT_GT(stats.bias_gain, 0.6);
+}
+
+TEST(ErrorModel, QuietArrayHasTinyError) {
+  rram::ArrayConfig cfg;
+  cfg.cell.sigma_program_us = 0.0;
+  cfg.cell.relax_sigma_us = 0.0;
+  cfg.cell.drift_frac = 0.0;
+  cfg.cell.tail_prob_per_ln = 0.0;
+  cfg.sense_sigma = 0.0;
+  cfg.ir_alpha = 0.0;
+  cfg.adc_bits = 14;
+  const auto stats = calibrate_mvm_error(cfg, 64, 1, 1024, 9);
+  EXPECT_LT(stats.rmse_mac, 0.5);
+  EXPECT_NEAR(stats.bias_gain, 1.0, 0.01);
+}
+
+TEST(ErrorModel, ReportsRequestedOperatingPoint) {
+  const rram::ArrayConfig cfg;
+  const auto stats = calibrate_mvm_error(cfg, 32, 2, 256, 10);
+  EXPECT_EQ(stats.n_pairs, 32U);
+  EXPECT_EQ(stats.weight_bits, 2);
+}
+
+}  // namespace
+}  // namespace oms::accel

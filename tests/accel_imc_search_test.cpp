@@ -1,0 +1,157 @@
+#include "accel/imc_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oms::accel {
+namespace {
+
+std::vector<util::BitVec> random_refs(std::size_t n, std::size_t dim,
+                                      std::uint64_t seed) {
+  std::vector<util::BitVec> refs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    refs[i] = util::BitVec(dim);
+    refs[i].randomize(seed + i);
+  }
+  return refs;
+}
+
+ImcSearchConfig config_with(Fidelity f) {
+  ImcSearchConfig cfg;
+  cfg.fidelity = f;
+  cfg.calibration_samples = 512;
+  return cfg;
+}
+
+TEST(ImcSearch, IdealFidelityIsExact) {
+  const auto refs = random_refs(64, 1024, 1);
+  ImcSearchEngine engine(refs, config_with(Fidelity::kIdeal));
+  util::BitVec query(1024);
+  query.randomize(500);
+  for (std::size_t i = 0; i < refs.size(); i += 7) {
+    EXPECT_DOUBLE_EQ(engine.dot(query, i),
+                     static_cast<double>(util::bipolar_dot(query, refs[i])));
+  }
+}
+
+TEST(ImcSearch, StatisticalNoiseIsBounded) {
+  const auto refs = random_refs(32, 2048, 2);
+  ImcSearchEngine engine(refs, config_with(Fidelity::kStatistical));
+  ASSERT_GT(engine.phase_sigma(), 0.0);
+  util::BitVec query(2048);
+  query.randomize(600);
+  const double expected_sigma =
+      engine.phase_sigma() * std::sqrt(2048.0 / 64.0);
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const double exact =
+        static_cast<double>(util::bipolar_dot(query, refs[i]));
+    const double noisy = engine.dot(query, i);
+    EXPECT_LT(std::abs(noisy - exact), 6.0 * expected_sigma) << i;
+  }
+}
+
+TEST(ImcSearch, StatisticalFindsPlantedMatch) {
+  auto refs = random_refs(128, 2048, 3);
+  util::BitVec query = refs[77];
+  for (int i = 0; i < 100; ++i) query.flip(i * 17);
+  ImcSearchEngine engine(refs, config_with(Fidelity::kStatistical));
+  const auto hits = engine.top_k(query, 0, refs.size(), 1);
+  ASSERT_EQ(hits.size(), 1U);
+  EXPECT_EQ(hits[0].reference_index, 77U);
+}
+
+TEST(ImcSearch, KeyedDotIsDeterministicAndOrderFree) {
+  const auto refs = random_refs(16, 1024, 4);
+  ImcSearchEngine engine(refs, config_with(Fidelity::kStatistical));
+  util::BitVec query(1024);
+  query.randomize(700);
+  const double a = engine.dot_keyed(query, 5, 42);
+  const double b = engine.dot_keyed(query, 5, 42);
+  EXPECT_DOUBLE_EQ(a, b);
+  // Different stream → different noise (almost surely).
+  EXPECT_NE(engine.dot_keyed(query, 5, 43), a);
+  // Evaluating other pairs in between must not change the result.
+  (void)engine.dot_keyed(query, 1, 7);
+  EXPECT_DOUBLE_EQ(engine.dot_keyed(query, 5, 42), a);
+}
+
+TEST(ImcSearch, KeyedTopKMatchesPlantedMatch) {
+  auto refs = random_refs(64, 2048, 5);
+  util::BitVec query = refs[30];
+  for (int i = 0; i < 60; ++i) query.flip(i * 31);
+  ImcSearchEngine engine(refs, config_with(Fidelity::kStatistical));
+  const auto hits = engine.top_k_keyed(query, 0, refs.size(), 3, 11);
+  ASSERT_GE(hits.size(), 1U);
+  EXPECT_EQ(hits[0].reference_index, 30U);
+}
+
+TEST(ImcSearch, CircuitFidelitySmallScale) {
+  // Small dimension so circuit programming stays fast.
+  ImcSearchConfig cfg = config_with(Fidelity::kCircuit);
+  cfg.array.rows = 128;  // 64 pairs
+  cfg.array.cols = 16;
+  cfg.activated_pairs = 32;
+  const auto refs = random_refs(8, 256, 6);
+  ImcSearchEngine engine(refs, cfg);
+  util::BitVec query(256);
+  query.randomize(800);
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const double exact =
+        static_cast<double>(util::bipolar_dot(query, refs[i]));
+    const double out = engine.dot(query, i);
+    // Binary weights at cell extremes: analog error stays moderate.
+    EXPECT_LT(std::abs(out - exact), 64.0) << i;
+  }
+  EXPECT_GT(engine.phases_executed(), 0U);
+}
+
+TEST(ImcSearch, CircuitModeRejectsKeyedCalls) {
+  ImcSearchConfig cfg = config_with(Fidelity::kCircuit);
+  cfg.array.rows = 128;
+  cfg.array.cols = 8;
+  cfg.activated_pairs = 64;
+  const auto refs = random_refs(4, 128, 7);
+  ImcSearchEngine engine(refs, cfg);
+  util::BitVec query(128);
+  query.randomize(900);
+  EXPECT_THROW((void)engine.dot_keyed(query, 0, 1), std::logic_error);
+}
+
+TEST(ImcSearch, RejectsMixedDimensions) {
+  std::vector<util::BitVec> refs;
+  refs.emplace_back(128);
+  refs.emplace_back(256);
+  EXPECT_THROW(ImcSearchEngine(refs, config_with(Fidelity::kIdeal)),
+               std::invalid_argument);
+}
+
+TEST(ImcSearch, RejectsBadActivationSplit) {
+  ImcSearchConfig cfg = config_with(Fidelity::kIdeal);
+  cfg.activated_pairs = 7;  // does not divide 128 pair rows
+  const auto refs = random_refs(4, 128, 8);
+  EXPECT_THROW(ImcSearchEngine(refs, cfg), std::invalid_argument);
+}
+
+TEST(ImcSearch, TopKAgreementWithExactSearchIsHigh) {
+  // Statistical noise should rarely change the top-1 among well-separated
+  // candidates (the HD robustness premise).
+  auto refs = random_refs(256, 4096, 9);
+  ImcSearchEngine engine(refs, config_with(Fidelity::kStatistical));
+  int agree = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    util::BitVec query = refs[static_cast<std::size_t>(t * 5)];
+    for (int i = 0; i < 400; ++i) query.flip((i * 7 + t) % 4096);
+    const auto hits =
+        engine.top_k_keyed(query, 0, refs.size(), 1, static_cast<std::uint64_t>(t));
+    if (!hits.empty() &&
+        hits[0].reference_index == static_cast<std::size_t>(t * 5)) {
+      ++agree;
+    }
+  }
+  EXPECT_GE(agree, 45) << "top-1 agreement should be ≥ 90%";
+}
+
+}  // namespace
+}  // namespace oms::accel

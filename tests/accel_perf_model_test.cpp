@@ -1,0 +1,92 @@
+#include "accel/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms::accel {
+namespace {
+
+PerfModel default_model() {
+  return PerfModel(PerfWorkload{}, RramPerfConfig{});
+}
+
+TEST(PerfModel, TimesAndEnergiesArePositive) {
+  const PerfModel model = default_model();
+  EXPECT_GT(model.this_work_time_s(), 0.0);
+  EXPECT_GT(model.this_work_energy_j(), 0.0);
+}
+
+TEST(PerfModel, ComparisonHasFourRows) {
+  const auto rows = default_model().compare();
+  ASSERT_EQ(rows.size(), 4U);
+  EXPECT_EQ(rows[0].tool, "ANN-SoLo (CPU)");
+  EXPECT_EQ(rows[3].tool, "This Work");
+}
+
+TEST(PerfModel, SpeedupsMatchPaperConstants) {
+  const auto rows = default_model().compare();
+  EXPECT_NEAR(rows[0].speedup_vs_tool, 76.7, 1e-9);
+  EXPECT_NEAR(rows[1].speedup_vs_tool, 24.8, 1e-9);
+  EXPECT_NEAR(rows[2].speedup_vs_tool, 1.7, 1e-9);
+  EXPECT_NEAR(rows[3].speedup_vs_tool, 1.0, 1e-9);
+}
+
+TEST(PerfModel, EnergyImprovementShapeMatchesFig12) {
+  const auto rows = default_model().compare();
+  // Anchor: ANN-SoLo CPU = 1.0×.
+  EXPECT_NEAR(rows[0].energy_improvement, 1.0, 1e-9);
+  // ANN-SoLo GPU ~1.4×, HyperOMS ~5.4×, This Work in the 500-3000× band.
+  EXPECT_NEAR(rows[1].energy_improvement, 1.41, 0.3);
+  EXPECT_NEAR(rows[2].energy_improvement, 5.44, 1.5);
+  EXPECT_GT(rows[3].energy_improvement, 500.0);
+  EXPECT_LT(rows[3].energy_improvement, 10000.0);
+  // Ordering is the paper's headline: ours ≫ HyperOMS > ANN-SoLo GPU > CPU.
+  EXPECT_GT(rows[3].energy_improvement, rows[2].energy_improvement);
+  EXPECT_GT(rows[2].energy_improvement, rows[1].energy_improvement);
+  EXPECT_GT(rows[1].energy_improvement, rows[0].energy_improvement);
+}
+
+TEST(PerfModel, ThroughputGainVsLi2022Is16x) {
+  // Paper §5.2.2: 64 activated rows vs 4 → 16× throughput.
+  EXPECT_DOUBLE_EQ(default_model().throughput_gain_vs_li2022(), 16.0);
+}
+
+TEST(PerfModel, TimeScalesWithQueries) {
+  PerfWorkload small;
+  small.n_queries = 1000;
+  PerfWorkload large = small;
+  large.n_queries = 10000;
+  const RramPerfConfig hw;
+  EXPECT_LT(PerfModel(small, hw).this_work_time_s(),
+            PerfModel(large, hw).this_work_time_s());
+}
+
+TEST(PerfModel, TimeScalesWithCandidateFraction) {
+  PerfWorkload narrow;
+  narrow.candidate_fraction = 0.01;
+  PerfWorkload wide = narrow;
+  wide.candidate_fraction = 0.5;
+  const RramPerfConfig hw;
+  EXPECT_LT(PerfModel(narrow, hw).this_work_time_s(),
+            PerfModel(wide, hw).this_work_time_s());
+}
+
+TEST(PerfModel, MoreActivatedRowsIsFaster) {
+  const PerfWorkload wl;
+  RramPerfConfig few;
+  few.activated_pairs = 16;
+  RramPerfConfig many;
+  many.activated_pairs = 64;
+  EXPECT_GT(PerfModel(wl, few).this_work_time_s(),
+            PerfModel(wl, many).this_work_time_s());
+}
+
+TEST(PerfModel, BaselinePowersArePlausible) {
+  for (const auto& b : PerfModel::default_baselines()) {
+    EXPECT_GT(b.power_w, 10.0) << b.name;
+    EXPECT_LT(b.power_w, 1500.0) << b.name;
+    EXPECT_GT(b.slowdown, 1.0) << b.name;
+  }
+}
+
+}  // namespace
+}  // namespace oms::accel

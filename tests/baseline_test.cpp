@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/annsolo.hpp"
+#include "baseline/hyperoms.hpp"
+#include "core/overlap.hpp"
+#include "ms/synthetic.hpp"
+
+namespace oms::baseline {
+namespace {
+
+const ms::Workload& shared_workload() {
+  static const ms::Workload wl = [] {
+    ms::WorkloadConfig cfg;
+    cfg.reference_count = 300;
+    cfg.query_count = 120;
+    cfg.modified_fraction = 0.5;
+    cfg.unmatched_fraction = 0.1;
+    cfg.seed = 555;
+    return ms::generate_workload(cfg);
+  }();
+  return wl;
+}
+
+std::map<std::uint32_t, const ms::QueryTruth*> truth_map(
+    const ms::Workload& wl) {
+  std::map<std::uint32_t, const ms::QueryTruth*> m;
+  for (std::size_t i = 0; i < wl.queries.size(); ++i) {
+    m[wl.queries[i].id] = &wl.truths[i];
+  }
+  return m;
+}
+
+TEST(AnnSolo, IdentifiesUnmodifiedInStandardPass) {
+  const ms::Workload& wl = shared_workload();
+  AnnSoloSearcher searcher(AnnSoloConfig{});
+  searcher.set_library(wl.references);
+  const AnnSoloResult result = searcher.run(wl.queries);
+
+  EXPECT_FALSE(result.standard_psms.empty());
+  EXPECT_GT(result.identifications(), 20U);
+
+  // Standard-pass acceptances must be near-zero-shift matches.
+  const auto truths = truth_map(wl);
+  std::size_t std_accepted = 0;
+  for (const auto& p : result.accepted) {
+    if (p.is_standard()) ++std_accepted;
+  }
+  EXPECT_GT(std_accepted, 10U);
+}
+
+TEST(AnnSolo, OpenPassRecoversModifiedQueries) {
+  const ms::Workload& wl = shared_workload();
+  AnnSoloSearcher searcher(AnnSoloConfig{});
+  searcher.set_library(wl.references);
+  const AnnSoloResult result = searcher.run(wl.queries);
+
+  const auto truths = truth_map(wl);
+  std::size_t modified_identified = 0;
+  for (const auto& p : result.accepted) {
+    if (truths.at(p.query_id)->modified) ++modified_identified;
+  }
+  EXPECT_GT(modified_identified, 10U);
+}
+
+TEST(AnnSolo, AcceptedAreMostlyCorrect) {
+  const ms::Workload& wl = shared_workload();
+  AnnSoloSearcher searcher(AnnSoloConfig{});
+  searcher.set_library(wl.references);
+  const AnnSoloResult result = searcher.run(wl.queries);
+
+  const auto truths = truth_map(wl);
+  ASSERT_FALSE(result.accepted.empty());
+  std::size_t correct = 0;
+  for (const auto& p : result.accepted) {
+    if (truths.at(p.query_id)->backbone == p.peptide) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) /
+                static_cast<double>(result.accepted.size()),
+            0.85);
+}
+
+TEST(AnnSolo, NoDecoysInAcceptedSet) {
+  const ms::Workload& wl = shared_workload();
+  AnnSoloSearcher searcher(AnnSoloConfig{});
+  searcher.set_library(wl.references);
+  for (const auto& p : searcher.run(wl.queries).accepted) {
+    EXPECT_FALSE(p.is_decoy);
+  }
+}
+
+TEST(AnnSolo, IdentificationSetSorted) {
+  const ms::Workload& wl = shared_workload();
+  AnnSoloSearcher searcher(AnnSoloConfig{});
+  searcher.set_library(wl.references);
+  const auto ids = searcher.run(wl.queries).identification_set();
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_LE(ids[i - 1], ids[i]);
+}
+
+TEST(HyperOms, RunsAndIdentifies) {
+  const ms::Workload& wl = shared_workload();
+  HyperOmsConfig cfg;
+  cfg.dim = 2048;
+  HyperOmsSearcher searcher(cfg);
+  searcher.set_library(wl.references);
+  const core::PipelineResult result = searcher.run(wl.queries);
+  EXPECT_GT(result.identifications(), 20U);
+}
+
+TEST(HyperOms, ConfigMapsToBinaryUnchunkedEncoder) {
+  HyperOmsConfig cfg;
+  cfg.dim = 4096;
+  const core::PipelineConfig pc = hyperoms_pipeline_config(cfg);
+  EXPECT_EQ(pc.encoder.id_precision, hd::IdPrecision::k1Bit);
+  EXPECT_EQ(pc.encoder.chunks, 4096U);
+  EXPECT_EQ(pc.backend, core::Backend::kIdealHd);
+}
+
+TEST(Tools, AgreeOnMostIdentifications) {
+  // Fig. 10 premise: the three tools identify largely overlapping sets.
+  const ms::Workload& wl = shared_workload();
+
+  AnnSoloSearcher annsolo(AnnSoloConfig{});
+  annsolo.set_library(wl.references);
+  const auto set_a = annsolo.run(wl.queries).identification_set();
+
+  HyperOmsConfig hcfg;
+  hcfg.dim = 2048;
+  HyperOmsSearcher hyperoms(hcfg);
+  hyperoms.set_library(wl.references);
+  const auto set_b = hyperoms.run(wl.queries).identification_set();
+
+  ASSERT_FALSE(set_a.empty());
+  ASSERT_FALSE(set_b.empty());
+  const std::size_t inter = core::overlap2(set_a, set_b);
+  const double jaccard =
+      static_cast<double>(inter) /
+      static_cast<double>(set_a.size() + set_b.size() - inter);
+  EXPECT_GT(jaccard, 0.5);
+}
+
+}  // namespace
+}  // namespace oms::baseline

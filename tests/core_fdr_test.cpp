@@ -1,0 +1,114 @@
+#include "core/fdr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms::core {
+namespace {
+
+Psm psm(std::uint32_t id, double score, bool decoy, double shift = 0.0) {
+  Psm p;
+  p.query_id = id;
+  p.peptide = "PEP" + std::to_string(id);
+  p.score = score;
+  p.is_decoy = decoy;
+  p.mass_shift = shift;
+  return p;
+}
+
+TEST(Fdr, EmptyInput) {
+  EXPECT_TRUE(compute_q_values({}).empty());
+  EXPECT_TRUE(filter_at_fdr({}, 0.01).empty());
+}
+
+TEST(Fdr, AllTargetsGiveZeroQValues) {
+  std::vector<Psm> psms = {psm(0, 0.9, false), psm(1, 0.8, false),
+                           psm(2, 0.7, false)};
+  for (const double q : compute_q_values(psms)) EXPECT_EQ(q, 0.0);
+  EXPECT_EQ(filter_at_fdr(psms, 0.01).size(), 3U);
+}
+
+TEST(Fdr, HandComputedExample) {
+  // Ranked: T(0.9) T(0.8) D(0.7) T(0.6) → FDR walk: 0/1, 0/2, 1/2, 1/3.
+  std::vector<Psm> psms = {psm(0, 0.9, false), psm(1, 0.8, false),
+                           psm(2, 0.7, true), psm(3, 0.6, false)};
+  const auto q = compute_q_values(psms);
+  EXPECT_DOUBLE_EQ(q[0], 0.0);
+  EXPECT_DOUBLE_EQ(q[1], 0.0);
+  EXPECT_NEAR(q[2], 1.0 / 3.0, 1e-12);  // min of suffix {1/2, 1/3}
+  EXPECT_NEAR(q[3], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Fdr, QValuesAreMonotoneInRank) {
+  std::vector<Psm> psms;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    psms.push_back(psm(i, 1.0 - 0.005 * i, i % 7 == 3));
+  }
+  const auto q = compute_q_values(psms);
+  // Input was already score-sorted, so q must be non-decreasing.
+  for (std::size_t i = 1; i < q.size(); ++i) {
+    EXPECT_GE(q[i] + 1e-12, q[i - 1]);
+  }
+}
+
+TEST(Fdr, FilterExcludesDecoysEvenWhenAccepted) {
+  std::vector<Psm> psms = {psm(0, 0.9, false), psm(1, 0.85, true),
+                           psm(2, 0.8, false)};
+  for (const auto& p : filter_at_fdr(psms, 1.0)) {
+    EXPECT_FALSE(p.is_decoy);
+  }
+}
+
+TEST(Fdr, ThresholdIsRespected) {
+  // 10 strong targets, then alternating decoys/targets with weak scores.
+  std::vector<Psm> psms;
+  for (std::uint32_t i = 0; i < 10; ++i) psms.push_back(psm(i, 0.9, false));
+  for (std::uint32_t i = 10; i < 30; ++i) {
+    psms.push_back(psm(i, 0.5 - 0.001 * i, i % 2 == 0));
+  }
+  const auto strict = filter_at_fdr(psms, 0.01);
+  const auto loose = filter_at_fdr(psms, 0.5);
+  EXPECT_GE(strict.size(), 10U);
+  EXPECT_LE(strict.size(), 12U);
+  EXPECT_GT(loose.size(), strict.size());
+}
+
+TEST(Fdr, GroupedFdrSeparatesPopulations) {
+  // Open matches are weaker; a global FDR would drown them behind the
+  // strong standard matches. Grouped FDR rescues them.
+  std::vector<Psm> psms;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    psms.push_back(psm(i, 0.9 - 0.001 * i, false, 0.0));  // standard
+  }
+  for (std::uint32_t i = 20; i < 40; ++i) {
+    psms.push_back(psm(i, 0.4 - 0.001 * i, false, 16.0));  // open
+  }
+  // One decoy above the open population with a shift.
+  psms.push_back(psm(99, 0.45, true, 16.0));
+
+  const auto global = filter_at_fdr(psms, 0.02);
+  const auto grouped = filter_at_fdr_standard_open(psms, 0.02);
+  std::size_t open_global = 0;
+  std::size_t open_grouped = 0;
+  for (const auto& p : global) open_global += p.is_standard() ? 0 : 1;
+  for (const auto& p : grouped) open_grouped += p.is_standard() ? 0 : 1;
+  EXPECT_GE(open_grouped, open_global);
+  // Standard matches accepted in both.
+  EXPECT_GE(grouped.size(), 20U);
+}
+
+TEST(Fdr, IsStandardUsesTolerance) {
+  EXPECT_TRUE(psm(0, 0.5, false, 0.3).is_standard());
+  EXPECT_FALSE(psm(0, 0.5, false, 16.0).is_standard());
+  EXPECT_TRUE(psm(0, 0.5, false, -0.3).is_standard());
+}
+
+TEST(Fdr, GroupedWithCustomGrouping) {
+  std::vector<Psm> psms = {psm(0, 0.9, false, 0.0), psm(1, 0.8, false, 50.0),
+                           psm(2, 0.7, true, 50.0)};
+  const auto accepted = filter_at_fdr_grouped(
+      psms, 1.0, [](const Psm& p) { return p.mass_shift > 25.0 ? 1 : 0; });
+  EXPECT_EQ(accepted.size(), 2U);  // both targets, decoy excluded
+}
+
+}  // namespace
+}  // namespace oms::core

@@ -1,0 +1,80 @@
+#include "core/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms::core {
+namespace {
+
+IdSet make_set(std::initializer_list<std::uint32_t> ids) {
+  IdSet s;
+  for (const auto id : ids) s.emplace_back(id, "P" + std::to_string(id));
+  return s;
+}
+
+TEST(Overlap2, BasicIntersections) {
+  EXPECT_EQ(overlap2(make_set({1, 2, 3}), make_set({2, 3, 4})), 2U);
+  EXPECT_EQ(overlap2(make_set({1, 2}), make_set({3, 4})), 0U);
+  EXPECT_EQ(overlap2(make_set({}), make_set({1})), 0U);
+  EXPECT_EQ(overlap2(make_set({1, 2, 3}), make_set({1, 2, 3})), 3U);
+}
+
+TEST(Overlap2, SameIdDifferentPeptideDoesNotMatch) {
+  IdSet a = {{1, "AAA"}};
+  IdSet b = {{1, "BBB"}};
+  EXPECT_EQ(overlap2(a, b), 0U);
+}
+
+TEST(Venn3, DisjointSets) {
+  const VennCounts v =
+      venn3(make_set({1}), make_set({2}), make_set({3}));
+  EXPECT_EQ(v.only_a, 1U);
+  EXPECT_EQ(v.only_b, 1U);
+  EXPECT_EQ(v.only_c, 1U);
+  EXPECT_EQ(v.abc, 0U);
+  EXPECT_EQ(v.union_size(), 3U);
+}
+
+TEST(Venn3, FullOverlap) {
+  const auto s = make_set({1, 2, 3});
+  const VennCounts v = venn3(s, s, s);
+  EXPECT_EQ(v.abc, 3U);
+  EXPECT_EQ(v.union_size(), 3U);
+  EXPECT_EQ(v.only_a + v.only_b + v.only_c + v.ab + v.ac + v.bc, 0U);
+}
+
+TEST(Venn3, MixedRegions) {
+  // a = {1,2,3,4}, b = {3,4,5}, c = {4,5,6}
+  const VennCounts v = venn3(make_set({1, 2, 3, 4}), make_set({3, 4, 5}),
+                             make_set({4, 5, 6}));
+  EXPECT_EQ(v.only_a, 2U);  // 1, 2
+  EXPECT_EQ(v.ab, 1U);      // 3
+  EXPECT_EQ(v.abc, 1U);     // 4
+  EXPECT_EQ(v.bc, 1U);      // 5
+  EXPECT_EQ(v.only_c, 1U);  // 6
+  EXPECT_EQ(v.only_b, 0U);
+  EXPECT_EQ(v.ac, 0U);
+  EXPECT_EQ(v.union_size(), 6U);
+}
+
+TEST(Venn3, TotalsMatchInputSizes) {
+  const auto a = make_set({1, 2, 3, 4, 5});
+  const auto b = make_set({4, 5, 6, 7});
+  const auto c = make_set({1, 5, 7, 9});
+  const VennCounts v = venn3(a, b, c);
+  EXPECT_EQ(v.total_a(), a.size());
+  EXPECT_EQ(v.total_b(), b.size());
+  EXPECT_EQ(v.total_c(), c.size());
+}
+
+TEST(Venn3, PairwiseConsistentWithOverlap2) {
+  const auto a = make_set({1, 2, 3, 4, 5, 6});
+  const auto b = make_set({2, 4, 6, 8});
+  const auto c = make_set({3, 6, 9});
+  const VennCounts v = venn3(a, b, c);
+  EXPECT_EQ(v.ab + v.abc, overlap2(a, b));
+  EXPECT_EQ(v.ac + v.abc, overlap2(a, c));
+  EXPECT_EQ(v.bc + v.abc, overlap2(b, c));
+}
+
+}  // namespace
+}  // namespace oms::core

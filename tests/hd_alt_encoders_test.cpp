@@ -1,0 +1,134 @@
+#include "hd/alt_encoders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hd/encoder.hpp"
+#include "util/rng.hpp"
+
+namespace oms::hd {
+namespace {
+
+void make_sparse(std::uint64_t seed, std::size_t n_peaks,
+                 std::vector<std::uint32_t>& bins,
+                 std::vector<float>& weights) {
+  util::Xoshiro256 rng(seed);
+  bins.clear();
+  weights.clear();
+  std::uint32_t bin = 0;
+  for (std::size_t i = 0; i < n_peaks; ++i) {
+    bin += 1 + static_cast<std::uint32_t>(rng.below(50));
+    bins.push_back(bin);
+    weights.push_back(static_cast<float>(rng.uniform(0.05, 1.0)));
+  }
+}
+
+TEST(PermutationEncoderTest, RejectsBadConfig) {
+  EXPECT_THROW(PermutationEncoder(100, 16, 1), std::invalid_argument);
+  EXPECT_THROW(PermutationEncoder(1024, 1, 1), std::invalid_argument);
+}
+
+TEST(PermutationEncoderTest, RotateShiftsBits) {
+  util::BitVec hv(128);
+  hv.set(0, true);
+  hv.set(100, true);
+  const util::BitVec rotated = PermutationEncoder::rotate(hv, 30);
+  EXPECT_TRUE(rotated.get(30));
+  EXPECT_TRUE(rotated.get(2));  // 100 + 30 mod 128
+  EXPECT_EQ(rotated.popcount(), 2U);
+}
+
+TEST(PermutationEncoderTest, RotatePreservesPopcountAndDistance) {
+  util::BitVec a(512);
+  util::BitVec b(512);
+  a.randomize(1);
+  b.randomize(2);
+  const auto ra = PermutationEncoder::rotate(a, 77);
+  const auto rb = PermutationEncoder::rotate(b, 77);
+  EXPECT_EQ(ra.popcount(), a.popcount());
+  EXPECT_EQ(util::hamming_distance(ra, rb), util::hamming_distance(a, b));
+}
+
+TEST(PermutationEncoderTest, DeterministicAndBalanced) {
+  const PermutationEncoder enc(2048, 16, 5);
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(10, 40, bins, weights);
+  const util::BitVec a = enc.encode(bins, weights);
+  const util::BitVec b = enc.encode(bins, weights);
+  EXPECT_EQ(a, b);
+  EXPECT_NEAR(static_cast<double>(a.popcount()) / 2048.0, 0.5, 0.08);
+}
+
+TEST(PermutationEncoderTest, SimilarSpectraCloserThanRandom) {
+  const PermutationEncoder enc(4096, 16, 6);
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(11, 40, bins, weights);
+  std::vector<std::uint32_t> related = bins;
+  for (std::size_t i = 0; i < related.size(); i += 4) related[i] += 9000;
+  std::vector<std::uint32_t> unrelated;
+  std::vector<float> w2;
+  make_sparse(12, 40, unrelated, w2);
+
+  const auto base = enc.encode(bins, weights);
+  const double sim_related =
+      util::hamming_similarity(base, enc.encode(related, weights));
+  const double sim_unrelated =
+      util::hamming_similarity(base, enc.encode(unrelated, w2));
+  EXPECT_GT(sim_related, sim_unrelated + 0.05);
+}
+
+TEST(RandomProjectionEncoderTest, DeterministicAndBalanced) {
+  const RandomProjectionEncoder enc(2048, 7);
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(20, 40, bins, weights);
+  const util::BitVec a = enc.encode(bins, weights);
+  EXPECT_EQ(a, enc.encode(bins, weights));
+  EXPECT_NEAR(static_cast<double>(a.popcount()) / 2048.0, 0.5, 0.08);
+}
+
+TEST(RandomProjectionEncoderTest, PreservesAngleOrdering) {
+  const RandomProjectionEncoder enc(4096, 8);
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(21, 40, bins, weights);
+  std::vector<std::uint32_t> related = bins;
+  for (std::size_t i = 0; i < related.size(); i += 4) related[i] += 9000;
+  std::vector<std::uint32_t> unrelated;
+  std::vector<float> w2;
+  make_sparse(22, 40, unrelated, w2);
+
+  const auto base = enc.encode(bins, weights);
+  EXPECT_GT(util::hamming_similarity(base, enc.encode(related, weights)),
+            util::hamming_similarity(base, enc.encode(unrelated, w2)) + 0.05);
+}
+
+TEST(AltEncoders, IdLevelSeparatesIntensityBetter) {
+  // The paper's §3.2 argument: ID-Level encoding retains intensity
+  // structure that the alternatives blur. An intensity-only change should
+  // move the ID-Level encoding *less* than the permutation encoding
+  // (whose rotations decorrelate immediately).
+  EncoderConfig cfg;
+  cfg.dim = 4096;
+  cfg.bins = 30000;
+  cfg.chunks = 256;
+  Encoder id_level(cfg);
+  const PermutationEncoder permutation(4096, 32, 9);
+
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(30, 40, bins, weights);
+  std::vector<float> perturbed = weights;
+  for (std::size_t i = 0; i < perturbed.size(); i += 2) perturbed[i] *= 0.6F;
+
+  id_level.id_bank().ensure(bins);
+  const double idlevel_sim = util::hamming_similarity(
+      id_level.encode(bins, weights), id_level.encode(bins, perturbed));
+  const double perm_sim = util::hamming_similarity(
+      permutation.encode(bins, weights), permutation.encode(bins, perturbed));
+  EXPECT_GT(idlevel_sim, perm_sim);
+}
+
+}  // namespace
+}  // namespace oms::hd

@@ -1,0 +1,229 @@
+#include "hd/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace oms::hd {
+namespace {
+
+EncoderConfig small_config(IdPrecision p = IdPrecision::k3Bit) {
+  EncoderConfig cfg;
+  cfg.dim = 2048;
+  cfg.bins = 20000;
+  cfg.levels = 16;
+  cfg.chunks = 64;
+  cfg.id_precision = p;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+/// A deterministic pseudo-random sparse spectrum.
+void make_sparse(std::uint64_t seed, std::size_t n_peaks,
+                 std::vector<std::uint32_t>& bins, std::vector<float>& weights) {
+  util::Xoshiro256 rng(seed);
+  bins.clear();
+  weights.clear();
+  std::uint32_t bin = 0;
+  for (std::size_t i = 0; i < n_peaks; ++i) {
+    bin += 1 + static_cast<std::uint32_t>(rng.below(20));
+    bins.push_back(bin);
+    weights.push_back(static_cast<float>(rng.uniform(0.05, 1.0)));
+  }
+}
+
+TEST(Encoder, RejectsBadDimension) {
+  EncoderConfig cfg = small_config();
+  cfg.dim = 100;  // not a multiple of 64
+  EXPECT_THROW(Encoder{cfg}, std::invalid_argument);
+}
+
+TEST(Encoder, EncodeIsDeterministic) {
+  Encoder enc_a(small_config());
+  Encoder enc_b(small_config());
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(1, 40, bins, weights);
+  enc_a.id_bank().ensure(bins);
+  enc_b.id_bank().ensure(bins);
+  EXPECT_EQ(enc_a.encode(bins, weights), enc_b.encode(bins, weights));
+}
+
+TEST(Encoder, OutputIsApproximatelyBalanced) {
+  Encoder enc(small_config());
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(2, 50, bins, weights);
+  enc.id_bank().ensure(bins);
+  const util::BitVec hv = enc.encode(bins, weights);
+  EXPECT_NEAR(static_cast<double>(hv.popcount()) / 2048.0, 0.5, 0.08);
+}
+
+TEST(Encoder, DifferentSpectraAreNearOrthogonal) {
+  Encoder enc(small_config());
+  std::vector<std::uint32_t> bins_a;
+  std::vector<float> w_a;
+  std::vector<std::uint32_t> bins_b;
+  std::vector<float> w_b;
+  make_sparse(3, 40, bins_a, w_a);
+  make_sparse(4, 40, bins_b, w_b);
+  enc.id_bank().ensure(bins_a);
+  enc.id_bank().ensure(bins_b);
+  const double sim = util::hamming_similarity(enc.encode(bins_a, w_a),
+                                              enc.encode(bins_b, w_b));
+  EXPECT_NEAR(sim, 0.5, 0.08);
+}
+
+TEST(Encoder, SharedPeaksIncreaseSimilarity) {
+  Encoder enc(small_config());
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(5, 40, bins, weights);
+  // Variant: same peaks with ~25% of bins replaced.
+  std::vector<std::uint32_t> bins2 = bins;
+  std::vector<float> weights2 = weights;
+  for (std::size_t i = 0; i < bins2.size(); i += 4) bins2[i] += 1000;
+  enc.id_bank().ensure(bins);
+  enc.id_bank().ensure(bins2);
+  const double sim_related = util::hamming_similarity(
+      enc.encode(bins, weights), enc.encode(bins2, weights2));
+
+  std::vector<std::uint32_t> bins3;
+  std::vector<float> weights3;
+  make_sparse(6, 40, bins3, weights3);
+  enc.id_bank().ensure(bins3);
+  const double sim_unrelated = util::hamming_similarity(
+      enc.encode(bins, weights), enc.encode(bins3, weights3));
+
+  EXPECT_GT(sim_related, sim_unrelated + 0.1);
+}
+
+TEST(Encoder, SimilarityDecreasesWithPerturbation) {
+  Encoder enc(small_config());
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(7, 48, bins, weights);
+  enc.id_bank().ensure(bins);
+  const util::BitVec base = enc.encode(bins, weights);
+
+  double prev_sim = 1.0;
+  for (const std::size_t n_replaced : {6U, 16U, 32U}) {
+    std::vector<std::uint32_t> mutated = bins;
+    for (std::size_t i = 0; i < n_replaced; ++i) mutated[i] += 5000;
+    enc.id_bank().ensure(mutated);
+    const double sim =
+        util::hamming_similarity(base, enc.encode(mutated, weights));
+    EXPECT_LT(sim, prev_sim + 1e-9);
+    prev_sim = sim;
+  }
+}
+
+TEST(Encoder, IntensityChangesMatterLessThanPositionChanges) {
+  Encoder enc(small_config());
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(8, 40, bins, weights);
+  enc.id_bank().ensure(bins);
+  const util::BitVec base = enc.encode(bins, weights);
+
+  // Small intensity perturbation: neighbor levels stay similar.
+  std::vector<float> jittered = weights;
+  for (auto& w : jittered) w *= 1.1F;
+  const double sim_intensity =
+      util::hamming_similarity(base, enc.encode(bins, jittered));
+
+  // Position change of the same scale.
+  std::vector<std::uint32_t> moved = bins;
+  for (std::size_t i = 0; i < moved.size(); i += 2) moved[i] += 3000;
+  enc.id_bank().ensure(moved);
+  const double sim_position =
+      util::hamming_similarity(base, enc.encode(moved, weights));
+
+  EXPECT_GT(sim_intensity, sim_position);
+  EXPECT_GT(sim_intensity, 0.9);
+}
+
+TEST(Encoder, BatchMatchesSingleEncodes) {
+  Encoder enc(small_config());
+  std::vector<std::vector<std::uint32_t>> bin_lists(5);
+  std::vector<std::vector<float>> weight_lists(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    make_sparse(100 + i, 30 + i, bin_lists[i], weight_lists[i]);
+  }
+  const auto batch = enc.encode_batch(bin_lists, weight_lists);
+  ASSERT_EQ(batch.size(), 5U);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[i], enc.encode(bin_lists[i], weight_lists[i])) << i;
+  }
+}
+
+TEST(Encoder, AccumulateMatchesManualComputation) {
+  EncoderConfig cfg = small_config(IdPrecision::k1Bit);
+  cfg.dim = 256;
+  cfg.chunks = 8;
+  Encoder enc(cfg);
+  const std::vector<std::uint32_t> bins = {10, 20};
+  const std::vector<float> weights = {1.0F, 0.5F};
+  enc.id_bank().ensure(bins);
+
+  std::vector<std::int32_t> acc(cfg.dim, 0);
+  enc.accumulate(bins, weights, acc);
+
+  const auto levels = enc.quantize_levels(weights);
+  for (std::size_t d = 0; d < cfg.dim; ++d) {
+    std::int32_t expected = 0;
+    for (std::size_t p = 0; p < bins.size(); ++p) {
+      const int id = enc.id_bank().row(bins[p])[d];
+      const int lv = enc.level_bank().chunk_sign(
+          levels[p], static_cast<std::uint32_t>(d) / enc.level_bank().chunk_width());
+      expected += id * lv;
+    }
+    ASSERT_EQ(acc[d], expected) << "dim " << d;
+  }
+}
+
+TEST(Encoder, BinarizeTieBreakIsDeterministic) {
+  const std::vector<std::int32_t> acc = {0, 0, 5, -5};
+  const util::BitVec hv = Encoder::binarize(acc);
+  EXPECT_FALSE(hv.get(0));  // even index tie → 0
+  EXPECT_TRUE(hv.get(1));   // odd index tie → 1
+  EXPECT_TRUE(hv.get(2));
+  EXPECT_FALSE(hv.get(3));
+}
+
+TEST(Encoder, QuantizeLevelsRelativeToMax) {
+  Encoder enc(small_config());
+  const std::vector<float> weights = {0.2F, 0.4F, 0.8F};
+  const auto levels = enc.quantize_levels(weights);
+  ASSERT_EQ(levels.size(), 3U);
+  EXPECT_EQ(levels[2], enc.config().levels - 1);  // max weight → top level
+  EXPECT_LT(levels[0], levels[1]);
+  EXPECT_LT(levels[1], levels[2]);
+}
+
+TEST(Encoder, EmptySpectrumGivesDeterministicVector) {
+  Encoder enc(small_config());
+  const util::BitVec hv = enc.encode({}, {});
+  EXPECT_EQ(hv.size(), enc.config().dim);
+}
+
+class EncoderPrecisionSweep : public ::testing::TestWithParam<IdPrecision> {};
+
+TEST_P(EncoderPrecisionSweep, AllPrecisionsProduceValidEncodings) {
+  Encoder enc(small_config(GetParam()));
+  std::vector<std::uint32_t> bins;
+  std::vector<float> weights;
+  make_sparse(55, 45, bins, weights);
+  enc.id_bank().ensure(bins);
+  const util::BitVec hv = enc.encode(bins, weights);
+  EXPECT_EQ(hv.size(), 2048U);
+  EXPECT_NEAR(static_cast<double>(hv.popcount()) / 2048.0, 0.5, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, EncoderPrecisionSweep,
+                         ::testing::Values(IdPrecision::k1Bit,
+                                           IdPrecision::k2Bit,
+                                           IdPrecision::k3Bit));
+
+}  // namespace
+}  // namespace oms::hd

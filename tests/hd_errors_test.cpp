@@ -1,0 +1,88 @@
+#include "hd/errors.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms::hd {
+namespace {
+
+TEST(InjectBitErrors, ZeroRateIsNoop) {
+  util::BitVec hv(2048);
+  hv.randomize(1);
+  const util::BitVec before = hv;
+  util::Xoshiro256 rng(2);
+  inject_bit_errors(hv, 0.0, rng);
+  EXPECT_EQ(hv, before);
+}
+
+TEST(InjectBitErrors, FullRateFlipsEverything) {
+  util::BitVec hv(777);
+  hv.randomize(3);
+  const util::BitVec before = hv;
+  util::Xoshiro256 rng(4);
+  inject_bit_errors(hv, 1.0, rng);
+  EXPECT_EQ(util::hamming_distance(before, hv), 777U);
+}
+
+class BerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BerSweep, EmpiricalRateMatchesTarget) {
+  const double ber = GetParam();
+  std::vector<util::BitVec> hvs(64, util::BitVec(8192));
+  for (std::size_t i = 0; i < hvs.size(); ++i) hvs[i].randomize(i);
+  const auto corrupted = with_bit_errors(hvs, ber, 99);
+  const double measured = measured_ber(hvs, corrupted);
+  EXPECT_NEAR(measured, ber, ber * 0.15 + 0.0005) << "target " << ber;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BerSweep,
+                         ::testing::Values(0.0015, 0.01, 0.05, 0.10, 0.20));
+
+TEST(WithBitErrors, DeterministicInSeed) {
+  std::vector<util::BitVec> hvs(8, util::BitVec(1024));
+  for (std::size_t i = 0; i < hvs.size(); ++i) hvs[i].randomize(i + 50);
+  const auto a = with_bit_errors(hvs, 0.05, 7);
+  const auto b = with_bit_errors(hvs, 0.05, 7);
+  for (std::size_t i = 0; i < hvs.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  const auto c = with_bit_errors(hvs, 0.05, 8);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < hvs.size(); ++i) same += a[i] == c[i] ? 1 : 0;
+  EXPECT_LT(same, hvs.size());
+}
+
+TEST(WithBitErrors, OriginalsUntouched) {
+  std::vector<util::BitVec> hvs(4, util::BitVec(512));
+  for (std::size_t i = 0; i < hvs.size(); ++i) hvs[i].randomize(i + 80);
+  const auto copies = hvs;
+  (void)with_bit_errors(hvs, 0.2, 5);
+  for (std::size_t i = 0; i < hvs.size(); ++i) EXPECT_EQ(hvs[i], copies[i]);
+}
+
+TEST(MeasuredBer, IdenticalSetsGiveZero) {
+  std::vector<util::BitVec> hvs(4, util::BitVec(256));
+  for (std::size_t i = 0; i < hvs.size(); ++i) hvs[i].randomize(i);
+  EXPECT_EQ(measured_ber(hvs, hvs), 0.0);
+}
+
+TEST(MeasuredBer, MismatchedSizesGiveZero) {
+  std::vector<util::BitVec> a(2, util::BitVec(128));
+  std::vector<util::BitVec> b(3, util::BitVec(128));
+  EXPECT_EQ(measured_ber(a, b), 0.0);
+}
+
+TEST(InjectBitErrors, SimilarityDegradesGracefully) {
+  // The HD robustness premise: moderate BER keeps matched pairs far above
+  // random similarity. At 10% BER on both sides of a matched pair, the
+  // expected similarity is (1-p)^2 + p^2 ≈ 0.82.
+  util::BitVec a(8192);
+  a.randomize(123);
+  util::BitVec b = a;
+  util::Xoshiro256 rng(9);
+  inject_bit_errors(a, 0.10, rng);
+  inject_bit_errors(b, 0.10, rng);
+  const double sim = util::hamming_similarity(a, b);
+  EXPECT_NEAR(sim, 0.82, 0.03);
+  EXPECT_GT(sim, 0.6);  // still far from the 0.5 of random pairs
+}
+
+}  // namespace
+}  // namespace oms::hd

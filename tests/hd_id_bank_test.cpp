@@ -1,0 +1,106 @@
+#include "hd/id_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace oms::hd {
+namespace {
+
+TEST(IdPrecisionHelpers, MagnitudeTable) {
+  EXPECT_EQ(max_magnitude(IdPrecision::k1Bit), 1);
+  EXPECT_EQ(max_magnitude(IdPrecision::k2Bit), 3);
+  EXPECT_EQ(max_magnitude(IdPrecision::k3Bit), 7);
+  EXPECT_EQ(magnitude_count(IdPrecision::k1Bit), 1);
+  EXPECT_EQ(magnitude_count(IdPrecision::k2Bit), 2);
+  EXPECT_EQ(magnitude_count(IdPrecision::k3Bit), 4);
+}
+
+TEST(IdBank, RowValuesMatchPrecisionLattice) {
+  for (const auto p :
+       {IdPrecision::k1Bit, IdPrecision::k2Bit, IdPrecision::k3Bit}) {
+    IdBank bank(10, 2048, p, 123);
+    std::vector<std::int8_t> row(2048);
+    bank.generate_row(3, row);
+    const int maxmag = max_magnitude(p);
+    for (const std::int8_t v : row) {
+      EXPECT_NE(v, 0);
+      EXPECT_LE(std::abs(v), maxmag);
+      EXPECT_EQ(std::abs(v) % 2, 1) << "magnitudes must be odd";
+    }
+  }
+}
+
+TEST(IdBank, SignsAndMagnitudesBalanced) {
+  IdBank bank(4, 65536, IdPrecision::k3Bit, 7);
+  std::vector<std::int8_t> row(65536);
+  bank.generate_row(0, row);
+  std::map<int, int> counts;
+  int positive = 0;
+  for (const std::int8_t v : row) {
+    positive += v > 0 ? 1 : 0;
+    ++counts[std::abs(v)];
+  }
+  EXPECT_NEAR(positive / 65536.0, 0.5, 0.02);
+  // Four odd magnitudes, each ~25%.
+  for (const int mag : {1, 3, 5, 7}) {
+    EXPECT_NEAR(counts[mag] / 65536.0, 0.25, 0.02) << mag;
+  }
+}
+
+TEST(IdBank, RowsAreDeterministic) {
+  IdBank a(10, 512, IdPrecision::k2Bit, 42);
+  IdBank b(10, 512, IdPrecision::k2Bit, 42);
+  std::vector<std::int8_t> ra(512);
+  std::vector<std::int8_t> rb(512);
+  a.generate_row(5, ra);
+  b.generate_row(5, rb);
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(IdBank, DifferentBinsDiffer) {
+  IdBank bank(10, 4096, IdPrecision::k1Bit, 42);
+  std::vector<std::int8_t> r0(4096);
+  std::vector<std::int8_t> r1(4096);
+  bank.generate_row(0, r0);
+  bank.generate_row(1, r1);
+  int same = 0;
+  for (std::size_t i = 0; i < r0.size(); ++i) same += r0[i] == r1[i] ? 1 : 0;
+  // Independent bipolar rows agree on about half the components.
+  EXPECT_NEAR(same / 4096.0, 0.5, 0.05);
+}
+
+TEST(IdBank, DifferentSeedsDiffer) {
+  IdBank a(10, 1024, IdPrecision::k1Bit, 1);
+  IdBank b(10, 1024, IdPrecision::k1Bit, 2);
+  std::vector<std::int8_t> ra(1024);
+  std::vector<std::int8_t> rb(1024);
+  a.generate_row(0, ra);
+  b.generate_row(0, rb);
+  EXPECT_NE(ra, rb);
+}
+
+TEST(IdBank, EnsureMaterializesAndRowReturnsSameData) {
+  IdBank bank(100, 256, IdPrecision::k3Bit, 9);
+  EXPECT_FALSE(bank.materialized(7));
+  EXPECT_THROW((void)bank.row(7), std::logic_error);
+  const std::vector<std::uint32_t> bins = {7, 3, 7};
+  bank.ensure(bins);
+  EXPECT_TRUE(bank.materialized(7));
+  EXPECT_TRUE(bank.materialized(3));
+  EXPECT_FALSE(bank.materialized(0));
+  std::vector<std::int8_t> fresh(256);
+  bank.generate_row(7, fresh);
+  const auto row = bank.row(7);
+  for (std::size_t i = 0; i < row.size(); ++i) EXPECT_EQ(row[i], fresh[i]);
+}
+
+TEST(IdBank, EnsureRejectsOutOfRangeBin) {
+  IdBank bank(10, 256, IdPrecision::k1Bit, 9);
+  const std::vector<std::uint32_t> bins = {10};
+  EXPECT_THROW(bank.ensure(bins), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace oms::hd

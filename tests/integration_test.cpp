@@ -1,0 +1,226 @@
+// Cross-module integration tests: file formats feeding the pipeline, the
+// three-tool comparison, and end-to-end behaviour of the RRAM-backed
+// configuration — the paths the bench harnesses rely on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "baseline/annsolo.hpp"
+#include "baseline/hyperoms.hpp"
+#include "core/overlap.hpp"
+#include "core/pipeline.hpp"
+#include "ms/consensus.hpp"
+#include "ms/mgf.hpp"
+#include "ms/mzml.hpp"
+#include "ms/synthetic.hpp"
+
+namespace oms {
+namespace {
+
+const ms::Workload& shared_workload() {
+  static const ms::Workload wl = [] {
+    ms::WorkloadConfig cfg;
+    cfg.reference_count = 250;
+    cfg.query_count = 100;
+    cfg.seed = 31337;
+    return ms::generate_workload(cfg);
+  }();
+  return wl;
+}
+
+core::PipelineConfig small_config() {
+  core::PipelineConfig cfg;
+  cfg.encoder.dim = 2048;
+  cfg.encoder.bins = cfg.preprocess.bin_count();
+  cfg.encoder.chunks = 128;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Integration, MgfRoundTripPreservesIdentifications) {
+  const ms::Workload& wl = shared_workload();
+
+  // Run directly.
+  core::Pipeline direct(small_config());
+  direct.set_library(wl.references);
+  const auto direct_ids = direct.run(wl.queries).identification_set();
+
+  // Round trip queries through MGF text.
+  std::stringstream ss;
+  ms::write_mgf(ss, wl.queries);
+  const auto queries2 = ms::read_mgf(ss);
+  ASSERT_EQ(queries2.size(), wl.queries.size());
+
+  core::Pipeline via_mgf(small_config());
+  via_mgf.set_library(wl.references);
+  const auto mgf_ids = via_mgf.run(queries2).identification_set();
+
+  // Text formatting truncates floats slightly; the identified sets should
+  // still agree almost perfectly.
+  const std::size_t inter = core::overlap2(direct_ids, mgf_ids);
+  EXPECT_GT(inter, direct_ids.size() * 9 / 10);
+}
+
+TEST(Integration, MzmlRoundTripPreservesIdentificationsExactly) {
+  const ms::Workload& wl = shared_workload();
+
+  core::Pipeline direct(small_config());
+  direct.set_library(wl.references);
+  const auto direct_ids = direct.run(wl.queries).identification_set();
+
+  // mzML stores binary doubles → lossless round trip.
+  std::stringstream ss;
+  ms::write_mzml(ss, wl.queries);
+  const auto queries2 = ms::read_mzml(ss);
+  ASSERT_EQ(queries2.size(), wl.queries.size());
+
+  core::Pipeline via_mzml(small_config());
+  via_mzml.set_library(wl.references);
+  EXPECT_EQ(via_mzml.run(queries2).identification_set(), direct_ids);
+}
+
+TEST(Integration, ThreeToolVennHasLargeCommonCore) {
+  const ms::Workload& wl = shared_workload();
+
+  core::Pipeline this_work(small_config());
+  this_work.set_library(wl.references);
+  const auto ours = this_work.run(wl.queries).identification_set();
+
+  baseline::HyperOmsConfig hcfg;
+  hcfg.dim = 2048;
+  baseline::HyperOmsSearcher hyperoms(hcfg);
+  hyperoms.set_library(wl.references);
+  const auto theirs_hd = hyperoms.run(wl.queries).identification_set();
+
+  baseline::AnnSoloSearcher annsolo{baseline::AnnSoloConfig{}};
+  annsolo.set_library(wl.references);
+  const auto theirs_ann = annsolo.run(wl.queries).identification_set();
+
+  const core::VennCounts v = core::venn3(ours, theirs_hd, theirs_ann);
+  EXPECT_GT(v.union_size(), 0U);
+  // The triple intersection should dominate each tool's exclusive region
+  // (Fig. 10's message: "the majority of identified peptides align").
+  EXPECT_GT(v.abc, v.only_a);
+  EXPECT_GT(v.abc, v.only_b);
+  EXPECT_GT(v.abc, v.only_c);
+}
+
+TEST(Integration, RramBackendEndToEndWithMultiBitIds) {
+  const ms::Workload& wl = shared_workload();
+  core::PipelineConfig cfg = small_config();
+  cfg.backend = core::Backend::kRramStatistical;
+  cfg.encoder.id_precision = hd::IdPrecision::k3Bit;
+  core::Pipeline pipeline(cfg);
+  pipeline.set_library(wl.references);
+  const core::PipelineResult result = pipeline.run(wl.queries);
+  EXPECT_GT(result.identifications(), 20U);
+  for (const auto& p : result.accepted) EXPECT_FALSE(p.is_decoy);
+}
+
+TEST(Integration, HigherDimensionIdentifiesAtLeastAsMuch) {
+  // Fig. 13 trend: higher HD dimension → better separability.
+  const ms::Workload& wl = shared_workload();
+
+  core::PipelineConfig low = small_config();
+  low.encoder.dim = 512;
+  low.encoder.chunks = 64;
+  core::Pipeline p_low(low);
+  p_low.set_library(wl.references);
+  const std::size_t ids_low = p_low.run(wl.queries).identifications();
+
+  core::PipelineConfig high = small_config();
+  high.encoder.dim = 4096;
+  high.encoder.chunks = 256;
+  core::Pipeline p_high(high);
+  p_high.set_library(wl.references);
+  const std::size_t ids_high = p_high.run(wl.queries).identifications();
+
+  EXPECT_GE(ids_high + 5, ids_low);  // allow small-sample wiggle
+}
+
+TEST(Integration, ReplicatesToConsensusToSearch) {
+  // Library construction the way real deployments do it: several noisy
+  // replicate spectra per peptide, merged into consensus entries, then
+  // searched. The consensus library should outperform a library built
+  // from single noisy replicates.
+  const auto peptides = oms::ms::generate_tryptic_peptides(200, 8, 20, 88);
+  ms::SynthesisParams noisy;
+  noisy.mz_jitter = 0.008;
+  noisy.noise_peaks = 12;
+  noisy.keep_probability = 0.8;
+
+  std::vector<ms::Spectrum> single_replicates;
+  std::vector<ms::Spectrum> consensus_library;
+  std::uint32_t id = 0;
+  for (const auto& pep : peptides) {
+    std::vector<ms::Spectrum> reps;
+    for (std::uint32_t r = 0; r < 5; ++r) {
+      ms::Spectrum s =
+          ms::synthesize_spectrum(pep, 2, noisy, 3000 + r, id);
+      reps.push_back(std::move(s));
+    }
+    single_replicates.push_back(reps.front());
+    consensus_library.push_back(ms::build_consensus(reps));
+    ++id;
+  }
+
+  // Queries: fresh noisy observations of half the peptides.
+  std::vector<ms::Spectrum> queries;
+  for (std::size_t i = 0; i < peptides.size(); i += 2) {
+    queries.push_back(
+        ms::synthesize_spectrum(peptides[i], 2, noisy, 9000, id++));
+  }
+
+  core::PipelineConfig cfg = small_config();
+  core::Pipeline with_consensus(cfg);
+  with_consensus.set_library(consensus_library);
+  const std::size_t ids_consensus =
+      with_consensus.run(queries).identifications();
+
+  core::Pipeline with_singles(cfg);
+  with_singles.set_library(single_replicates);
+  const std::size_t ids_single = with_singles.run(queries).identifications();
+
+  EXPECT_GT(ids_consensus, 0U);
+  // Consensus must not be worse; with this noise level it usually wins.
+  EXPECT_GE(ids_consensus + 3, ids_single);
+}
+
+TEST(Integration, MgfFileOnDiskRoundTrip) {
+  const ms::Workload& wl = shared_workload();
+  const std::string path = ::testing::TempDir() + "/oms_integration.mgf";
+  ms::write_mgf_file(path, wl.queries);
+  const auto back = ms::read_mgf_file(path);
+  EXPECT_EQ(back.size(), wl.queries.size());
+  std::remove(path.c_str());
+}
+
+TEST(Integration, RramBackendDeterministicRegardlessOfScheduling) {
+  // The RRAM-statistical backend keys all simulation noise on
+  // (seed, query id, reference) rather than on a shared RNG stream, so
+  // results must be bit-identical however the thread pool slices the
+  // query batch. Run the same search twice — scheduling will differ — and
+  // compare the full PSM lists.
+  const ms::Workload& wl = shared_workload();
+  core::PipelineConfig cfg = small_config();
+  cfg.backend = core::Backend::kRramStatistical;
+
+  core::Pipeline a(cfg);
+  a.set_library(wl.references);
+  const auto ra = a.run(wl.queries);
+  core::Pipeline b(cfg);
+  b.set_library(wl.references);
+  const auto rb = b.run(wl.queries);
+
+  ASSERT_EQ(ra.psms.size(), rb.psms.size());
+  for (std::size_t i = 0; i < ra.psms.size(); ++i) {
+    EXPECT_EQ(ra.psms[i].query_id, rb.psms[i].query_id);
+    EXPECT_EQ(ra.psms[i].reference_index, rb.psms[i].reference_index);
+    EXPECT_DOUBLE_EQ(ra.psms[i].score, rb.psms[i].score);
+  }
+  EXPECT_EQ(ra.identification_set(), rb.identification_set());
+}
+
+}  // namespace
+}  // namespace oms

@@ -1,0 +1,80 @@
+#include "ms/decoy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ms/masses.hpp"
+#include "ms/synthesizer.hpp"
+
+namespace oms::ms {
+namespace {
+
+TEST(ShuffleDecoy, PreservesCompositionAndCTerm) {
+  const std::string target = "ACDEFGHIKLMNPQRSTVWK";
+  const std::string decoy = shuffle_decoy(target, 42);
+  EXPECT_EQ(decoy.size(), target.size());
+  EXPECT_EQ(decoy.back(), target.back());
+  std::string a = target;
+  std::string b = decoy;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);  // same residue composition ⇒ same precursor mass
+  EXPECT_NEAR(peptide_mass(target), peptide_mass(decoy), 1e-9);
+}
+
+TEST(ShuffleDecoy, DiffersFromTargetForTypicalSequences) {
+  EXPECT_NE(shuffle_decoy("ACDEFGHIKLMNPQRSTVWK", 1),
+            "ACDEFGHIKLMNPQRSTVWK");
+}
+
+TEST(ShuffleDecoy, DeterministicInSeed) {
+  EXPECT_EQ(shuffle_decoy("ACDEFGHIK", 5), shuffle_decoy("ACDEFGHIK", 5));
+  EXPECT_NE(shuffle_decoy("ACDEFGHIKLMNPQR", 5),
+            shuffle_decoy("ACDEFGHIKLMNPQR", 6));
+}
+
+TEST(ShuffleDecoy, ShortSequencesPassThrough) {
+  EXPECT_EQ(shuffle_decoy("AK", 1), "AK");
+}
+
+TEST(ReverseDecoy, ReversesAllButLast) {
+  EXPECT_EQ(reverse_decoy("ABCDK"), "DCBAK");
+  EXPECT_EQ(reverse_decoy("AK"), "AK");
+}
+
+TEST(MakeDecoySpectrum, AnnotatedTargetGetsShuffledPeptide) {
+  const Peptide pep("ACDEFGHIKLMNPQRK");
+  const SynthesisParams params{};
+  const Spectrum target = synthesize_spectrum(pep, 2, params, 7, 3);
+  const Spectrum decoy = make_decoy_spectrum(target, params, 7);
+  EXPECT_TRUE(decoy.is_decoy);
+  EXPECT_FALSE(decoy.peptide.empty());
+  EXPECT_NE(decoy.peptide, target.peptide);
+  // Same composition ⇒ near-identical precursor mass (up to jitter).
+  EXPECT_NEAR(decoy.precursor_mass(), target.precursor_mass(), 0.1);
+  EXPECT_TRUE(decoy.well_formed());
+}
+
+TEST(MakeDecoySpectrum, UnannotatedTargetGetsShuffledPeaks) {
+  Spectrum target;
+  target.id = 9;
+  target.precursor_mz = 700.0;
+  target.precursor_charge = 2;
+  for (int i = 0; i < 20; ++i) {
+    target.peaks.push_back({200.0 + 30.0 * i, 50.0F + i});
+  }
+  const Spectrum decoy = make_decoy_spectrum(target, SynthesisParams{}, 11);
+  EXPECT_TRUE(decoy.is_decoy);
+  EXPECT_EQ(decoy.peaks.size(), target.peaks.size());
+  EXPECT_TRUE(decoy.well_formed());
+  // Positions are redrawn: at least half the peaks should move.
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < decoy.peaks.size(); ++i) {
+    if (std::abs(decoy.peaks[i].mz - target.peaks[i].mz) > 0.5) ++moved;
+  }
+  EXPECT_GT(moved, decoy.peaks.size() / 2);
+}
+
+}  // namespace
+}  // namespace oms::ms

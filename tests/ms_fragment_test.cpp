@@ -1,0 +1,115 @@
+#include "ms/fragment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ms/masses.hpp"
+
+namespace oms::ms {
+namespace {
+
+TEST(Fragment, CountForUnmodifiedPeptide) {
+  const Peptide p("PEPTIDEK");
+  const auto ions = fragment_ions(p);
+  // n-1 b ions + n-1 y ions at charge 1.
+  EXPECT_EQ(ions.size(), 2U * 7U);
+}
+
+TEST(Fragment, TooShortPeptideHasNoIons) {
+  EXPECT_TRUE(fragment_ions(Peptide("K")).empty());
+}
+
+TEST(Fragment, SortedByMz) {
+  const auto ions = fragment_ions(Peptide("ACDEFGHIKLMNPQR"));
+  EXPECT_TRUE(std::is_sorted(
+      ions.begin(), ions.end(),
+      [](const FragmentIon& a, const FragmentIon& b) { return a.mz < b.mz; }));
+}
+
+TEST(Fragment, B1IsFirstResiduePlusProton) {
+  const auto ions = fragment_ions(Peptide("GAK"));
+  const auto b1 = std::find_if(ions.begin(), ions.end(), [](const FragmentIon& i) {
+    return i.type == IonType::kB && i.index == 1;
+  });
+  ASSERT_NE(b1, ions.end());
+  EXPECT_NEAR(b1->mz, residue_mass('G') + kProtonMass, 1e-6);
+}
+
+TEST(Fragment, Y1IsLastResiduePlusWaterPlusProton) {
+  const auto ions = fragment_ions(Peptide("GAK"));
+  const auto y1 = std::find_if(ions.begin(), ions.end(), [](const FragmentIon& i) {
+    return i.type == IonType::kY && i.index == 1;
+  });
+  ASSERT_NE(y1, ions.end());
+  EXPECT_NEAR(y1->mz, residue_mass('K') + kWaterMass + kProtonMass, 1e-6);
+}
+
+TEST(Fragment, BYComplementarity) {
+  // b_i + y_{n-i} = M + 2*proton (both singly charged, M = neutral mass).
+  const Peptide p("SAMPLEK");
+  const double total = p.mass() + 2.0 * kProtonMass;
+  const auto ions = fragment_ions(p);
+  const std::size_t n = p.length();
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto b = std::find_if(ions.begin(), ions.end(),
+                                [i](const FragmentIon& f) {
+                                  return f.type == IonType::kB && f.index == i;
+                                });
+    const auto y = std::find_if(
+        ions.begin(), ions.end(), [i, n](const FragmentIon& f) {
+          return f.type == IonType::kY && f.index == n - i;
+        });
+    ASSERT_NE(b, ions.end());
+    ASSERT_NE(y, ions.end());
+    EXPECT_NEAR(b->mz + y->mz, total, 1e-6) << "i=" << i;
+  }
+}
+
+TEST(Fragment, ModificationShiftsOnlyContainingIons) {
+  const Peptide plain("ACDEFGK");
+  // Oxidation on position 1 (C): shifts b2.. and y6 (which contains C).
+  const Peptide mod("ACDEFGK", {{1, 15.994915, "Oxidation"}});
+  const auto pi = fragment_ions(plain);
+  const auto mi = fragment_ions(mod);
+
+  const auto find = [](const std::vector<FragmentIon>& v, IonType t,
+                       std::size_t idx) {
+    return *std::find_if(v.begin(), v.end(), [&](const FragmentIon& f) {
+      return f.type == t && f.index == idx;
+    });
+  };
+
+  // b1 = A alone: unshifted.
+  EXPECT_NEAR(find(pi, IonType::kB, 1).mz, find(mi, IonType::kB, 1).mz, 1e-9);
+  // b2 = AC: shifted by the oxidation delta.
+  EXPECT_NEAR(find(mi, IonType::kB, 2).mz - find(pi, IonType::kB, 2).mz,
+              15.994915, 1e-6);
+  // y5 = DEFGK (no C): unshifted.
+  EXPECT_NEAR(find(pi, IonType::kY, 5).mz, find(mi, IonType::kY, 5).mz, 1e-9);
+  // y6 = CDEFGK (contains C): shifted.
+  EXPECT_NEAR(find(mi, IonType::kY, 6).mz - find(pi, IonType::kY, 6).mz,
+              15.994915, 1e-6);
+}
+
+TEST(Fragment, MultiChargeProducesMoreIons) {
+  const Peptide p("ACDEFGHIK");
+  EXPECT_EQ(fragment_ions(p, 2).size(), 2 * fragment_ions(p, 1).size());
+}
+
+TEST(Fragment, DoublyChargedIonsHaveLowerMz) {
+  const Peptide p("ACDEFGHIK");
+  const auto ions = fragment_ions(p, 2);
+  const auto b3z1 = std::find_if(ions.begin(), ions.end(), [](const FragmentIon& f) {
+    return f.type == IonType::kB && f.index == 3 && f.charge == 1;
+  });
+  const auto b3z2 = std::find_if(ions.begin(), ions.end(), [](const FragmentIon& f) {
+    return f.type == IonType::kB && f.index == 3 && f.charge == 2;
+  });
+  ASSERT_NE(b3z1, ions.end());
+  ASSERT_NE(b3z2, ions.end());
+  EXPECT_GT(b3z1->mz, b3z2->mz);
+}
+
+}  // namespace
+}  // namespace oms::ms

@@ -1,0 +1,86 @@
+#include "ms/library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms::ms {
+namespace {
+
+BinnedSpectrum entry(std::uint32_t id, double mass, bool decoy = false) {
+  BinnedSpectrum s;
+  s.id = id;
+  s.precursor_mass = mass;
+  s.is_decoy = decoy;
+  s.bins = {1, 2, 3};
+  s.weights = {0.5F, 0.5F, 0.5F};
+  return s;
+}
+
+TEST(SpectralLibrary, SortsByPrecursorMass) {
+  SpectralLibrary lib({entry(0, 900.0), entry(1, 500.0), entry(2, 700.0)});
+  ASSERT_EQ(lib.size(), 3U);
+  EXPECT_LE(lib[0].precursor_mass, lib[1].precursor_mass);
+  EXPECT_LE(lib[1].precursor_mass, lib[2].precursor_mass);
+}
+
+TEST(SpectralLibrary, CountsTargetsAndDecoys) {
+  SpectralLibrary lib({entry(0, 500.0), entry(1, 600.0, true),
+                       entry(2, 700.0), entry(3, 800.0, true)});
+  EXPECT_EQ(lib.target_count(), 2U);
+  EXPECT_EQ(lib.decoy_count(), 2U);
+}
+
+TEST(SpectralLibrary, MassWindowExactBounds) {
+  SpectralLibrary lib({entry(0, 100.0), entry(1, 200.0), entry(2, 300.0),
+                       entry(3, 400.0), entry(4, 500.0)});
+  // Window [150, 350] → entries at 200 and 300.
+  const auto [lo, hi] = lib.mass_window(250.0, 100.0);
+  EXPECT_EQ(hi - lo, 2U);
+  EXPECT_DOUBLE_EQ(lib[lo].precursor_mass, 200.0);
+  EXPECT_DOUBLE_EQ(lib[hi - 1].precursor_mass, 300.0);
+}
+
+TEST(SpectralLibrary, MassWindowIncludesBoundaryValues) {
+  SpectralLibrary lib({entry(0, 100.0), entry(1, 200.0), entry(2, 300.0)});
+  const auto [lo, hi] = lib.mass_window(200.0, 100.0);
+  EXPECT_EQ(hi - lo, 3U);  // inclusive of both 100 and 300
+}
+
+TEST(SpectralLibrary, EmptyWindow) {
+  SpectralLibrary lib({entry(0, 100.0), entry(1, 500.0)});
+  const auto [lo, hi] = lib.mass_window(300.0, 10.0);
+  EXPECT_EQ(lo, hi);
+}
+
+TEST(SpectralLibrary, EmptyLibrary) {
+  SpectralLibrary lib;
+  EXPECT_TRUE(lib.empty());
+  const auto [lo, hi] = lib.mass_window(100.0, 10.0);
+  EXPECT_EQ(lo, hi);
+}
+
+class MassWindowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MassWindowSweep, WindowMatchesLinearScan) {
+  std::vector<BinnedSpectrum> entries;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    entries.push_back(entry(i, 400.0 + 7.3 * i));
+  }
+  SpectralLibrary lib(std::move(entries));
+
+  const double tolerance = GetParam();
+  for (double center = 350.0; center < 1900.0; center += 119.0) {
+    const auto [lo, hi] = lib.mass_window(center, tolerance);
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+      const bool inside = lib[i].precursor_mass >= center - tolerance &&
+                          lib[i].precursor_mass <= center + tolerance;
+      const bool in_range = i >= lo && i < hi;
+      EXPECT_EQ(inside, in_range) << "center=" << center << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, MassWindowSweep,
+                         ::testing::Values(0.05, 1.0, 50.0, 500.0));
+
+}  // namespace
+}  // namespace oms::ms

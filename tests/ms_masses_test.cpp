@@ -1,0 +1,60 @@
+#include "ms/masses.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms::ms {
+namespace {
+
+TEST(Masses, StandardResiduesArePositive) {
+  for (const char aa : standard_residues()) {
+    EXPECT_TRUE(is_amino_acid(aa)) << aa;
+    EXPECT_GT(residue_mass(aa), 50.0) << aa;
+    EXPECT_LT(residue_mass(aa), 200.0) << aa;
+  }
+  EXPECT_EQ(standard_residues().size(), 20U);
+}
+
+TEST(Masses, NonResiduesRejected) {
+  for (const char c : {'B', 'J', 'O', 'U', 'X', 'Z', 'a', '1', ' '}) {
+    EXPECT_FALSE(is_amino_acid(c)) << c;
+    EXPECT_LT(residue_mass(c), 0.0) << c;
+  }
+}
+
+TEST(Masses, KnownResidueValues) {
+  EXPECT_NEAR(residue_mass('G'), 57.02146, 1e-4);
+  EXPECT_NEAR(residue_mass('A'), 71.03711, 1e-4);
+  EXPECT_NEAR(residue_mass('W'), 186.07931, 1e-4);
+  // Leucine and isoleucine are isobaric.
+  EXPECT_DOUBLE_EQ(residue_mass('L'), residue_mass('I'));
+}
+
+TEST(Masses, PeptideMassOfKnownSequence) {
+  // PEPTIDE: well-known reference value, monoisotopic M = 799.35997 Da.
+  EXPECT_NEAR(peptide_mass("PEPTIDE"), 799.35997, 1e-3);
+  // Single glycine = residue + water.
+  EXPECT_NEAR(peptide_mass("G"), 57.02146 + kWaterMass, 1e-4);
+}
+
+TEST(Masses, PeptideMassRejectsBadSequence) {
+  EXPECT_LT(peptide_mass(""), 0.0);
+  EXPECT_LT(peptide_mass("PEPTIDEX"), 0.0);
+}
+
+TEST(Masses, MassMzRoundTrip) {
+  const double mass = 1234.5678;
+  for (const int z : {1, 2, 3, 4}) {
+    const double mz = mass_to_mz(mass, z);
+    EXPECT_NEAR(mz_to_mass(mz, z), mass, 1e-9) << "charge " << z;
+    EXPECT_GT(mz, 0.0);
+  }
+}
+
+TEST(Masses, MzDecreasesWithCharge) {
+  const double mass = 2000.0;
+  EXPECT_GT(mass_to_mz(mass, 1), mass_to_mz(mass, 2));
+  EXPECT_GT(mass_to_mz(mass, 2), mass_to_mz(mass, 3));
+}
+
+}  // namespace
+}  // namespace oms::ms

@@ -1,0 +1,91 @@
+#include "ms/peptide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ms/masses.hpp"
+#include "ms/modifications.hpp"
+
+namespace oms::ms {
+namespace {
+
+TEST(Peptide, UnmodifiedBasics) {
+  const Peptide p("PEPTIDEK");
+  EXPECT_TRUE(p.valid());
+  EXPECT_FALSE(p.is_modified());
+  EXPECT_EQ(p.length(), 8U);
+  EXPECT_EQ(p.annotation(), "PEPTIDEK");
+  EXPECT_NEAR(p.mass(), peptide_mass("PEPTIDEK"), 1e-9);
+}
+
+TEST(Peptide, InvalidSequences) {
+  EXPECT_FALSE(Peptide("").valid());
+  EXPECT_FALSE(Peptide("PEPTIDEZ").valid());
+  EXPECT_FALSE(Peptide("pept").valid());
+}
+
+TEST(Peptide, ModificationShiftsMass) {
+  Peptide p("MKTAYK");
+  const Modification* ox = find_modification("Oxidation");
+  ASSERT_NE(ox, nullptr);
+  p.add_modification({0, ox->delta_mass, ox->name});
+  EXPECT_TRUE(p.is_modified());
+  EXPECT_NEAR(p.mass(), peptide_mass("MKTAYK") + 15.994915, 1e-5);
+  EXPECT_NEAR(p.modification_delta(), 15.994915, 1e-6);
+}
+
+TEST(Peptide, ModificationOutOfRangeInvalidates) {
+  Peptide p("ACK");
+  p.add_modification({10, 15.99, "Oxidation"});
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Peptide, AnnotationIncludesModifications) {
+  Peptide p("STYK", {{2, 79.966331, "Phosphorylation"}});
+  EXPECT_EQ(p.annotation(), "STYK[Phosphorylation@2]");
+}
+
+TEST(Peptide, ModificationsSortedByPosition) {
+  Peptide p("ACDEFGHIK");
+  p.add_modification({5, 1.0, "b"});
+  p.add_modification({2, 2.0, "a"});
+  ASSERT_EQ(p.modifications().size(), 2U);
+  EXPECT_EQ(p.modifications()[0].position, 2U);
+  EXPECT_EQ(p.modifications()[1].position, 5U);
+}
+
+TEST(Peptide, SameBackboneIgnoresModifications) {
+  const Peptide a("PEPTIDEK");
+  const Peptide b("PEPTIDEK", {{0, 42.010565, "Acetylation"}});
+  EXPECT_TRUE(a.same_backbone(b));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Modifications, CatalogueIsWellFormed) {
+  const auto mods = common_modifications();
+  EXPECT_GE(mods.size(), 10U);
+  for (const auto& m : mods) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_NE(m.delta_mass, 0.0);
+    EXPECT_FALSE(m.residues.empty());
+  }
+}
+
+TEST(Modifications, LookupByName) {
+  const Modification* phos = find_modification("Phosphorylation");
+  ASSERT_NE(phos, nullptr);
+  EXPECT_NEAR(phos->delta_mass, 79.966331, 1e-6);
+  EXPECT_TRUE(phos->applies_to('S'));
+  EXPECT_TRUE(phos->applies_to('T'));
+  EXPECT_TRUE(phos->applies_to('Y'));
+  EXPECT_FALSE(phos->applies_to('G'));
+  EXPECT_EQ(find_modification("NoSuchMod"), nullptr);
+}
+
+TEST(Modifications, WildcardResidue) {
+  const Modification any{"Test", 1.0, "*"};
+  EXPECT_TRUE(any.applies_to('A'));
+  EXPECT_TRUE(any.applies_to('W'));
+}
+
+}  // namespace
+}  // namespace oms::ms

@@ -1,0 +1,230 @@
+#include "ms/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ms/fragment.hpp"
+
+namespace oms::ms {
+namespace {
+
+WorkloadConfig tiny_config() {
+  WorkloadConfig cfg;
+  cfg.reference_count = 200;
+  cfg.query_count = 100;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(TrypticPeptides, CountLengthAndTerminus) {
+  const auto peps = generate_tryptic_peptides(500, 7, 25, 3);
+  EXPECT_EQ(peps.size(), 500U);
+  for (const auto& p : peps) {
+    EXPECT_TRUE(p.valid());
+    EXPECT_GE(p.length(), 7U);
+    EXPECT_LE(p.length(), 25U);
+    const char last = p.sequence().back();
+    EXPECT_TRUE(last == 'K' || last == 'R');
+  }
+}
+
+TEST(TrypticPeptides, AllDistinct) {
+  const auto peps = generate_tryptic_peptides(1000, 7, 25, 4);
+  std::unordered_set<std::string> seen;
+  for (const auto& p : peps) seen.insert(p.sequence());
+  EXPECT_EQ(seen.size(), peps.size());
+}
+
+TEST(TrypticPeptides, DeterministicInSeed) {
+  const auto a = generate_tryptic_peptides(50, 7, 20, 5);
+  const auto b = generate_tryptic_peptides(50, 7, 20, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sequence(), b[i].sequence());
+  }
+}
+
+TEST(SynthesizeSpectrum, ContainsFragmentPeaks) {
+  const Peptide pep("ACDEFGHIKLMK");
+  SynthesisParams params;
+  params.noise_peaks = 0;
+  params.mz_jitter = 0.0;
+  const Spectrum s = synthesize_spectrum(pep, 2, params, 1, 0);
+  EXPECT_TRUE(s.well_formed());
+  EXPECT_EQ(s.peptide, pep.annotation());
+  // Every peak must coincide with a theoretical fragment in range.
+  const auto ions = fragment_ions(pep);
+  for (const auto& peak : s.peaks) {
+    bool found = false;
+    for (const auto& ion : ions) {
+      if (std::abs(ion.mz - peak.mz) < 1e-6) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "stray peak at " << peak.mz;
+  }
+}
+
+TEST(SynthesizeSpectrum, PrecursorMatchesPeptideMass) {
+  const Peptide pep("SAMPLERPEPTIDEK");
+  SynthesisParams params;
+  params.precursor_jitter = 0.0;
+  const Spectrum s = synthesize_spectrum(pep, 2, params, 1, 0);
+  EXPECT_NEAR(s.precursor_mass(), pep.mass(), 1e-6);
+}
+
+TEST(SynthesizeSpectrum, BasePeakIsNormalizedTo1000) {
+  const Spectrum s = synthesize_spectrum(Peptide("ACDEFGHIKK"), 2,
+                                         SynthesisParams{}, 2, 0);
+  EXPECT_NEAR(s.base_peak_intensity(), 1000.0F, 1e-3F);
+}
+
+TEST(SynthesizeSpectrum, DropoutReducesPeakCount) {
+  SynthesisParams full;
+  full.noise_peaks = 0;
+  SynthesisParams dropped = full;
+  dropped.keep_probability = 0.4;
+  const Peptide pep("ACDEFGHIKLMNPQRSTVWK");
+  const Spectrum all = synthesize_spectrum(pep, 2, full, 3, 0);
+  const Spectrum some = synthesize_spectrum(pep, 2, dropped, 3, 0);
+  EXPECT_LT(some.peaks.size(), all.peaks.size());
+}
+
+TEST(SynthesizeSpectrum, MultiChargeFragmentsForHighChargePrecursor) {
+  SynthesisParams params;
+  params.noise_peaks = 0;
+  params.mz_jitter = 0.0;
+  params.fragment_max_charge = 2;
+  const Peptide pep("ACDEFGHIKLMNPQRSTVWK");
+  const Spectrum z3 = synthesize_spectrum(pep, 3, params, 4, 0);
+  // Doubly charged fragments appear: check a known 2+ ion m/z exists.
+  const auto ions = fragment_ions(pep, 2);
+  bool found_2plus = false;
+  for (const auto& ion : ions) {
+    if (ion.charge != 2) continue;
+    for (const auto& peak : z3.peaks) {
+      if (std::abs(peak.mz - ion.mz) < 1e-9) {
+        found_2plus = true;
+        break;
+      }
+    }
+    if (found_2plus) break;
+  }
+  EXPECT_TRUE(found_2plus);
+
+  // A 2+ precursor with the same settings only sheds 1+ fragments.
+  const Spectrum z2 = synthesize_spectrum(pep, 2, params, 4, 1);
+  EXPECT_LT(z2.peaks.size(), z3.peaks.size());
+}
+
+TEST(SynthesizeSpectrum, IsotopeEnvelopeSpacingAndDecay) {
+  SynthesisParams params;
+  params.noise_peaks = 0;
+  params.mz_jitter = 0.0;
+  params.intensity_sigma = 0.0;
+  params.isotope_peaks = 2;
+  const Peptide pep("ACDEFGHIKK");
+  const Spectrum s = synthesize_spectrum(pep, 2, params, 6, 0);
+  // For each monoisotopic fragment there is a +1.0034 peak at lower
+  // intensity. Find at least one such pair.
+  bool found_pair = false;
+  for (const auto& a : s.peaks) {
+    for (const auto& b : s.peaks) {
+      if (std::abs(b.mz - a.mz - 1.003355) < 1e-6 &&
+          b.intensity < a.intensity) {
+        found_pair = true;
+        break;
+      }
+    }
+    if (found_pair) break;
+  }
+  EXPECT_TRUE(found_pair);
+  // Envelope grows the peak count substantially.
+  SynthesisParams mono = params;
+  mono.isotope_peaks = 0;
+  const Spectrum s0 = synthesize_spectrum(pep, 2, mono, 6, 1);
+  EXPECT_GT(s.peaks.size(), s0.peaks.size() * 2);
+}
+
+TEST(Workload, CountsMatchConfig) {
+  const Workload wl = generate_workload(tiny_config());
+  EXPECT_EQ(wl.references.size(), 200U);
+  EXPECT_EQ(wl.queries.size(), 100U);
+  EXPECT_EQ(wl.truths.size(), 100U);
+}
+
+TEST(Workload, DeterministicInSeed) {
+  const Workload a = generate_workload(tiny_config());
+  const Workload b = generate_workload(tiny_config());
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (std::size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].peptide, b.queries[i].peptide);
+    EXPECT_DOUBLE_EQ(a.queries[i].precursor_mz, b.queries[i].precursor_mz);
+  }
+}
+
+TEST(Workload, TruthsAreConsistent) {
+  const Workload wl = generate_workload(tiny_config());
+  std::unordered_set<std::string> library;
+  for (const auto& r : wl.references) library.insert(r.peptide);
+
+  for (std::size_t i = 0; i < wl.queries.size(); ++i) {
+    const QueryTruth& t = wl.truths[i];
+    EXPECT_FALSE(t.backbone.empty());
+    if (t.in_library) {
+      EXPECT_TRUE(library.contains(t.backbone)) << t.backbone;
+    } else {
+      EXPECT_FALSE(library.contains(t.backbone)) << t.backbone;
+      EXPECT_FALSE(t.modified);
+    }
+    if (t.modified) {
+      EXPECT_FALSE(t.modification.empty());
+      // Modified queries carry the annotation with the mod marker.
+      EXPECT_NE(wl.queries[i].peptide.find('['), std::string::npos);
+    }
+  }
+}
+
+TEST(Workload, ModifiedFractionRoughlyRespected) {
+  WorkloadConfig cfg = tiny_config();
+  cfg.query_count = 1000;
+  cfg.modified_fraction = 0.5;
+  cfg.unmatched_fraction = 0.0;
+  const Workload wl = generate_workload(cfg);
+  const double frac =
+      static_cast<double>(wl.modified_query_count()) / 1000.0;
+  EXPECT_NEAR(frac, 0.5, 0.08);
+}
+
+TEST(Workload, UnmatchedFractionRoughlyRespected) {
+  WorkloadConfig cfg = tiny_config();
+  cfg.query_count = 1000;
+  cfg.unmatched_fraction = 0.3;
+  const Workload wl = generate_workload(cfg);
+  const double matched =
+      static_cast<double>(wl.matched_query_count()) / 1000.0;
+  EXPECT_NEAR(matched, 0.7, 0.08);
+}
+
+TEST(Workload, PresetsScaleCounts) {
+  const WorkloadConfig iprg = WorkloadConfig::iprg2012_like(0.01);
+  EXPECT_EQ(iprg.query_count, 160U);
+  EXPECT_EQ(iprg.reference_count, 10000U);
+  const WorkloadConfig hek = WorkloadConfig::hek293_like(0.01);
+  EXPECT_EQ(hek.query_count, 470U);
+  EXPECT_EQ(hek.reference_count, 30000U);
+  // Paper scale (Table 1).
+  const WorkloadConfig full = WorkloadConfig::iprg2012_like(1.0);
+  EXPECT_EQ(full.query_count, 16000U);
+  EXPECT_EQ(full.reference_count, 1000000U);
+}
+
+TEST(Workload, PresetMinimumsEnforced) {
+  const WorkloadConfig tiny = WorkloadConfig::iprg2012_like(1e-9);
+  EXPECT_GE(tiny.query_count, 64U);
+  EXPECT_GE(tiny.reference_count, 512U);
+}
+
+}  // namespace
+}  // namespace oms::ms

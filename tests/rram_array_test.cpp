@@ -1,0 +1,165 @@
+#include "rram/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace oms::rram {
+namespace {
+
+ArrayConfig quiet_config(int bits = 1) {
+  ArrayConfig cfg;
+  cfg.cell = CellConfig::for_bits(bits);
+  // Turn off stochastic effects so ideal behaviour is testable exactly.
+  cfg.cell.sigma_program_us = 0.0;
+  cfg.cell.relax_sigma_us = 0.0;
+  cfg.cell.drift_frac = 0.0;
+  cfg.cell.tail_prob_per_ln = 0.0;
+  cfg.sense_sigma = 0.0;
+  cfg.ir_alpha = 0.0;
+  cfg.adc_bits = 14;  // fine enough to be ~exact
+  return cfg;
+}
+
+TEST(Adc, CodesAndReconstruction) {
+  const Adc adc(8, 1.0);
+  EXPECT_EQ(adc.code_count(), 256);
+  EXPECT_NEAR(adc.lsb(), 2.0 / 256.0, 1e-12);
+  EXPECT_EQ(adc.convert(-2.0), 0);
+  EXPECT_EQ(adc.convert(2.0), 255);
+  // Round trip error bounded by half an LSB.
+  for (double v = -1.0; v <= 1.0; v += 0.01) {
+    EXPECT_NEAR(adc.quantize(v), v, adc.lsb() / 2.0 + 1e-12);
+  }
+}
+
+TEST(Adc, MonotoneCodes) {
+  const Adc adc(6, 1.0);
+  int prev = -1;
+  for (double v = -1.0; v <= 1.0; v += 0.001) {
+    const int code = adc.convert(v);
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(CrossbarArray, RejectsBadGeometry) {
+  ArrayConfig cfg;
+  cfg.rows = 1;
+  EXPECT_THROW(CrossbarArray{cfg}, std::invalid_argument);
+}
+
+TEST(CrossbarArray, WeightQuantizationGrid) {
+  CrossbarArray array(quiet_config(3));
+  // 8-level differential weights live on the grid {-1, -5/7, ..., 1}.
+  array.program_weight(0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(array.ideal_weight(0, 0), 1.0);
+  array.program_weight(0, 1, -1.0);
+  EXPECT_DOUBLE_EQ(array.ideal_weight(0, 1), -1.0);
+  array.program_weight(0, 2, 1.0 / 7.0);
+  EXPECT_NEAR(array.ideal_weight(0, 2), 1.0 / 7.0, 1e-12);
+  array.program_weight(0, 3, 0.1);  // nearest grid point is 1/7
+  EXPECT_NEAR(array.ideal_weight(0, 3), 1.0 / 7.0, 1e-12);
+}
+
+TEST(CrossbarArray, BinaryWeightsSnapToSign) {
+  CrossbarArray array(quiet_config(1));
+  array.program_weight(0, 0, 0.3);
+  EXPECT_DOUBLE_EQ(array.ideal_weight(0, 0), 1.0);
+  array.program_weight(0, 1, -0.3);
+  EXPECT_DOUBLE_EQ(array.ideal_weight(0, 1), -1.0);
+}
+
+TEST(CrossbarArray, NoiselessMvmMatchesIdeal) {
+  CrossbarArray array(quiet_config(1));
+  util::Xoshiro256 rng(7);
+  const std::size_t n = 32;
+  std::vector<int> x(n);
+  for (std::size_t c = 0; c < 8; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      array.program_weight(r, c, rng.bernoulli(0.5) ? 1.0 : -1.0);
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) x[r] = rng.bernoulli(0.5) ? 1 : -1;
+
+  const auto ideal = array.ideal_mvm(x, 0, n, 0, 8);
+  const auto measured = array.mvm(x, 0, n, 0, 8);
+  ASSERT_EQ(ideal.size(), measured.size());
+  for (std::size_t c = 0; c < 8; ++c) {
+    // Only the ADC quantization separates them (14-bit → tiny).
+    EXPECT_NEAR(measured[c], ideal[c], 0.02 * static_cast<double>(n)) << c;
+  }
+}
+
+TEST(CrossbarArray, MvmErrorGrowsWithActivatedRows) {
+  ArrayConfig cfg;
+  cfg.cell = CellConfig::for_bits(3);
+  CrossbarArray array(cfg, 11);
+  util::Xoshiro256 rng(8);
+  const std::size_t max_rows = cfg.pair_rows();
+  for (std::size_t c = 0; c < 16; ++c) {
+    for (std::size_t r = 0; r < max_rows; ++r) {
+      const double w = -1.0 + 2.0 * rng.uniform();
+      array.program_weight(r, c, w);
+    }
+  }
+
+  double prev_rmse = -1.0;
+  for (const std::size_t n : {16U, 64U, 128U}) {
+    util::RunningStats err;
+    util::RunningStats signal;
+    std::vector<int> x(n);
+    for (int trial = 0; trial < 200; ++trial) {
+      for (std::size_t r = 0; r < n; ++r) x[r] = rng.bernoulli(0.5) ? 1 : -1;
+      const auto ideal = array.ideal_mvm(x, 0, n, 0, 16);
+      const auto out = array.mvm(x, 0, n, 0, 16);
+      for (std::size_t c = 0; c < 16; ++c) {
+        const double e = out[c] - ideal[c];
+        err.add(e * e);
+        signal.add(ideal[c] * ideal[c]);
+      }
+    }
+    // Normalized by the ideal output spread (the Fig. 9b metric): error
+    // must grow with the number of activated rows.
+    const double rmse = std::sqrt(err.mean() / signal.mean());
+    EXPECT_GT(rmse, prev_rmse) << n << " rows";
+    prev_rmse = rmse;
+  }
+}
+
+TEST(CrossbarArray, StatsCountersAdvance) {
+  CrossbarArray array(quiet_config(1));
+  array.program_weight(0, 0, 1.0);
+  EXPECT_EQ(array.stats().cells_programmed, 2U);
+  std::vector<int> x = {1, -1};
+  (void)array.mvm(x, 0, 2, 0, 1);
+  EXPECT_EQ(array.stats().mvm_phases, 1U);
+  EXPECT_EQ(array.stats().row_activations, 4U);
+  EXPECT_EQ(array.stats().adc_conversions, 1U);
+}
+
+TEST(CrossbarArray, OutOfRangeThrows) {
+  CrossbarArray array(quiet_config(1));
+  EXPECT_THROW(array.program_weight(1000, 0, 1.0), std::out_of_range);
+  std::vector<int> x(4, 1);
+  EXPECT_THROW((void)array.mvm(x, 0, 4, 0, 100000), std::out_of_range);
+  EXPECT_THROW((void)array.mvm(x, 126, 4, 0, 1), std::out_of_range);
+}
+
+TEST(CrossbarArray, IrDroopCompressesLargeMacs) {
+  ArrayConfig cfg = quiet_config(1);
+  cfg.ir_alpha = 0.5;  // strong droop for visibility
+  CrossbarArray array(cfg, 12);
+  const std::size_t n = 64;
+  for (std::size_t r = 0; r < n; ++r) array.program_weight(r, 0, 1.0);
+  std::vector<int> x(n, 1);  // all-ones input → MAC = +n ideally
+  const auto out = array.mvm(x, 0, n, 0, 1);
+  EXPECT_LT(out[0], static_cast<double>(n));
+  EXPECT_GT(out[0], 0.5 * static_cast<double>(n));
+}
+
+}  // namespace
+}  // namespace oms::rram

@@ -1,0 +1,146 @@
+#include "rram/cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms::rram {
+namespace {
+
+TEST(CellConfig, BitsFromLevels) {
+  EXPECT_EQ(CellConfig{.levels = 2}.bits(), 1);
+  EXPECT_EQ(CellConfig{.levels = 4}.bits(), 2);
+  EXPECT_EQ(CellConfig{.levels = 8}.bits(), 3);
+}
+
+TEST(CellConfig, ForBitsPreset) {
+  EXPECT_EQ(CellConfig::for_bits(1).levels, 2);
+  EXPECT_EQ(CellConfig::for_bits(2).levels, 4);
+  EXPECT_EQ(CellConfig::for_bits(3).levels, 8);
+  EXPECT_THROW((void)CellConfig::for_bits(0), std::invalid_argument);
+  EXPECT_THROW((void)CellConfig::for_bits(4), std::invalid_argument);
+}
+
+TEST(CellConfig, LevelConductanceGrid) {
+  const CellConfig cfg = CellConfig::for_bits(3);
+  EXPECT_DOUBLE_EQ(cfg.level_conductance(0), 0.0);
+  EXPECT_DOUBLE_EQ(cfg.level_conductance(7), 50.0);
+  EXPECT_NEAR(cfg.level_conductance(1), 50.0 / 7.0, 1e-12);
+  // Uniform spacing.
+  for (int l = 1; l < 8; ++l) {
+    EXPECT_NEAR(cfg.level_conductance(l) - cfg.level_conductance(l - 1),
+                50.0 / 7.0, 1e-9);
+  }
+}
+
+TEST(CellConfig, NearestLevelRoundTrip) {
+  for (const int bits : {1, 2, 3}) {
+    const CellConfig cfg = CellConfig::for_bits(bits);
+    for (int l = 0; l < cfg.levels; ++l) {
+      EXPECT_EQ(cfg.nearest_level(cfg.level_conductance(l)), l);
+    }
+  }
+}
+
+TEST(CellConfig, NearestLevelClamps) {
+  const CellConfig cfg = CellConfig::for_bits(2);
+  EXPECT_EQ(cfg.nearest_level(-10.0), 0);
+  EXPECT_EQ(cfg.nearest_level(100.0), 3);
+}
+
+TEST(CellConfig, NoiseShapePeaksMidRange) {
+  const CellConfig cfg = CellConfig::for_bits(3);
+  EXPECT_NEAR(cfg.state_noise_shape(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(cfg.state_noise_shape(50.0), 1.0, 1e-12);
+  EXPECT_NEAR(cfg.state_noise_shape(25.0), cfg.mid_state_factor, 1e-12);
+  EXPECT_GT(cfg.state_noise_shape(15.0), cfg.state_noise_shape(5.0));
+}
+
+TEST(CellConfig, LnTimeBehaviour) {
+  const CellConfig cfg;
+  EXPECT_EQ(cfg.ln_time(0.0), 0.0);
+  EXPECT_EQ(cfg.ln_time(-5.0), 0.0);
+  EXPECT_GT(cfg.ln_time(60.0), 0.0);
+  EXPECT_GT(cfg.ln_time(86400.0), cfg.ln_time(3600.0));
+  // Log-time: most of the growth happens early (paper §5.2.1).
+  const double early = cfg.ln_time(1800.0) - cfg.ln_time(0.0);
+  const double late = cfg.ln_time(86400.0) - cfg.ln_time(1800.0);
+  EXPECT_GT(early, late);
+}
+
+TEST(ProgramCell, CentersOnTargetLevel) {
+  const CellConfig cfg = CellConfig::for_bits(3);
+  util::Xoshiro256 rng(1);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += program_cell(cfg, 4, rng);
+  EXPECT_NEAR(sum / n, cfg.level_conductance(4), 0.1);
+}
+
+TEST(ProgramCell, StaysInPhysicalRange) {
+  const CellConfig cfg = CellConfig::for_bits(1);
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const double g = program_cell(cfg, i % 2, rng);
+    EXPECT_GE(g, cfg.g_min_us);
+    EXPECT_LE(g, cfg.g_max_us);
+  }
+}
+
+TEST(RelaxCell, NoTimeNoChange) {
+  const CellConfig cfg = CellConfig::for_bits(3);
+  util::Xoshiro256 rng(3);
+  EXPECT_EQ(relax_cell(cfg, 30.0, 0.0, rng), 30.0);
+}
+
+TEST(RelaxCell, SpreadGrowsWithTime) {
+  const CellConfig cfg = CellConfig::for_bits(3);
+  const auto spread_at = [&](double seconds) {
+    util::Xoshiro256 rng(4);
+    double sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      const double g = relax_cell(cfg, 25.0, seconds, rng);
+      sum_sq += (g - 25.0) * (g - 25.0);
+    }
+    return sum_sq / n;
+  };
+  const double v_1s = spread_at(1.0);
+  const double v_1h = spread_at(3600.0);
+  const double v_1d = spread_at(86400.0);
+  EXPECT_LT(v_1s, v_1h);
+  EXPECT_LT(v_1h, v_1d);
+}
+
+TEST(ProgramRelaxRead, ErrorRateOrderedByBitsPerCell) {
+  // Level misreads after one hour must get worse with more levels/cell.
+  const double seconds = 3600.0;
+  double prev_rate = -1.0;
+  for (const int bits : {1, 2, 3}) {
+    const CellConfig cfg = CellConfig::for_bits(bits);
+    util::Xoshiro256 rng(5);
+    int errors = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      const int level = static_cast<int>(rng.below(cfg.levels));
+      if (program_relax_read(cfg, level, seconds, rng) != level) ++errors;
+    }
+    const double rate = static_cast<double>(errors) / n;
+    EXPECT_GT(rate, prev_rate) << bits << " bits";
+    prev_rate = rate;
+  }
+}
+
+TEST(ProgramRelaxRead, SingleBitCellIsReliable) {
+  const CellConfig cfg = CellConfig::for_bits(1);
+  util::Xoshiro256 rng(6);
+  int errors = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const int level = static_cast<int>(rng.below(2));
+    if (program_relax_read(cfg, level, 86400.0, rng) != level) ++errors;
+  }
+  // SLC after one day: well under 2% errors.
+  EXPECT_LT(static_cast<double>(errors) / n, 0.02);
+}
+
+}  // namespace
+}  // namespace oms::rram

@@ -1,0 +1,159 @@
+#include "rram/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rram/chip.hpp"
+
+namespace oms::rram {
+namespace {
+
+TEST(PackLevels, RoundTripAllWidths) {
+  util::BitVec hv(96);
+  hv.randomize(4);
+  for (const int bits : {1, 2, 3}) {
+    const auto levels = pack_levels(hv, bits);
+    EXPECT_EQ(levels.size(),
+              (hv.size() + static_cast<std::size_t>(bits) - 1) /
+                  static_cast<std::size_t>(bits));
+    for (const int l : levels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, 1 << bits);
+    }
+    EXPECT_EQ(unpack_levels(levels, bits, hv.size()), hv);
+  }
+}
+
+TEST(PackLevels, KnownPattern) {
+  util::BitVec hv(4);
+  hv.set(0, true);   // bits 10 01 little-endian per cell
+  hv.set(3, true);
+  const auto levels = pack_levels(hv, 2);
+  ASSERT_EQ(levels.size(), 2U);
+  EXPECT_EQ(levels[0], 1);  // bit0=1, bit1=0 → 01b
+  EXPECT_EQ(levels[1], 2);  // bit2=0, bit3=1 → 10b
+}
+
+TEST(PackLevels, RejectsBadWidth) {
+  util::BitVec hv(8);
+  EXPECT_THROW((void)pack_levels(hv, 0), std::invalid_argument);
+  EXPECT_THROW((void)pack_levels(hv, 4), std::invalid_argument);
+}
+
+TEST(HypervectorStore, FreshReadbackIsNearlyPerfect) {
+  CellConfig cell = CellConfig::for_bits(2);
+  HypervectorStore store(cell);
+  util::BitVec hv(4096);
+  hv.randomize(5);
+  const std::size_t h = store.store(hv);
+  const util::BitVec back = store.load(h);
+  // Only programming noise; should be well below 1% bit errors.
+  const double ber = static_cast<double>(util::hamming_distance(hv, back)) /
+                     static_cast<double>(hv.size());
+  EXPECT_LT(ber, 0.01);
+}
+
+TEST(HypervectorStore, BitErrorRateGrowsWithAge) {
+  CellConfig cell = CellConfig::for_bits(3);
+  HypervectorStore store(cell, 6);
+  for (int i = 0; i < 16; ++i) {
+    util::BitVec hv(2048);
+    hv.randomize(static_cast<std::uint64_t>(i) + 100);
+    store.store(hv);
+  }
+  const double ber0 = store.bit_error_rate();
+  store.age(1.0);
+  const double ber_1s = store.bit_error_rate();
+  store.age(1800.0 - 1.0);
+  const double ber_30m = store.bit_error_rate();
+  store.age(86400.0 - 1800.0);
+  const double ber_1d = store.bit_error_rate();
+  EXPECT_LE(ber0, ber_1s + 0.01);
+  EXPECT_LE(ber_1s, ber_30m + 0.01);
+  EXPECT_LT(ber_30m, ber_1d + 0.01);
+  EXPECT_GT(ber_1d, ber0);
+}
+
+TEST(HypervectorStore, MoreBitsPerCellMoreErrors) {
+  double prev = -1.0;
+  for (const int bits : {1, 2, 3}) {
+    HypervectorStore store(CellConfig::for_bits(bits), 7);
+    for (int i = 0; i < 8; ++i) {
+      util::BitVec hv(4096);
+      hv.randomize(static_cast<std::uint64_t>(i) + 200);
+      store.store(hv);
+    }
+    store.age(86400.0);
+    const double ber = store.bit_error_rate();
+    EXPECT_GT(ber, prev) << bits << " bits/cell";
+    prev = ber;
+  }
+}
+
+TEST(HypervectorStore, CellsUsedReflectsDensity) {
+  util::BitVec hv(3000);
+  hv.randomize(8);
+  HypervectorStore slc(CellConfig::for_bits(1));
+  HypervectorStore mlc(CellConfig::for_bits(3));
+  slc.store(hv);
+  mlc.store(hv);
+  EXPECT_EQ(slc.cells_used(), 3000U);
+  EXPECT_EQ(mlc.cells_used(), 1000U);  // 3× storage density (the paper's 3x)
+}
+
+TEST(HypervectorStore, MultipleVectorsIndependent) {
+  HypervectorStore store(CellConfig::for_bits(2), 9);
+  util::BitVec a(1024);
+  util::BitVec b(512);
+  a.randomize(1);
+  b.randomize(2);
+  const std::size_t ha = store.store(a);
+  const std::size_t hb = store.store(b);
+  EXPECT_EQ(store.load(ha).size(), 1024U);
+  EXPECT_EQ(store.load(hb).size(), 512U);
+  EXPECT_EQ(store.stored_count(), 2U);
+}
+
+TEST(HypervectorStore, LoadOutOfRangeThrows) {
+  HypervectorStore store(CellConfig::for_bits(1));
+  EXPECT_THROW((void)store.load(0), std::out_of_range);
+}
+
+TEST(HypervectorStore, ConductanceHistogramCoversAllLevels) {
+  HypervectorStore store(CellConfig::for_bits(2), 10);
+  util::BitVec hv(8192);
+  hv.randomize(11);
+  store.store(hv);
+  const auto gs = store.conductances();
+  EXPECT_EQ(gs.size(), 4096U);
+  for (const double g : gs) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 50.0);
+  }
+}
+
+TEST(MlcChipTest, CapacityAccounting) {
+  ChipConfig cfg;
+  cfg.array_count = 48;
+  cfg.array.rows = 256;
+  cfg.array.cols = 256;
+  cfg.array.cell = CellConfig::for_bits(3);
+  EXPECT_EQ(cfg.total_cells(), 48ULL * 256 * 256);
+  EXPECT_EQ(cfg.capacity_bits(), 48ULL * 256 * 256 * 3);
+
+  const MlcChip chip(cfg);
+  EXPECT_EQ(chip.array_count(), 48U);
+}
+
+TEST(MlcChipTest, AggregatesStats) {
+  ChipConfig cfg;
+  cfg.array_count = 2;
+  cfg.array.cell = CellConfig::for_bits(1);
+  MlcChip chip(cfg);
+  chip.array(0).program_weight(0, 0, 1.0);
+  chip.array(1).program_weight(0, 0, -1.0);
+  const ArrayStats total = chip.total_stats();
+  EXPECT_EQ(total.cells_programmed, 4U);
+}
+
+}  // namespace
+}  // namespace oms::rram

@@ -1,0 +1,133 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms::util {
+namespace {
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130U);
+  EXPECT_EQ(v.word_count(), 3U);
+  EXPECT_EQ(v.popcount(), 0U);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_EQ(v.popcount(), 4U);
+  v.flip(63);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.popcount(), 3U);
+  v.set(0, false);
+  EXPECT_EQ(v.popcount(), 2U);
+}
+
+TEST(BitVec, SignConvention) {
+  BitVec v(2);
+  v.set(0, true);
+  EXPECT_EQ(v.sign(0), 1);
+  EXPECT_EQ(v.sign(1), -1);
+}
+
+TEST(BitVec, RandomizeIsDeterministicAndBalanced) {
+  BitVec a(4096);
+  BitVec b(4096);
+  a.randomize(77);
+  b.randomize(77);
+  EXPECT_EQ(a, b);
+  // Roughly half the bits set.
+  EXPECT_NEAR(static_cast<double>(a.popcount()) / 4096.0, 0.5, 0.05);
+  BitVec c(4096);
+  c.randomize(78);
+  EXPECT_NE(a, c);
+}
+
+TEST(BitVec, RandomizeClearsTailBits) {
+  BitVec v(70);  // 6 tail bits in the second word
+  v.randomize(5);
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) manual += v.get(i) ? 1 : 0;
+  EXPECT_EQ(manual, v.popcount());
+}
+
+TEST(Hamming, IdenticalVectorsHaveZeroDistance) {
+  BitVec a(512);
+  a.randomize(1);
+  EXPECT_EQ(hamming_distance(a, a), 0U);
+  EXPECT_EQ(hamming_similarity(a, a), 1.0);
+  EXPECT_EQ(bipolar_dot(a, a), 512);
+}
+
+TEST(Hamming, ComplementHasFullDistance) {
+  BitVec a(256);
+  a.randomize(2);
+  BitVec b = a;
+  for (std::size_t i = 0; i < b.size(); ++i) b.flip(i);
+  EXPECT_EQ(hamming_distance(a, b), 256U);
+  EXPECT_EQ(bipolar_dot(a, b), -256);
+  EXPECT_EQ(hamming_similarity(a, b), 0.0);
+}
+
+TEST(Hamming, RandomPairNearHalf) {
+  BitVec a(8192);
+  BitVec b(8192);
+  a.randomize(3);
+  b.randomize(4);
+  const double sim = hamming_similarity(a, b);
+  EXPECT_NEAR(sim, 0.5, 0.03);
+  // dot = D - 2*ham identity.
+  EXPECT_EQ(bipolar_dot(a, b),
+            8192 - 2 * static_cast<std::int64_t>(hamming_distance(a, b)));
+}
+
+TEST(Hamming, SingleFlipChangesDistanceByOne) {
+  BitVec a(320);
+  a.randomize(9);
+  BitVec b = a;
+  b.flip(200);
+  EXPECT_EQ(hamming_distance(a, b), 1U);
+}
+
+TEST(InjectErrors, ZeroRateIsNoop) {
+  BitVec a(1024);
+  a.randomize(10);
+  BitVec b = a;
+  Xoshiro256 rng(1);
+  b.inject_errors(0.0, rng);
+  EXPECT_EQ(a, b);
+}
+
+TEST(InjectErrors, RateIsApproximatelyRespected) {
+  BitVec a(65536);
+  a.randomize(11);
+  BitVec b = a;
+  Xoshiro256 rng(2);
+  b.inject_errors(0.1, rng);
+  const double rate =
+      static_cast<double>(hamming_distance(a, b)) / 65536.0;
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(XorPopcount, MatchesNaive) {
+  BitVec a(1000);
+  BitVec b(1000);
+  a.randomize(20);
+  b.randomize(21);
+  std::size_t naive = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    naive += a.get(i) != b.get(i) ? 1 : 0;
+  }
+  EXPECT_EQ(hamming_distance(a, b), naive);
+}
+
+}  // namespace
+}  // namespace oms::util

@@ -1,0 +1,87 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace oms::util {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::array<double, 5> xs = {2.0, 4.0, 4.0, 4.0, 6.0};
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 5U);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.6, 1e-12);  // population variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.6), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 6.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(Rmse, KnownValues) {
+  const std::array<double, 3> a = {1.0, 2.0, 3.0};
+  const std::array<double, 3> b = {1.0, 2.0, 3.0};
+  EXPECT_EQ(rmse(a, b), 0.0);
+  const std::array<double, 3> c = {2.0, 3.0, 4.0};
+  EXPECT_NEAR(rmse(a, c), 1.0, 1e-12);
+}
+
+TEST(Rmse, MismatchedSizesReturnZero) {
+  const std::array<double, 2> a = {1.0, 2.0};
+  const std::array<double, 3> b = {1.0, 2.0, 3.0};
+  EXPECT_EQ(rmse(a, b), 0.0);
+}
+
+TEST(NormalizedRmse, DividesByReferenceRange) {
+  const std::array<double, 3> a = {0.0, 5.0, 10.0};
+  const std::array<double, 3> b = {1.0, 6.0, 11.0};
+  EXPECT_NEAR(normalized_rmse(a, b), 0.1, 1e-12);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::array<double, 4> a = {1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::array<double, 4> c = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero) {
+  const std::array<double, 3> a = {1.0, 1.0, 1.0};
+  const std::array<double, 3> b = {1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(a, b), 0.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamped to bin 0
+  h.add(15.0);  // clamped to bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.count(0), 2U);
+  EXPECT_EQ(h.count(9), 2U);
+  EXPECT_EQ(h.count(5), 1U);
+  EXPECT_EQ(h.total(), 5U);
+  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.bin_center(9), 9.5, 1e-12);
+}
+
+TEST(HistogramTest, AsciiRendersSomething) {
+  Histogram h(0.0, 1.0, 20);
+  for (int i = 0; i < 100; ++i) h.add(0.5);
+  const std::string art = h.ascii(4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oms::util

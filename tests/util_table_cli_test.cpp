@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace oms::util {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2U);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_pct(0.1234, 1), "12.3%");
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--scale=0.5", "--verbose", "--n=42"};
+  Cli cli(4, argv);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+  EXPECT_DOUBLE_EQ(cli.get("scale", 1.0), 0.5);
+  EXPECT_EQ(cli.get("n", 0L), 42L);
+  EXPECT_EQ(cli.get("missing", std::string("dflt")), "dflt");
+}
+
+TEST(Cli, IgnoresNonOptionArguments) {
+  const char* argv[] = {"prog", "positional", "--a=1"};
+  Cli cli(3, argv);
+  EXPECT_TRUE(cli.has("a"));
+  EXPECT_FALSE(cli.has("positional"));
+}
+
+TEST(Cli, EnvFallbackForScaled) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  ::setenv("OMSHD_TESTKNOB", "2.25", 1);
+  EXPECT_DOUBLE_EQ(cli.get_scaled("testknob", 1.0), 2.25);
+  ::unsetenv("OMSHD_TESTKNOB");
+  EXPECT_DOUBLE_EQ(cli.get_scaled("testknob", 1.0), 1.0);
+}
+
+TEST(Cli, ExplicitFlagBeatsEnv) {
+  const char* argv[] = {"prog", "--testknob=9"};
+  Cli cli(2, argv);
+  ::setenv("OMSHD_TESTKNOB", "2.25", 1);
+  EXPECT_DOUBLE_EQ(cli.get_scaled("testknob", 1.0), 9.0);
+  ::unsetenv("OMSHD_TESTKNOB");
+}
+
+}  // namespace
+}  // namespace oms::util
