@@ -46,7 +46,7 @@ std::size_t identifications(const oms::ms::SpectralLibrary& library,
               library.mass_window(queries[i].precursor_mass, 500.0);
           const auto hit =
               oms::hd::best_match(query_hvs[i], ref_hvs, first, last);
-          if (hit.reference_index >= ref_hvs.size()) continue;
+          if (!hit.valid()) continue;
           const auto& ref = library[hit.reference_index];
           psms[i].query_id = queries[i].id;
           psms[i].peptide = ref.peptide;

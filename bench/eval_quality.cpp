@@ -33,7 +33,7 @@ void run_dataset(const oms::ms::WorkloadConfig& cfg, std::uint32_t dim) {
 
   {
     oms::core::PipelineConfig pcfg = oms::bench::paper_pipeline_config(dim);
-    pcfg.backend = oms::core::Backend::kRramStatistical;
+    pcfg.backend_name = "rram-statistical";
     oms::core::Pipeline ours(pcfg);
     ours.set_library(wl.references);
     add_row(table, "This Work (RRAM)",

@@ -17,7 +17,7 @@ void run_dataset(const oms::ms::WorkloadConfig& cfg, std::uint32_t dim) {
 
   // This work: D=8k, 3-bit IDs, statistical RRAM backend (§5.3.1).
   oms::core::PipelineConfig ours_cfg = oms::bench::paper_pipeline_config(dim);
-  ours_cfg.backend = oms::core::Backend::kRramStatistical;
+  ours_cfg.backend_name = "rram-statistical";
   oms::core::Pipeline ours(ours_cfg);
   ours.set_library(wl.references);
   const auto ours_ids = ours.run(wl.queries).identification_set();

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
 
     oms::core::PipelineConfig rram_cfg =
         oms::bench::paper_pipeline_config(dim);
-    rram_cfg.backend = oms::core::Backend::kRramStatistical;
+    rram_cfg.backend_name = "rram-statistical";
     oms::core::Pipeline rram(rram_cfg);
     rram.set_library(wl.references);
     const std::size_t rram_ids = rram.run(wl.queries).identifications();

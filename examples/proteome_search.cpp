@@ -8,9 +8,11 @@
 //   pipeline        ----------------->   identifications + TSV report
 //
 // Usage: proteome_search [--proteins=150] [--out=/tmp/psms.tsv]
+//                        [--backend=ideal-hd|rram-statistical|sharded|...]
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
   const auto n_proteins =
       static_cast<std::size_t>(cli.get("proteins", 150L));
   const std::string out_path = cli.get("out", std::string());
+  const std::string backend = cli.get("backend", std::string("ideal-hd"));
 
   // 1. A synthetic proteome, digested with trypsin (1 missed cleavage).
   const auto proteome = oms::ms::generate_proteome(n_proteins, 350, 99);
@@ -75,8 +78,16 @@ int main(int argc, char** argv) {
   cfg.encoder.bins = cfg.preprocess.bin_count();
   cfg.encoder.chunks = 256;
   cfg.rescore_top_k = 8;
+  cfg.backend_name = backend;
   oms::core::Pipeline pipeline(cfg);
-  pipeline.set_library(references);
+  try {
+    pipeline.set_library(references);
+  } catch (const std::invalid_argument& e) {
+    // Typo'd --backend: the registry's message lists every valid name.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("search backend: %s\n", pipeline.backend_name().c_str());
   const auto result = pipeline.run(queries);
 
   oms::core::write_summary(std::cout, result);

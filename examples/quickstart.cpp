@@ -6,13 +6,22 @@
 //      over a ±500 Da precursor window → target-decoy FDR filter.
 //   3. Print the identification summary and a few example matches.
 //
+// The search substrate is picked by name through the backend registry:
+//
+//   ./build/examples/quickstart --backend=rram-statistical
+//
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <cstdio>
+#include <stdexcept>
 
 #include "core/pipeline.hpp"
 #include "ms/synthetic.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const oms::util::Cli cli(argc, argv);
+  const std::string backend = cli.get("backend", std::string("ideal-hd"));
+
   // --- 1. Data: 2000 reference peptides, 300 query spectra, ~45% of which
   // carry a post-translational modification the library does not contain.
   oms::ms::WorkloadConfig data_cfg;
@@ -32,9 +41,17 @@ int main() {
   cfg.encoder.id_precision = oms::hd::IdPrecision::k3Bit;
   cfg.oms_window_da = 500.0;  // open modification search window
   cfg.fdr_threshold = 0.01;   // accept at 1% FDR
+  cfg.backend_name = backend;
 
   oms::core::Pipeline pipeline(cfg);
-  pipeline.set_library(workload.references);
+  try {
+    pipeline.set_library(workload.references);
+  } catch (const std::invalid_argument& e) {
+    // Typo'd --backend: the registry's message lists every valid name.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("search backend: %s\n", pipeline.backend_name().c_str());
 
   // --- 3. Search and report.
   const oms::core::PipelineResult result = pipeline.run(workload.queries);

@@ -76,9 +76,8 @@ double ImcSearchEngine::statistical_dot(const util::BitVec& query,
                                         std::size_t index) {
   const double exact = static_cast<double>(util::bipolar_dot(query, refs_[index]));
   if (cfg_.fidelity == Fidelity::kIdeal || phase_sigma_ <= 0.0) return exact;
-  const std::size_t phases =
-      (query.size() + cfg_.activated_pairs - 1) / cfg_.activated_pairs;
-  phases_executed_ += phases;
+  const std::size_t phases = phases_per_query(query);
+  phases_executed_.fetch_add(phases, std::memory_order_relaxed);
   return gain_ * exact +
          rng_.normal(0.0, phase_sigma_ * std::sqrt(static_cast<double>(phases)));
 }
@@ -104,7 +103,7 @@ double ImcSearchEngine::circuit_dot(const util::BitVec& query,
                                          .mvm({x.data(), n}, pair0, n, col,
                                               col + 1);
     total += macs.front();
-    ++phases_executed_;
+    phases_executed_.fetch_add(1, std::memory_order_relaxed);
   }
   return total;
 }
@@ -117,6 +116,22 @@ double ImcSearchEngine::dot(const util::BitVec& query, std::size_t index) {
   return statistical_dot(query, index);
 }
 
+double ImcSearchEngine::keyed_value(const util::BitVec& query,
+                                    std::size_t index,
+                                    std::uint64_t stream) const {
+  const double exact =
+      static_cast<double>(util::bipolar_dot(query, refs_[index]));
+  if (cfg_.fidelity == Fidelity::kIdeal || phase_sigma_ <= 0.0) return exact;
+
+  // Keyed on the *global* reference index so a shard reproduces exactly
+  // the noise a monolithic engine would apply to the same reference.
+  const double z = util::counter_normal(util::hash_combine(cfg_.seed, stream),
+                                        index + cfg_.index_offset);
+  const std::size_t phases = phases_per_query(query);
+  return gain_ * exact +
+         z * phase_sigma_ * std::sqrt(static_cast<double>(phases));
+}
+
 double ImcSearchEngine::dot_keyed(const util::BitVec& query, std::size_t index,
                                   std::uint64_t stream) const {
   if (index >= refs_.size()) {
@@ -125,28 +140,32 @@ double ImcSearchEngine::dot_keyed(const util::BitVec& query, std::size_t index,
   if (cfg_.fidelity == Fidelity::kCircuit) {
     throw std::logic_error("dot_keyed is not available in circuit fidelity");
   }
-  const double exact =
-      static_cast<double>(util::bipolar_dot(query, refs_[index]));
-  if (cfg_.fidelity == Fidelity::kIdeal || phase_sigma_ <= 0.0) return exact;
-
-  const double z =
-      util::counter_normal(util::hash_combine(cfg_.seed, stream), index);
-  const std::size_t phases =
-      (query.size() + cfg_.activated_pairs - 1) / cfg_.activated_pairs;
-  return gain_ * exact +
-         z * phase_sigma_ * std::sqrt(static_cast<double>(phases));
+  if (cfg_.fidelity == Fidelity::kStatistical && phase_sigma_ > 0.0) {
+    phases_executed_.fetch_add(phases_per_query(query),
+                               std::memory_order_relaxed);
+  }
+  return keyed_value(query, index, stream);
 }
 
 std::vector<hd::SearchHit> ImcSearchEngine::top_k_keyed(
     const util::BitVec& query, std::size_t first, std::size_t last,
     std::size_t k, std::uint64_t stream) const {
   std::vector<hd::SearchHit> hits;
+  if (cfg_.fidelity == Fidelity::kCircuit) {
+    throw std::logic_error(
+        "top_k_keyed is not available in circuit fidelity");
+  }
   last = std::min(last, refs_.size());
   if (k == 0 || first >= last) return hits;
   const double dim = static_cast<double>(query.size());
+  if (cfg_.fidelity == Fidelity::kStatistical && phase_sigma_ > 0.0) {
+    // One batched update instead of a contended per-candidate increment.
+    phases_executed_.fetch_add(phases_per_query(query) * (last - first),
+                               std::memory_order_relaxed);
+  }
 
   for (std::size_t i = first; i < last; ++i) {
-    const double d = dot_keyed(query, i, stream);
+    const double d = keyed_value(query, i, stream);
     const auto dot_int = static_cast<std::int64_t>(std::llround(d));
     if (hits.size() == k && dot_int <= hits.back().dot) continue;
     const hd::SearchHit hit{i, dot_int, (d / dim + 1.0) / 2.0};

@@ -14,6 +14,7 @@
 //  * kIdeal        — exact search (equivalent to hd::top_k_search).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -37,6 +38,11 @@ struct ImcSearchConfig {
   /// cell still uses its configured MLC levels for calibration parity
   /// with the paper's device experiments.
   int weight_bits = 1;
+  /// Global index of references[0]. Keyed noise draws are keyed on the
+  /// *global* reference index (index + offset), so a shard of a larger
+  /// library reproduces exactly the noise a monolithic engine over the
+  /// whole library would apply to the same references.
+  std::size_t index_offset = 0;
 };
 
 class ImcSearchEngine {
@@ -84,9 +90,9 @@ class ImcSearchEngine {
       std::size_t k, std::uint64_t stream) const;
 
   /// Operation counters aggregated from the underlying chip (circuit
-  /// mode) or modeled (statistical mode).
+  /// mode) or modeled (statistical/keyed modes).
   [[nodiscard]] std::uint64_t phases_executed() const noexcept {
-    return phases_executed_;
+    return phases_executed_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -94,12 +100,20 @@ class ImcSearchEngine {
                                    std::size_t index);
   [[nodiscard]] double statistical_dot(const util::BitVec& query,
                                        std::size_t index);
+  /// dot_keyed without the phase accounting (top_k_keyed batches it).
+  [[nodiscard]] double keyed_value(const util::BitVec& query,
+                                   std::size_t index,
+                                   std::uint64_t stream) const;
+  [[nodiscard]] std::size_t phases_per_query(
+      const util::BitVec& query) const noexcept {
+    return (query.size() + cfg_.activated_pairs - 1) / cfg_.activated_pairs;
+  }
 
   ImcSearchConfig cfg_;
   std::span<const util::BitVec> refs_;
   double phase_sigma_ = 0.0;
   double gain_ = 1.0;
-  std::uint64_t phases_executed_ = 0;
+  mutable std::atomic<std::uint64_t> phases_executed_{0};
   util::Xoshiro256 rng_;
 
   // Circuit mode state: one logical column per reference, tiled over

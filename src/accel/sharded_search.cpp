@@ -30,7 +30,10 @@ ShardedSearch::ShardedSearch(std::span<const util::BitVec> references,
     const std::size_t count =
         std::min(refs_per_shard_, references.size() - start);
     ImcSearchConfig engine_cfg = cfg.engine;
-    engine_cfg.seed = util::hash_combine(cfg.engine.seed, start);
+    // Same seed everywhere + global index offset: shard s applies exactly
+    // the keyed noise a monolithic engine over the full library would, so
+    // sharded and single-engine searches return identical hits.
+    engine_cfg.index_offset = cfg.engine.index_offset + start;
     shards_.push_back(std::make_unique<ImcSearchEngine>(
         references.subspan(start, count), engine_cfg));
     plans_.push_back(plan_search_mapping(count, dim, cfg.chip,
@@ -66,6 +69,20 @@ std::vector<hd::SearchHit> ShardedSearch::top_k(const util::BitVec& query,
             });
   if (merged.size() > k) merged.resize(k);
   return merged;
+}
+
+std::uint64_t ShardedSearch::phases_executed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->phases_executed();
+  return total;
+}
+
+double ShardedSearch::phase_sigma() const noexcept {
+  return shards_.empty() ? 0.0 : shards_.front()->phase_sigma();
+}
+
+double ShardedSearch::gain() const noexcept {
+  return shards_.empty() ? 1.0 : shards_.front()->gain();
 }
 
 }  // namespace oms::accel

@@ -39,9 +39,17 @@ class ShardedSearch {
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
   }
+  [[nodiscard]] std::size_t reference_count() const noexcept {
+    return refs_.size();
+  }
   [[nodiscard]] std::size_t references_per_shard() const noexcept {
     return refs_per_shard_;
   }
+  /// Accounting across shards: total activation phases, and the noise
+  /// parameters of the (identically configured) shard engines.
+  [[nodiscard]] std::uint64_t phases_executed() const noexcept;
+  [[nodiscard]] double phase_sigma() const noexcept;
+  [[nodiscard]] double gain() const noexcept;
   /// The mapping plan of shard `i` (for capacity/energy accounting).
   [[nodiscard]] const MappingPlan& plan(std::size_t i) const {
     return plans_.at(i);

@@ -15,7 +15,8 @@ core::PipelineConfig hyperoms_pipeline_config(const HyperOmsConfig& cfg) {
   pc.oms_window_da = cfg.oms_window_da;
   pc.open_search = true;
   pc.fdr_threshold = cfg.fdr_threshold;
-  pc.backend = core::Backend::kIdealHd;
+  pc.backend_name = "ideal-hd";
+  pc.backend = core::Backend::kIdealHd;  // deprecated enum kept in sync
   pc.seed = cfg.seed;
   return pc;
 }

@@ -24,6 +24,21 @@ Pipeline::Pipeline(const PipelineConfig& cfg)
 
 Pipeline::~Pipeline() = default;
 
+std::string Pipeline::backend_name() const {
+  if (!cfg_.backend_name.empty()) return cfg_.backend_name;
+  // Deprecated enum shim (one release): map the two legacy values onto
+  // their registry names.
+  return cfg_.backend == Backend::kRramStatistical ? "rram-statistical"
+                                                   : "ideal-hd";
+}
+
+BackendStats Pipeline::backend_stats() const {
+  if (!backend_) {
+    throw std::logic_error("Pipeline::backend_stats: set_library() first");
+  }
+  return backend_->stats();
+}
+
 std::vector<util::BitVec> Pipeline::encode_spectra(
     const std::vector<ms::BinnedSpectrum>& spectra, std::uint64_t ber_salt) {
   // Gather sparse vectors; the encoder batches and parallelizes.
@@ -34,13 +49,22 @@ std::vector<util::BitVec> Pipeline::encode_spectra(
     weight_lists[i] = spectra[i].weights;
   }
 
+  // Substrates registered with the imc_encoding trait (the rram-* names,
+  // statistical shards, any runtime-registered device backend) also encode
+  // through the statistical IMC error model; the rest take the exact
+  // digital encoding.
+  const bool imc_encode = BackendRegistry::instance().imc_encoding(
+      backend_name(), cfg_.backend_options);
+
   std::vector<util::BitVec> hvs;
-  if (cfg_.backend == Backend::kRramStatistical) {
+  if (imc_encode) {
     if (!imc_encoder_) {
       imc_encoder_ = std::make_unique<accel::ImcEncoder>(
           encoder_,
-          accel::ImcEncoderConfig{cfg_.rram_array, accel::Fidelity::kStatistical,
-                                  4096, cfg_.seed});
+          accel::ImcEncoderConfig{cfg_.backend_options.array,
+                                  accel::Fidelity::kStatistical,
+                                  cfg_.backend_options.calibration_samples,
+                                  cfg_.seed});
     }
     // Materialize ID rows and calibrate sigmas up front, then encode in
     // parallel with per-spectrum keyed noise.
@@ -74,6 +98,9 @@ std::vector<util::BitVec> Pipeline::encode_spectra(
 }
 
 void Pipeline::set_library(const std::vector<ms::Spectrum>& targets) {
+  // Fail on a typo'd backend name before the (expensive) encoding work.
+  BackendRegistry::instance().require(backend_name());
+
   std::vector<ms::BinnedSpectrum> entries =
       ms::preprocess_all(targets, cfg_.preprocess);
 
@@ -100,19 +127,16 @@ void Pipeline::set_library(const std::vector<ms::Spectrum>& targets) {
                                           library_.entries().end());
   ref_hvs_ = encode_spectra(ordered, 0x5245465345ULL /* "REFSE" salt */);
 
-  engine_.reset();
-  if (cfg_.backend == Backend::kRramStatistical) {
-    accel::ImcSearchConfig scfg;
-    scfg.array = cfg_.rram_array;
-    scfg.activated_pairs = cfg_.activated_pairs;
-    scfg.fidelity = accel::Fidelity::kStatistical;
-    scfg.seed = cfg_.seed;
-    engine_ = std::make_unique<accel::ImcSearchEngine>(ref_hvs_, scfg);
-  }
+  // All search paths go through the registry — the pipeline never touches
+  // a concrete engine type.
+  BackendOptions opts = cfg_.backend_options;
+  opts.seed = cfg_.seed;
+  backend_.reset();
+  backend_ = make_backend(backend_name(), ref_hvs_, opts);
 }
 
 PipelineResult Pipeline::run(const std::vector<ms::Spectrum>& queries) {
-  if (library_.empty()) {
+  if (library_.empty() || !backend_) {
     throw std::logic_error("Pipeline::run: set_library() first");
   }
   PipelineResult result;
@@ -129,65 +153,78 @@ PipelineResult Pipeline::run(const std::vector<ms::Spectrum>& queries) {
 
   const double window =
       cfg_.open_search ? cfg_.oms_window_da : cfg_.standard_window_da;
-
-  std::vector<Psm> psms(prepped.size());
-  std::vector<std::uint8_t> valid(prepped.size(), 0);
-
   const std::size_t k = std::max<std::size_t>(1, cfg_.rescore_top_k);
   const double bin_width = cfg_.preprocess.bin_width;
 
+  // Build one flat batch of (query, precursor-mass interpretation) search
+  // requests; the backend owns all query-level parallelism.
+  std::vector<Query> batch;
+  std::vector<std::pair<std::size_t, double>> interp;  // (query idx, mass)
+  batch.reserve(prepped.size());
+  interp.reserve(prepped.size());
+  for (std::size_t i = 0; i < prepped.size(); ++i) {
+    const auto& q = prepped[i];
+
+    // Candidate precursor-mass interpretations: the recorded charge, plus
+    // z±1 when charge-tolerant search is on. The neutral mass scales as
+    // m·z_alt/z_rec for a fixed observed m/z.
+    double masses[3];
+    std::size_t n_masses = 0;
+    masses[n_masses++] = q.precursor_mass;
+    if (cfg_.charge_tolerant) {
+      const int z = q.precursor_charge;
+      if (z > 1) {
+        masses[n_masses++] = q.precursor_mass * static_cast<double>(z - 1) / z;
+      }
+      masses[n_masses++] = q.precursor_mass * static_cast<double>(z + 1) / z;
+    }
+
+    for (std::size_t m = 0; m < n_masses; ++m) {
+      const auto [first, last] = library_.mass_window(masses[m], window);
+      if (first >= last) continue;
+      batch.push_back(Query{&query_hvs[i], first, last, q.id});
+      interp.emplace_back(i, masses[m]);
+    }
+  }
+
+  std::vector<std::vector<hd::SearchHit>> batch_hits =
+      backend_->search_batch(batch, k);
+
+  // Reduce interpretations per query: the strongest leading dot wins,
+  // earlier interpretation (recorded charge first) on ties.
+  std::vector<std::vector<hd::SearchHit>> hits(prepped.size());
+  std::vector<double> matched_mass(prepped.size());
+  for (std::size_t i = 0; i < prepped.size(); ++i) {
+    matched_mass[i] = prepped[i].precursor_mass;
+  }
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    auto& part = batch_hits[j];
+    const std::size_t i = interp[j].first;
+    if (!part.empty() &&
+        (hits[i].empty() || part.front().dot > hits[i].front().dot)) {
+      hits[i] = std::move(part);
+      matched_mass[i] = interp[j].second;
+    }
+  }
+
+  // Rescoring + PSM construction is embarrassingly parallel (slot i only).
+  std::vector<Psm> psms(prepped.size());
+  std::vector<std::uint8_t> valid(prepped.size(), 0);
   util::ThreadPool::global().parallel_for(
       0, prepped.size(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
+          if (hits[i].empty()) continue;
           const auto& q = prepped[i];
 
-          // Candidate precursor-mass interpretations: the recorded charge,
-          // plus z±1 when charge-tolerant search is on. The neutral mass
-          // scales as m·z_alt/z_rec for a fixed observed m/z.
-          double masses[3];
-          std::size_t n_masses = 0;
-          masses[n_masses++] = q.precursor_mass;
-          if (cfg_.charge_tolerant) {
-            const int z = q.precursor_charge;
-            if (z > 1) {
-              masses[n_masses++] =
-                  q.precursor_mass * static_cast<double>(z - 1) / z;
-            }
-            masses[n_masses++] =
-                q.precursor_mass * static_cast<double>(z + 1) / z;
-          }
-
-          std::vector<hd::SearchHit> hits;
-          double matched_mass = q.precursor_mass;
-          for (std::size_t m = 0; m < n_masses; ++m) {
-            const auto [first, last] =
-                library_.mass_window(masses[m], window);
-            if (first >= last) continue;
-            std::vector<hd::SearchHit> part;
-            if (engine_) {
-              part = engine_->top_k_keyed(query_hvs[i], first, last, k,
-                                          q.id);
-            } else {
-              part =
-                  hd::top_k_search(query_hvs[i], ref_hvs_, first, last, k);
-            }
-            if (!part.empty() &&
-                (hits.empty() || part.front().dot > hits.front().dot)) {
-              hits = std::move(part);
-              matched_mass = masses[m];
-            }
-          }
-          if (hits.empty()) continue;
-
-          hd::SearchHit best = hits.front();
+          hd::SearchHit best = hits[i].front();
           double best_score = best.similarity;
           if (k > 1) {
             // Rescore the HD candidates with the exact shifted dot
             // product and keep the strongest.
             best_score = -1.0;
-            for (const auto& h : hits) {
+            for (const auto& h : hits[i]) {
               const ms::BinnedSpectrum& cand = library_[h.reference_index];
-              const double shift_da = matched_mass - cand.precursor_mass;
+              const double shift_da = matched_mass[i] - cand.precursor_mass;
               const auto shift = static_cast<std::int64_t>(
                   std::llround(shift_da / bin_width));
               const double s = ms::shifted_dot(q, cand, shift);
@@ -204,7 +241,7 @@ PipelineResult Pipeline::run(const std::vector<ms::Spectrum>& queries) {
           psm.peptide = ref.peptide;
           psm.score = best_score;
           psm.is_decoy = ref.is_decoy;
-          psm.mass_shift = matched_mass - ref.precursor_mass;
+          psm.mass_shift = matched_mass[i] - ref.precursor_mass;
           psm.reference_index = best.reference_index;
           psms[i] = std::move(psm);
           valid[i] = 1;

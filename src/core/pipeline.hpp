@@ -1,10 +1,14 @@
 // End-to-end OMS pipeline (paper Fig. 2): preprocessing → HD encoding →
 // Hamming search over a precursor-mass window → target-decoy FDR filter.
 //
-// Backends:
-//  * kIdealHd          — exact digital HD (this is HyperOMS' algorithm);
-//  * kRramStatistical  — encode and search through the calibrated MLC
-//                        RRAM error model ("this work" on hardware).
+// The search substrate is selected by registry name (see
+// core/search_backend.hpp): "ideal-hd" is exact digital HD (HyperOMS'
+// algorithm), "rram-statistical" searches through the calibrated MLC RRAM
+// error model ("this work" on hardware), "rram-circuit" searches through
+// the full crossbar simulation (slow, small libraries; encoding still uses
+// the statistical model, and results repeat only across freshly built
+// pipelines — the analog arrays carry state), and "sharded" scales out
+// over multiple chips.
 // Independent of the backend, `injected_ber` flips encoded bits at a given
 // rate (the Fig. 11 robustness protocol).
 #pragma once
@@ -16,8 +20,8 @@
 #include <vector>
 
 #include "accel/imc_encoder.hpp"
-#include "accel/imc_search.hpp"
 #include "core/fdr.hpp"
+#include "core/search_backend.hpp"
 #include "hd/encoder.hpp"
 #include "ms/library.hpp"
 #include "ms/preprocess.hpp"
@@ -26,6 +30,8 @@
 
 namespace oms::core {
 
+/// DEPRECATED two-value backend selector, kept for one release. Prefer
+/// PipelineConfig::backend_name, which reaches every registered backend.
 enum class Backend : std::uint8_t { kIdealHd, kRramStatistical };
 
 struct PipelineConfig {
@@ -48,9 +54,14 @@ struct PipelineConfig {
   /// hit across interpretations wins.
   bool charge_tolerant = false;
   double injected_ber = 0.0;          ///< Bit errors on all encoded HVs.
-  Backend backend = Backend::kIdealHd;
-  rram::ArrayConfig rram_array{};     ///< Device model for kRramStatistical.
-  std::size_t activated_pairs = 64;
+  /// Search backend registry name ("ideal-hd", "rram-statistical",
+  /// "rram-circuit", "sharded", or anything registered at runtime).
+  /// Empty → derived from the deprecated `backend` enum below.
+  std::string backend_name;
+  /// Device/sharding options handed to BackendRegistry::make. The seed is
+  /// overridden with `seed` below so one knob controls the whole run.
+  BackendOptions backend_options{};
+  Backend backend = Backend::kIdealHd;  ///< DEPRECATED: use backend_name.
   std::uint64_t seed = 2024;
 };
 
@@ -80,9 +91,13 @@ class Pipeline {
 
   [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
 
+  /// The backend registry name this pipeline resolves to (backend_name,
+  /// or the deprecated enum's mapping when backend_name is empty).
+  [[nodiscard]] std::string backend_name() const;
+
   /// Builds the reference side: preprocess targets, synthesize decoys,
-  /// encode everything (with optional BER injection), and prepare the
-  /// search backend. Must be called before run().
+  /// encode everything (with optional BER injection), and construct the
+  /// search backend through the registry. Must be called before run().
   void set_library(const std::vector<ms::Spectrum>& targets);
 
   [[nodiscard]] const ms::SpectralLibrary& library() const {
@@ -93,8 +108,11 @@ class Pipeline {
       const noexcept {
     return ref_hvs_;
   }
+  /// Accounting snapshot of the search backend (valid after set_library).
+  [[nodiscard]] BackendStats backend_stats() const;
 
-  /// Searches all queries and applies the FDR filter.
+  /// Searches all queries (batched through the backend) and applies the
+  /// FDR filter.
   [[nodiscard]] PipelineResult run(const std::vector<ms::Spectrum>& queries);
 
  private:
@@ -105,7 +123,7 @@ class Pipeline {
   hd::Encoder encoder_;
   ms::SpectralLibrary library_;
   std::vector<util::BitVec> ref_hvs_;
-  std::unique_ptr<accel::ImcSearchEngine> engine_;
+  std::unique_ptr<SearchBackend> backend_;
   std::unique_ptr<accel::ImcEncoder> imc_encoder_;
 };
 

@@ -1,0 +1,265 @@
+#include "core/search_backend.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "accel/imc_search.hpp"
+#include "accel/sharded_search.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oms::core {
+
+std::vector<std::vector<hd::SearchHit>> SearchBackend::search_batch(
+    std::span<const Query> queries, std::size_t k) {
+  std::vector<std::vector<hd::SearchHit>> out(queries.size());
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Query& q = queries[i];
+      out[i] = top_k(*q.hv, q.first, q.last, k, q.stream);
+    }
+  };
+  if (thread_safe()) {
+    util::ThreadPool::global().parallel_for(0, queries.size(), run_range);
+  } else {
+    run_range(0, queries.size());
+  }
+  return out;
+}
+
+namespace {
+
+/// Exact digital Hamming search — hd::top_k_search behind the seam.
+class IdealHdBackend final : public SearchBackend {
+ public:
+  explicit IdealHdBackend(std::span<const util::BitVec> references)
+      : refs_(references) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ideal-hd";
+  }
+
+  [[nodiscard]] std::vector<hd::SearchHit> top_k(
+      const util::BitVec& query, std::size_t first, std::size_t last,
+      std::size_t k, std::uint64_t /*stream*/) override {
+    return hd::top_k_search(query, refs_, first, last, k);
+  }
+
+  [[nodiscard]] BackendStats stats() const override {
+    BackendStats s;
+    s.backend = "ideal-hd";
+    s.references = refs_.size();
+    return s;
+  }
+
+ private:
+  std::span<const util::BitVec> refs_;
+};
+
+/// One in-memory-compute engine (statistical or circuit fidelity).
+class ImcBackend final : public SearchBackend {
+ public:
+  ImcBackend(std::string name, std::span<const util::BitVec> references,
+             const accel::ImcSearchConfig& cfg)
+      : name_(std::move(name)), engine_(references, cfg) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+
+  [[nodiscard]] bool thread_safe() const noexcept override {
+    // Circuit fidelity drives stateful crossbar arrays per call.
+    return engine_.config().fidelity != accel::Fidelity::kCircuit;
+  }
+
+  [[nodiscard]] std::vector<hd::SearchHit> top_k(
+      const util::BitVec& query, std::size_t first, std::size_t last,
+      std::size_t k, std::uint64_t stream) override {
+    if (engine_.config().fidelity == accel::Fidelity::kCircuit) {
+      return engine_.top_k(query, first, last, k);
+    }
+    return engine_.top_k_keyed(query, first, last, k, stream);
+  }
+
+  [[nodiscard]] BackendStats stats() const override {
+    BackendStats s;
+    s.backend = name_;
+    s.references = engine_.reference_count();
+    s.phases_executed = engine_.phases_executed();
+    s.phase_sigma = engine_.phase_sigma();
+    s.gain = engine_.gain();
+    return s;
+  }
+
+ private:
+  std::string name_;
+  accel::ImcSearchEngine engine_;
+};
+
+/// Multi-chip scale-out: contiguous shards, merged top-k.
+class ShardedBackend final : public SearchBackend {
+ public:
+  ShardedBackend(std::span<const util::BitVec> references,
+                 const accel::ShardedSearchConfig& cfg)
+      : sharded_(references, cfg) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sharded";
+  }
+
+  [[nodiscard]] std::vector<hd::SearchHit> top_k(
+      const util::BitVec& query, std::size_t first, std::size_t last,
+      std::size_t k, std::uint64_t stream) override {
+    return sharded_.top_k(query, first, last, k, stream);
+  }
+
+  [[nodiscard]] BackendStats stats() const override {
+    BackendStats s;
+    s.backend = "sharded";
+    s.references = sharded_.reference_count();
+    s.shards = sharded_.shard_count();
+    s.phases_executed = sharded_.phases_executed();
+    s.phase_sigma = sharded_.phase_sigma();
+    s.gain = sharded_.gain();
+    return s;
+  }
+
+ private:
+  accel::ShardedSearch sharded_;
+};
+
+accel::ImcSearchConfig imc_config(const BackendOptions& opts,
+                                  accel::Fidelity fidelity) {
+  accel::ImcSearchConfig cfg;
+  cfg.array = opts.array;
+  cfg.activated_pairs = opts.activated_pairs;
+  cfg.fidelity = fidelity;
+  cfg.calibration_samples = opts.calibration_samples;
+  cfg.seed = opts.seed;
+  return cfg;
+}
+
+}  // namespace
+
+BackendRegistry::BackendRegistry() {
+  const EncodingTrait always_imc_encoded = [](const BackendOptions&) {
+    return true;
+  };
+  factories_["ideal-hd"] = {[](std::span<const util::BitVec> refs,
+                               const BackendOptions&) {
+                              return std::make_unique<IdealHdBackend>(refs);
+                            },
+                            /*imc_encoding=*/nullptr};
+  factories_["rram-statistical"] = {
+      [](std::span<const util::BitVec> refs, const BackendOptions& opts) {
+        return std::make_unique<ImcBackend>(
+            "rram-statistical", refs,
+            imc_config(opts, accel::Fidelity::kStatistical));
+      },
+      always_imc_encoded};
+  factories_["rram-circuit"] = {
+      [](std::span<const util::BitVec> refs, const BackendOptions& opts) {
+        return std::make_unique<ImcBackend>(
+            "rram-circuit", refs,
+            imc_config(opts, accel::Fidelity::kCircuit));
+      },
+      always_imc_encoded};
+  factories_["sharded"] = {
+      [](std::span<const util::BitVec> refs, const BackendOptions& opts) {
+        if (opts.sharded_fidelity == accel::Fidelity::kCircuit) {
+          throw std::invalid_argument(
+              "sharded backend does not support circuit fidelity (shards "
+              "search through the thread-safe keyed path only)");
+        }
+        accel::ShardedSearchConfig cfg;
+        cfg.chip = opts.chip;
+        cfg.chip.array = opts.array;
+        cfg.engine = imc_config(opts, opts.sharded_fidelity);
+        cfg.max_refs_per_shard = opts.max_refs_per_shard;
+        return std::make_unique<ShardedBackend>(refs, cfg);
+      },
+      // Statistical shards model the same device noise as the monolithic
+      // rram-statistical engine, so their libraries must be encoded the
+      // same way for end-to-end equivalence; ideal shards take the exact
+      // encoding (matching "ideal-hd").
+      [](const BackendOptions& opts) {
+        return opts.sharded_fidelity == accel::Fidelity::kStatistical;
+      }};
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(const std::string& name,
+                                       Factory factory, bool imc_encoding) {
+  register_backend(
+      name, std::move(factory),
+      imc_encoding ? EncodingTrait([](const BackendOptions&) { return true; })
+                   : EncodingTrait());
+}
+
+void BackendRegistry::register_backend(const std::string& name,
+                                       Factory factory,
+                                       EncodingTrait imc_encoding) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = Entry{std::move(factory), std::move(imc_encoding)};
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+void BackendRegistry::require(const std::string& name) const {
+  if (!contains(name)) throw_unknown(name);
+}
+
+bool BackendRegistry::imc_encoding(const std::string& name,
+                                   const BackendOptions& opts) const {
+  EncodingTrait trait;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end() || !it->second.imc_encoding) return false;
+    trait = it->second.imc_encoding;
+  }
+  return trait(opts);
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, entry] : factories_) out.push_back(name);
+  return out;
+}
+
+void BackendRegistry::throw_unknown(const std::string& name) const {
+  std::ostringstream msg;
+  msg << "unknown search backend '" << name << "'; registered backends:";
+  for (const auto& n : names()) msg << " " << n;
+  throw std::invalid_argument(msg.str());
+}
+
+std::unique_ptr<SearchBackend> BackendRegistry::make(
+    const std::string& name, std::span<const util::BitVec> references,
+    const BackendOptions& opts) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second.factory;
+  }
+  if (!factory) throw_unknown(name);
+  return factory(references, opts);
+}
+
+std::unique_ptr<SearchBackend> make_backend(
+    const std::string& name, std::span<const util::BitVec> references,
+    const BackendOptions& opts) {
+  return BackendRegistry::instance().make(name, references, opts);
+}
+
+}  // namespace oms::core

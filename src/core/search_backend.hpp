@@ -1,0 +1,212 @@
+// Pluggable search-backend seam: every way this codebase can score a query
+// hypervector against a reference library — exact digital HD, statistical
+// MLC-RRAM, circuit-level crossbars, sharded multi-chip — sits behind one
+// abstract interface, selected by registry name at runtime.
+//
+// Map of this header:
+//   * Query           — one batched search request (hypervector + candidate
+//                       window + noise stream key).
+//   * BackendStats    — substrate-independent accounting (refs held, shard
+//                       count, activation phases executed).
+//   * SearchBackend   — the interface: `top_k` for one query, `search_batch`
+//                       for many (default fans out over the global thread
+//                       pool; backends may override with a genuinely batched
+//                       implementation).
+//   * BackendRegistry — string-keyed factory. Built-in names:
+//                         "ideal-hd"         exact Hamming search
+//                                            (hd::top_k_search semantics);
+//                         "rram-statistical" calibrated MLC-RRAM noise model
+//                                            (accel::ImcSearchEngine);
+//                         "rram-circuit"     search through the full crossbar
+//                                            circuit simulation (slow; small
+//                                            libraries only; pipeline-scale
+//                                            *encoding* still goes through
+//                                            the statistical IMC model);
+//                         "sharded"          multi-chip scale-out
+//                                            (accel::ShardedSearch).
+//   * make_backend    — convenience wrapper over the registry.
+//
+// Registering a new backend (e.g. from a plugin or a future GPU/FPGA port):
+//
+//   class MyBackend final : public core::SearchBackend { ... };
+//   core::BackendRegistry::instance().register_backend(
+//       "my-substrate",
+//       [](std::span<const util::BitVec> refs,
+//          const core::BackendOptions& opts) {
+//         return std::make_unique<MyBackend>(refs, opts);
+//       },
+//       /*imc_encoding=*/true);  // if libraries must be encoded through
+//                                // the IMC statistical error model
+//
+// After that, `make_backend("my-substrate", refs, opts)` works everywhere a
+// built-in name does — core::Pipeline, the examples' --backend flag, benches.
+// Implementations must honor the determinism contract: equal-score hits are
+// ordered by lower reference index, and all simulation noise is keyed on
+// (seed, stream, global reference index) so results do not depend on thread
+// scheduling. The one exception is "rram-circuit": its analog arrays carry
+// engine-lifetime RNG state, so it is deterministic only for a fixed engine
+// state and call sequence (two freshly built pipelines agree; repeated
+// run() calls on one engine do not) — it reports thread_safe() == false and
+// is batched sequentially.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "accel/error_model.hpp"
+#include "hd/search.hpp"
+#include "rram/array.hpp"
+#include "rram/chip.hpp"
+#include "util/bitvec.hpp"
+
+namespace oms::core {
+
+/// One batched search request: score `*hv` against references
+/// [first, last) — the precursor-mass window — under noise stream `stream`
+/// (conventionally the query spectrum id, so simulated hardware noise is
+/// reproducible regardless of scheduling).
+struct Query {
+  const util::BitVec* hv = nullptr;
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::uint64_t stream = 0;
+};
+
+/// Substrate-independent accounting a backend can report.
+struct BackendStats {
+  std::string backend;                ///< Registry name.
+  std::size_t references = 0;         ///< Reference hypervectors held.
+  std::size_t shards = 1;             ///< Search partitions (1 = monolithic).
+  std::uint64_t phases_executed = 0;  ///< Hardware activation phases so far.
+  double phase_sigma = 0.0;           ///< Per-phase noise sigma (0 = exact).
+  double gain = 1.0;                  ///< Multiplicative score gain (IR droop).
+};
+
+/// Options consumed by the built-in backend factories. Unknown/irrelevant
+/// fields are ignored by backends that do not need them, so one options
+/// struct can configure any registered name.
+struct BackendOptions {
+  rram::ArrayConfig array{};           ///< Device model (rram-*, sharded).
+  std::size_t activated_pairs = 64;    ///< Differential pairs per phase.
+  std::size_t calibration_samples = 4096;
+  std::uint64_t seed = 2024;
+  /// Per-shard engine fidelity for "sharded" (the rram-* names fix
+  /// theirs). Circuit fidelity is rejected: shards search through the
+  /// thread-safe keyed path only.
+  accel::Fidelity sharded_fidelity = accel::Fidelity::kStatistical;
+  /// Capacity unit per shard. `chip.array` is overridden with `array`
+  /// above so a single device model drives both the noise calibration and
+  /// the capacity/shard-size derivation.
+  rram::ChipConfig chip{};
+  std::size_t max_refs_per_shard = 0;  ///< 0 → derive from chip capacity.
+};
+
+/// Abstract search backend over an externally owned reference set (the
+/// references must outlive the backend).
+class SearchBackend {
+ public:
+  virtual ~SearchBackend() = default;
+
+  /// Registry name this backend was created under.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Up to `k` best hits for one query against references [first, last),
+  /// sorted by decreasing score, equal scores by lower reference index.
+  /// `stream` keys any simulated noise (ignored by exact backends).
+  [[nodiscard]] virtual std::vector<hd::SearchHit> top_k(
+      const util::BitVec& query, std::size_t first, std::size_t last,
+      std::size_t k, std::uint64_t stream) = 0;
+
+  /// True when top_k may be called concurrently from multiple threads with
+  /// reproducible results (the keyed-noise contract). Backends with mutable
+  /// per-call state (e.g. the circuit simulation) return false and are
+  /// batched sequentially.
+  [[nodiscard]] virtual bool thread_safe() const noexcept { return true; }
+
+  /// Searches a whole batch; result i corresponds to queries[i]. The
+  /// default fans out over util::ThreadPool::global() when thread_safe(),
+  /// and degrades to a sequential loop otherwise. Backends may override
+  /// with a genuinely batched implementation (query blocking, shared
+  /// activation scheduling, ...); overrides must return results identical
+  /// to sequential top_k calls.
+  [[nodiscard]] virtual std::vector<std::vector<hd::SearchHit>> search_batch(
+      std::span<const Query> queries, std::size_t k);
+
+  /// Accounting snapshot (phases executed, shard count, ...).
+  [[nodiscard]] virtual BackendStats stats() const = 0;
+};
+
+/// String-keyed factory for search backends. Thread-safe. Built-in names
+/// are registered on first use of instance(); see the header comment for
+/// how to add your own.
+class BackendRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<SearchBackend>(
+      std::span<const util::BitVec>, const BackendOptions&)>;
+  /// Whether a backend built from the given options needs its libraries
+  /// encoded through the IMC statistical error model.
+  using EncodingTrait = std::function<bool(const BackendOptions&)>;
+
+  /// The process-wide registry, with built-ins pre-registered.
+  [[nodiscard]] static BackendRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`. `imc_encoding` marks
+  /// substrates whose reference/query libraries must be encoded through
+  /// the IMC statistical error model (core::Pipeline consults this trait
+  /// instead of hard-coding backend names).
+  void register_backend(const std::string& name, Factory factory,
+                        bool imc_encoding = false);
+  /// Overload for substrates whose encoding requirement depends on the
+  /// options (e.g. "sharded": statistical shards need IMC-encoded
+  /// libraries, ideal shards exact ones).
+  void register_backend(const std::string& name, Factory factory,
+                        EncodingTrait imc_encoding);
+
+  /// True if `name` is registered.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Throws std::invalid_argument (listing registered names) if `name` is
+  /// not registered.
+  void require(const std::string& name) const;
+
+  /// True when a backend built as (`name`, `opts`) requires IMC-model
+  /// encoding; false for unknown names.
+  [[nodiscard]] bool imc_encoding(const std::string& name,
+                                  const BackendOptions& opts) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds the backend registered under `name` over `references` (not
+  /// owned; must outlive the backend). Throws std::invalid_argument for an
+  /// unknown name, listing every registered name in the message.
+  [[nodiscard]] std::unique_ptr<SearchBackend> make(
+      const std::string& name, std::span<const util::BitVec> references,
+      const BackendOptions& opts) const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    EncodingTrait imc_encoding;  ///< Null → never IMC-encoded.
+  };
+
+  BackendRegistry();
+  [[noreturn]] void throw_unknown(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> factories_;
+};
+
+/// Convenience wrapper: BackendRegistry::instance().make(...).
+[[nodiscard]] std::unique_ptr<SearchBackend> make_backend(
+    const std::string& name, std::span<const util::BitVec> references,
+    const BackendOptions& opts = {});
+
+}  // namespace oms::core

@@ -38,7 +38,7 @@ SearchHit best_match(const util::BitVec& query,
                      std::size_t first, std::size_t last) {
   const auto hits = top_k_search(query, references, first, last, 1);
   if (hits.empty()) {
-    return SearchHit{references.size(), 0, 0.0};
+    return SearchHit{};  // invalid: no candidate in range
   }
   return hits.front();
 }

@@ -14,10 +14,21 @@
 namespace oms::hd {
 
 /// One search hit: index into the reference set plus the similarity score.
+/// A default-constructed hit is invalid (no match); check valid() before
+/// using reference_index.
 struct SearchHit {
-  std::size_t reference_index = 0;
+  /// Sentinel reference_index of a no-match hit.
+  static constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+  std::size_t reference_index = kNoMatch;
   std::int64_t dot = 0;        ///< Bipolar dot product in [-D, D].
   double similarity = 0.0;     ///< Hamming similarity in [0, 1].
+
+  /// True when this hit refers to an actual reference (best_match over an
+  /// empty candidate range yields an invalid hit).
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return reference_index != kNoMatch;
+  }
 
   [[nodiscard]] bool operator==(const SearchHit&) const = default;
 };
@@ -29,8 +40,8 @@ struct SearchHit {
     const util::BitVec& query, std::span<const util::BitVec> references,
     std::size_t first, std::size_t last, std::size_t k);
 
-/// Convenience single-best search; returns a hit with reference_index ==
-/// references.size() if the range is empty.
+/// Convenience single-best search; returns an invalid hit (!hit.valid())
+/// if the candidate range is empty.
 [[nodiscard]] SearchHit best_match(const util::BitVec& query,
                                    std::span<const util::BitVec> references,
                                    std::size_t first, std::size_t last);

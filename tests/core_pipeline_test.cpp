@@ -184,7 +184,7 @@ TEST(Pipeline, RramBackendStaysCloseToIdeal) {
   const std::size_t base = ideal.run(wl.queries).identifications();
 
   PipelineConfig rram_cfg = small_pipeline_config();
-  rram_cfg.backend = Backend::kRramStatistical;
+  rram_cfg.backend_name = "rram-statistical";
   Pipeline rram(rram_cfg);
   rram.set_library(wl.references);
   const std::size_t hw = rram.run(wl.queries).identifications();

@@ -44,10 +44,15 @@ TEST(Search, RespectsCandidateRange) {
   EXPECT_LT(hit.similarity, 1.0);
 }
 
-TEST(Search, EmptyRangeReturnsSentinel) {
+TEST(Search, EmptyRangeReturnsInvalidHit) {
   auto refs = random_refs(10, 256, 40);
   const SearchHit hit = best_match(refs[0], refs, 5, 5);
-  EXPECT_EQ(hit.reference_index, refs.size());
+  EXPECT_FALSE(hit.valid());
+  EXPECT_EQ(hit.reference_index, SearchHit::kNoMatch);
+  // A real match is valid.
+  EXPECT_TRUE(best_match(refs[0], refs, 0, refs.size()).valid());
+  // A default-constructed hit is invalid.
+  EXPECT_FALSE(SearchHit{}.valid());
 }
 
 TEST(Search, TopKOrderedByScore) {
