@@ -54,4 +54,18 @@ inline void print_header(const std::string& title, const std::string& paper) {
   std::printf("Reproduces: %s\n\n", paper.c_str());
 }
 
+/// One-line substrate accounting after a run: activation phases, shard
+/// entries, calibrated noise, and how many queries each batched block
+/// amortized — the counters behind the accelerator's
+/// cost-amortized-across-queries story.
+inline void print_backend_stats(const core::BackendStats& s) {
+  std::printf(
+      "backend %-16s refs=%zu shards=%zu phases=%llu shard_entries=%llu "
+      "sigma=%.4f gain=%.4f blocks=%llu queries/block=%.1f\n",
+      s.backend.c_str(), s.references, s.shards,
+      static_cast<unsigned long long>(s.phases_executed),
+      static_cast<unsigned long long>(s.shard_entries), s.phase_sigma, s.gain,
+      static_cast<unsigned long long>(s.query_blocks), s.queries_per_block());
+}
+
 }  // namespace oms::bench

@@ -41,10 +41,12 @@ int main(int argc, char** argv) {
     oms::core::Pipeline rram(rram_cfg);
     rram.set_library(wl.references);
     const std::size_t rram_ids = rram.run(wl.queries).identifications();
+    oms::bench::print_backend_stats(rram.backend_stats());
 
     table.add_row({std::to_string(dim), std::to_string(ideal_ids),
                    std::to_string(rram_ids)});
   }
+  std::printf("\n");
   std::printf("%s\n", table.str().c_str());
   std::printf(
       "Expected shape (paper): identifications decrease as the dimension\n"

@@ -9,18 +9,24 @@
 //
 // Usage: proteome_search [--proteins=150] [--out=/tmp/psms.tsv]
 //                        [--backend=ideal-hd|rram-statistical|sharded|...]
+//                        [--batch-size=64] [--threads=0]
+//
+// --batch-size is the streaming engine's query-block size; --threads sizes
+// the global thread pool (0 = all cores).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
 
 #include "core/pipeline.hpp"
+#include "core/query_engine.hpp"
 #include "core/report.hpp"
 #include "ms/fasta.hpp"
 #include "ms/modifications.hpp"
 #include "ms/synthesizer.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   const oms::util::Cli cli(argc, argv);
@@ -28,6 +34,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get("proteins", 150L));
   const std::string out_path = cli.get("out", std::string());
   const std::string backend = cli.get("backend", std::string("ideal-hd"));
+  const auto batch_size = static_cast<std::size_t>(cli.get("batch-size", 64L));
+  const auto threads = static_cast<std::size_t>(cli.get("threads", 0L));
+  oms::util::ThreadPool::set_global_threads(threads);
 
   // 1. A synthetic proteome, digested with trypsin (1 missed cleavage).
   const auto proteome = oms::ms::generate_proteome(n_proteins, 350, 99);
@@ -88,7 +97,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("search backend: %s\n", pipeline.backend_name().c_str());
-  const auto result = pipeline.run(queries);
+
+  // Stream the instrument's output through the staged query engine — the
+  // serving path a real deployment uses; bit-identical to pipeline.run.
+  oms::core::QueryEngineConfig ecfg;
+  ecfg.block_size = batch_size;
+  // Stage workers fan search blocks out over the pool themselves; a
+  // handful per stage saturates it without oversubscribing.
+  ecfg.stage_threads = std::min<std::size_t>(
+      8, oms::util::ThreadPool::global().thread_count());
+  oms::core::QueryEngine engine(pipeline, ecfg);
+  engine.submit_batch(queries);
+  const auto result = engine.drain();
+  const auto es = engine.stats();
+  std::printf("streamed %zu queries in %zu blocks of %zu\n", es.submitted,
+              es.blocks, es.block_size);
 
   oms::core::write_summary(std::cout, result);
 

@@ -52,8 +52,11 @@ util::BitVec ImcEncoder::encode(std::span<const std::uint32_t> bins,
 double ImcEncoder::sigma_for(std::size_t n_rows) {
   // Cached value is the *normalized* RMSE (error / ideal-output spread),
   // which transfers between the calibration's uniform weights and the
-  // encoder's ID magnitude lattice.
+  // encoder's ID magnitude lattice. Calibration runs under the cache lock:
+  // it only happens on a bucket's first sighting, and serializing it keeps
+  // concurrent streaming encoders from duplicating the work.
   const std::size_t bucket = calibration_bucket(n_rows);
+  const std::lock_guard<std::mutex> lock(sigma_mutex_);
   auto it = sigma_cache_.find(bucket);
   if (it == sigma_cache_.end()) {
     const int bits = static_cast<int>(encoder_.config().id_precision);
@@ -68,6 +71,7 @@ double ImcEncoder::sigma_for(std::size_t n_rows) {
 
 double ImcEncoder::sigma_for_const(std::size_t n_rows) const {
   const std::size_t bucket = calibration_bucket(n_rows);
+  const std::lock_guard<std::mutex> lock(sigma_mutex_);
   const auto it = sigma_cache_.find(bucket);
   if (it == sigma_cache_.end()) {
     throw std::logic_error(
@@ -81,6 +85,13 @@ void ImcEncoder::precalibrate(
   if (cfg_.fidelity != Fidelity::kStatistical) return;
   for (const auto& bl : bin_lists) {
     if (!bl.empty()) (void)sigma_for(bl.size());
+  }
+}
+
+void ImcEncoder::precalibrate(std::span<const std::size_t> peak_counts) {
+  if (cfg_.fidelity != Fidelity::kStatistical) return;
+  for (const std::size_t n : peak_counts) {
+    if (n > 0) (void)sigma_for(n);
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -53,8 +54,16 @@ class ImcEncoder {
                                           std::uint64_t stream) const;
 
   /// Calibrates and caches the MAC sigma for every peak-count bucket in
-  /// the batch (statistical mode; no-op otherwise).
+  /// the batch (statistical mode; no-op otherwise). Calibration is
+  /// deterministic per (device, bucket, seed), so precalibrating block by
+  /// block yields the same sigmas as one whole-batch pass. Thread-safe
+  /// against concurrent precalibrate()/encode_keyed() calls from streaming
+  /// encode workers.
   void precalibrate(std::span<const std::vector<std::uint32_t>> bin_lists);
+
+  /// Same, from peak counts alone (buckets depend only on the count; the
+  /// streaming encoder uses this to avoid materializing bin lists).
+  void precalibrate(std::span<const std::size_t> peak_counts);
 
   /// Fraction of output bits that differ from the ideal digital encoding,
   /// measured over the given batch (Fig. 9a metric).
@@ -76,6 +85,7 @@ class ImcEncoder {
   ImcEncoderConfig cfg_;
   double mac_sigma_ = 0.0;
   util::Xoshiro256 rng_;
+  mutable std::mutex sigma_mutex_;  ///< Guards sigma_cache_.
   std::map<std::size_t, double> sigma_cache_;
 };
 

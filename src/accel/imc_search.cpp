@@ -167,17 +167,77 @@ std::vector<hd::SearchHit> ImcSearchEngine::top_k_keyed(
   for (std::size_t i = first; i < last; ++i) {
     const double d = keyed_value(query, i, stream);
     const auto dot_int = static_cast<std::int64_t>(std::llround(d));
-    if (hits.size() == k && dot_int <= hits.back().dot) continue;
-    const hd::SearchHit hit{i, dot_int, (d / dim + 1.0) / 2.0};
-    const auto pos = std::upper_bound(
-        hits.begin(), hits.end(), hit,
-        [](const hd::SearchHit& a, const hd::SearchHit& b) {
-          return a.dot > b.dot;
-        });
-    hits.insert(pos, hit);
-    if (hits.size() > k) hits.pop_back();
+    hd::insert_top_k(hits, hd::SearchHit{i, dot_int, (d / dim + 1.0) / 2.0},
+                     k);
   }
   return hits;
+}
+
+std::vector<std::vector<hd::SearchHit>> ImcSearchEngine::search_many(
+    std::span<const hd::BatchQuery> queries, std::size_t k) const {
+  if (cfg_.fidelity == Fidelity::kCircuit) {
+    throw std::logic_error(
+        "search_many is not available in circuit fidelity");
+  }
+  std::vector<std::vector<hd::SearchHit>> out(queries.size());
+  if (k == 0 || queries.empty()) return out;
+
+  std::vector<hd::BatchQuery> clipped(queries.begin(), queries.end());
+  for (hd::BatchQuery& q : clipped) {
+    q.last = std::min(q.last, refs_.size());
+    q.first = std::min(q.first, q.last);
+  }
+
+  const bool noisy =
+      cfg_.fidelity == Fidelity::kStatistical && phase_sigma_ > 0.0;
+
+  // Per-query constants hoisted out of the sweep: the fan-out path redoes
+  // the stream-key hash and √phases for every (query, reference) visit.
+  // Multiplication order below matches keyed_value exactly, so hoisting
+  // cannot move a score by even one ulp.
+  std::vector<std::uint64_t> keys(clipped.size());
+  std::vector<double> sqrt_phases(clipped.size());
+  for (std::size_t slot = 0; slot < clipped.size(); ++slot) {
+    keys[slot] = util::hash_combine(cfg_.seed, clipped[slot].stream);
+    sqrt_phases[slot] = std::sqrt(
+        static_cast<double>(phases_per_query(*clipped[slot].hv)));
+  }
+
+  std::uint64_t phases = 0;
+  hd::for_each_query_segment(
+      clipped, [&](std::size_t lo, std::size_t hi,
+                   std::span<const std::size_t> active) {
+        if (noisy) {
+          // Shared phase scheduling: one activation pass over this
+          // segment's reference rows serves every covering query, so the
+          // phase count is per segment, not per (query, segment).
+          phases += phases_per_query(*clipped[active.front()].hv) * (hi - lo);
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (const std::size_t slot : active) {
+            const hd::BatchQuery& q = clipped[slot];
+            const double exact =
+                static_cast<double>(util::bipolar_dot(*q.hv, refs_[i]));
+            double d = exact;
+            if (noisy) {
+              const double z =
+                  util::counter_normal(keys[slot], i + cfg_.index_offset);
+              d = gain_ * exact + z * phase_sigma_ * sqrt_phases[slot];
+            }
+            const auto dot_int = static_cast<std::int64_t>(std::llround(d));
+            hd::insert_top_k(
+                out[slot],
+                hd::SearchHit{i, dot_int,
+                              (d / static_cast<double>(q.hv->size()) + 1.0) /
+                                  2.0},
+                k);
+          }
+        }
+      });
+  if (phases > 0) {
+    phases_executed_.fetch_add(phases, std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::vector<hd::SearchHit> ImcSearchEngine::top_k(const util::BitVec& query,
@@ -192,15 +252,8 @@ std::vector<hd::SearchHit> ImcSearchEngine::top_k(const util::BitVec& query,
   for (std::size_t i = first; i < last; ++i) {
     const double d = dot(query, i);
     const auto dot_int = static_cast<std::int64_t>(std::llround(d));
-    if (hits.size() == k && dot_int <= hits.back().dot) continue;
-    const hd::SearchHit hit{i, dot_int, (d / dim + 1.0) / 2.0};
-    const auto pos = std::upper_bound(
-        hits.begin(), hits.end(), hit,
-        [](const hd::SearchHit& a, const hd::SearchHit& b) {
-          return a.dot > b.dot;
-        });
-    hits.insert(pos, hit);
-    if (hits.size() > k) hits.pop_back();
+    hd::insert_top_k(hits, hd::SearchHit{i, dot_int, (d / dim + 1.0) / 2.0},
+                     k);
   }
   return hits;
 }

@@ -89,6 +89,17 @@ class ImcSearchEngine {
       const util::BitVec& query, std::size_t first, std::size_t last,
       std::size_t k, std::uint64_t stream) const;
 
+  /// Genuinely batched top-k over a query block (statistical/ideal only;
+  /// throws std::logic_error in circuit fidelity): the sweep is
+  /// reference-major, so each activation phase of resident reference rows
+  /// serves the whole block before advancing, and the phase accounting is
+  /// charged once per block instead of once per query. result[i] is
+  /// bit-identical to top_k_keyed(*queries[i].hv, ..., queries[i].stream)
+  /// — keyed noise depends on (seed, stream, global reference index), not
+  /// on block composition.
+  [[nodiscard]] std::vector<std::vector<hd::SearchHit>> search_many(
+      std::span<const hd::BatchQuery> queries, std::size_t k) const;
+
   /// Operation counters aggregated from the underlying chip (circuit
   /// mode) or modeled (statistical/keyed modes).
   [[nodiscard]] std::uint64_t phases_executed() const noexcept {

@@ -56,6 +56,7 @@ std::vector<hd::SearchHit> ShardedSearch::top_k(const util::BitVec& query,
     const std::size_t base = s * refs_per_shard_;
     const std::size_t lo = first > base ? first - base : 0;
     const std::size_t hi = std::min(last - base, refs_per_shard_);
+    shard_entries_.fetch_add(1, std::memory_order_relaxed);
     auto hits = shards_[s]->top_k_keyed(query, lo, hi, k, stream);
     for (auto& h : hits) {
       h.reference_index += base;  // back to global indices
@@ -69,6 +70,55 @@ std::vector<hd::SearchHit> ShardedSearch::top_k(const util::BitVec& query,
             });
   if (merged.size() > k) merged.resize(k);
   return merged;
+}
+
+std::vector<std::vector<hd::SearchHit>> ShardedSearch::search_many(
+    std::span<const hd::BatchQuery> queries, std::size_t k) const {
+  std::vector<std::vector<hd::SearchHit>> out(queries.size());
+  if (k == 0 || queries.empty()) return out;
+
+  // One pass per shard: every block query whose window intersects the
+  // shard is localized and shipped together, so the shard (one chip in the
+  // deployment picture) is entered once per block.
+  std::vector<hd::BatchQuery> sub;
+  std::vector<std::size_t> slots;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::size_t base = s * refs_per_shard_;
+    sub.clear();
+    slots.clear();
+    for (std::size_t slot = 0; slot < queries.size(); ++slot) {
+      const hd::BatchQuery& q = queries[slot];
+      const std::size_t first = q.first;
+      const std::size_t last = std::min(q.last, refs_.size());
+      if (first >= last) continue;
+      const std::size_t lo = first > base ? first - base : 0;
+      const std::size_t hi =
+          last > base ? std::min(last - base, refs_per_shard_) : 0;
+      if (lo >= hi) continue;
+      sub.push_back(hd::BatchQuery{q.hv, lo, hi, q.stream});
+      slots.push_back(slot);
+    }
+    if (sub.empty()) continue;
+    shard_entries_.fetch_add(1, std::memory_order_relaxed);
+    auto shard_hits = shards_[s]->search_many(sub, k);
+    for (std::size_t j = 0; j < sub.size(); ++j) {
+      auto& merged = out[slots[j]];
+      for (auto& h : shard_hits[j]) {
+        h.reference_index += base;  // back to global indices
+        merged.push_back(std::move(h));
+      }
+    }
+  }
+
+  for (auto& merged : out) {
+    std::sort(merged.begin(), merged.end(),
+              [](const hd::SearchHit& a, const hd::SearchHit& b) {
+                if (a.dot != b.dot) return a.dot > b.dot;
+                return a.reference_index < b.reference_index;
+              });
+    if (merged.size() > k) merged.resize(k);
+  }
+  return out;
 }
 
 std::uint64_t ShardedSearch::phases_executed() const noexcept {

@@ -10,6 +10,7 @@
 // skips the rest.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -64,11 +65,28 @@ class ShardedSearch {
                                                  std::size_t k,
                                                  std::uint64_t stream) const;
 
+  /// Batched search: ships the whole query block to each intersecting
+  /// shard once (one shard entry per block instead of one per query) and
+  /// merges the per-shard top-k lists per query. result[i] is
+  /// bit-identical to top_k(*queries[i].hv, ...) — shard noise is keyed on
+  /// global reference indices, so neither blocking nor shard order changes
+  /// any score.
+  [[nodiscard]] std::vector<std::vector<hd::SearchHit>> search_many(
+      std::span<const hd::BatchQuery> queries, std::size_t k) const;
+
+  /// Shard search entries so far: one per (query, intersecting shard) on
+  /// the per-query path, one per (block, intersecting shard) on the
+  /// batched path — the scale-out cost the batched path amortizes.
+  [[nodiscard]] std::uint64_t shard_entries() const noexcept {
+    return shard_entries_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::span<const util::BitVec> refs_;
   std::size_t refs_per_shard_ = 0;
   std::vector<std::unique_ptr<ImcSearchEngine>> shards_;
   std::vector<MappingPlan> plans_;
+  mutable std::atomic<std::uint64_t> shard_entries_{0};
 };
 
 }  // namespace oms::accel

@@ -16,7 +16,6 @@ core::PipelineConfig hyperoms_pipeline_config(const HyperOmsConfig& cfg) {
   pc.open_search = true;
   pc.fdr_threshold = cfg.fdr_threshold;
   pc.backend_name = "ideal-hd";
-  pc.backend = core::Backend::kIdealHd;  // deprecated enum kept in sync
   pc.seed = cfg.seed;
   return pc;
 }

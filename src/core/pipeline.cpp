@@ -1,11 +1,10 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
+#include "core/query_engine.hpp"
 #include "hd/errors.hpp"
-#include "hd/search.hpp"
 #include "util/thread_pool.hpp"
 
 namespace oms::core {
@@ -25,11 +24,7 @@ Pipeline::Pipeline(const PipelineConfig& cfg)
 Pipeline::~Pipeline() = default;
 
 std::string Pipeline::backend_name() const {
-  if (!cfg_.backend_name.empty()) return cfg_.backend_name;
-  // Deprecated enum shim (one release): map the two legacy values onto
-  // their registry names.
-  return cfg_.backend == Backend::kRramStatistical ? "rram-statistical"
-                                                   : "ideal-hd";
+  return cfg_.backend_name.empty() ? "ideal-hd" : cfg_.backend_name;
 }
 
 BackendStats Pipeline::backend_stats() const {
@@ -139,124 +134,20 @@ PipelineResult Pipeline::run(const std::vector<ms::Spectrum>& queries) {
   if (library_.empty() || !backend_) {
     throw std::logic_error("Pipeline::run: set_library() first");
   }
-  PipelineResult result;
-  result.queries_in = queries.size();
-  result.library_targets = library_.target_count();
-  result.library_decoys = library_.decoy_count();
-
-  std::vector<ms::BinnedSpectrum> prepped =
-      ms::preprocess_all(queries, cfg_.preprocess);
-  result.queries_searched = prepped.size();
-
-  const std::vector<util::BitVec> query_hvs =
-      encode_spectra(prepped, 0x51554552ULL /* "QUER" salt */);
-
-  const double window =
-      cfg_.open_search ? cfg_.oms_window_da : cfg_.standard_window_da;
-  const std::size_t k = std::max<std::size_t>(1, cfg_.rescore_top_k);
-  const double bin_width = cfg_.preprocess.bin_width;
-
-  // Build one flat batch of (query, precursor-mass interpretation) search
-  // requests; the backend owns all query-level parallelism.
-  std::vector<Query> batch;
-  std::vector<std::pair<std::size_t, double>> interp;  // (query idx, mass)
-  batch.reserve(prepped.size());
-  interp.reserve(prepped.size());
-  for (std::size_t i = 0; i < prepped.size(); ++i) {
-    const auto& q = prepped[i];
-
-    // Candidate precursor-mass interpretations: the recorded charge, plus
-    // z±1 when charge-tolerant search is on. The neutral mass scales as
-    // m·z_alt/z_rec for a fixed observed m/z.
-    double masses[3];
-    std::size_t n_masses = 0;
-    masses[n_masses++] = q.precursor_mass;
-    if (cfg_.charge_tolerant) {
-      const int z = q.precursor_charge;
-      if (z > 1) {
-        masses[n_masses++] = q.precursor_mass * static_cast<double>(z - 1) / z;
-      }
-      masses[n_masses++] = q.precursor_mass * static_cast<double>(z + 1) / z;
-    }
-
-    for (std::size_t m = 0; m < n_masses; ++m) {
-      const auto [first, last] = library_.mass_window(masses[m], window);
-      if (first >= last) continue;
-      batch.push_back(Query{&query_hvs[i], first, last, q.id});
-      interp.emplace_back(i, masses[m]);
-    }
-  }
-
-  std::vector<std::vector<hd::SearchHit>> batch_hits =
-      backend_->search_batch(batch, k);
-
-  // Reduce interpretations per query: the strongest leading dot wins,
-  // earlier interpretation (recorded charge first) on ties.
-  std::vector<std::vector<hd::SearchHit>> hits(prepped.size());
-  std::vector<double> matched_mass(prepped.size());
-  for (std::size_t i = 0; i < prepped.size(); ++i) {
-    matched_mass[i] = prepped[i].precursor_mass;
-  }
-  for (std::size_t j = 0; j < batch.size(); ++j) {
-    auto& part = batch_hits[j];
-    const std::size_t i = interp[j].first;
-    if (!part.empty() &&
-        (hits[i].empty() || part.front().dot > hits[i].front().dot)) {
-      hits[i] = std::move(part);
-      matched_mass[i] = interp[j].second;
-    }
-  }
-
-  // Rescoring + PSM construction is embarrassingly parallel (slot i only).
-  std::vector<Psm> psms(prepped.size());
-  std::vector<std::uint8_t> valid(prepped.size(), 0);
-  util::ThreadPool::global().parallel_for(
-      0, prepped.size(), [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          if (hits[i].empty()) continue;
-          const auto& q = prepped[i];
-
-          hd::SearchHit best = hits[i].front();
-          double best_score = best.similarity;
-          if (k > 1) {
-            // Rescore the HD candidates with the exact shifted dot
-            // product and keep the strongest.
-            best_score = -1.0;
-            for (const auto& h : hits[i]) {
-              const ms::BinnedSpectrum& cand = library_[h.reference_index];
-              const double shift_da = matched_mass[i] - cand.precursor_mass;
-              const auto shift = static_cast<std::int64_t>(
-                  std::llround(shift_da / bin_width));
-              const double s = ms::shifted_dot(q, cand, shift);
-              if (s > best_score) {
-                best_score = s;
-                best = h;
-              }
-            }
-          }
-
-          const ms::BinnedSpectrum& ref = library_[best.reference_index];
-          Psm psm;
-          psm.query_id = q.id;
-          psm.peptide = ref.peptide;
-          psm.score = best_score;
-          psm.is_decoy = ref.is_decoy;
-          psm.mass_shift = matched_mass[i] - ref.precursor_mass;
-          psm.reference_index = best.reference_index;
-          psms[i] = std::move(psm);
-          valid[i] = 1;
-        }
-      });
-
-  for (std::size_t i = 0; i < psms.size(); ++i) {
-    if (valid[i]) result.psms.push_back(std::move(psms[i]));
-  }
-
-  result.accepted =
-      cfg_.grouped_fdr
-          ? filter_at_fdr_standard_open(result.psms, cfg_.fdr_threshold)
-          : filter_at_fdr(result.psms, cfg_.fdr_threshold);
-  return result;
+  // Thin wrapper over the streaming executor: submit everything, drain.
+  // The engine's keyed-noise contract makes the result independent of
+  // block size and worker count. (One historical exception: with
+  // injected_ber > 0 the query-side error realization is now keyed per
+  // spectrum instead of drawn from one batch-sequential RNG, so those
+  // runs differ from pre-engine releases at the same seed — same rate,
+  // different flips.)
+  QueryEngineConfig ecfg;
+  ecfg.stage_threads = std::clamp<std::size_t>(
+      util::ThreadPool::global().thread_count(), 1, 8);
+  ecfg.queue_blocks = 2 * ecfg.stage_threads + 2;
+  QueryEngine engine(*this, ecfg);
+  engine.submit_batch(queries);
+  return engine.drain();
 }
 
 }  // namespace oms::core

@@ -11,6 +11,13 @@
 // over multiple chips.
 // Independent of the backend, `injected_ber` flips encoded bits at a given
 // rate (the Fig. 11 robustness protocol).
+//
+// Query execution is staged and streaming: core::QueryEngine
+// (core/query_engine.hpp) admits queries one by one or in chunks and runs
+// them through bounded-queue stages (preprocess → encode → search →
+// rescore → PSM emission) over size-B query blocks. run() is a thin
+// synchronous wrapper — it submits the whole query set to an engine and
+// drains it — so both entry points produce bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +36,6 @@
 #include "ms/synthesizer.hpp"
 
 namespace oms::core {
-
-/// DEPRECATED two-value backend selector, kept for one release. Prefer
-/// PipelineConfig::backend_name, which reaches every registered backend.
-enum class Backend : std::uint8_t { kIdealHd, kRramStatistical };
 
 struct PipelineConfig {
   ms::PreprocessConfig preprocess{};
@@ -56,12 +59,11 @@ struct PipelineConfig {
   double injected_ber = 0.0;          ///< Bit errors on all encoded HVs.
   /// Search backend registry name ("ideal-hd", "rram-statistical",
   /// "rram-circuit", "sharded", or anything registered at runtime).
-  /// Empty → derived from the deprecated `backend` enum below.
+  /// Empty → "ideal-hd".
   std::string backend_name;
   /// Device/sharding options handed to BackendRegistry::make. The seed is
   /// overridden with `seed` below so one knob controls the whole run.
   BackendOptions backend_options{};
-  Backend backend = Backend::kIdealHd;  ///< DEPRECATED: use backend_name.
   std::uint64_t seed = 2024;
 };
 
@@ -92,7 +94,7 @@ class Pipeline {
   [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
 
   /// The backend registry name this pipeline resolves to (backend_name,
-  /// or the deprecated enum's mapping when backend_name is empty).
+  /// or "ideal-hd" when it is empty).
   [[nodiscard]] std::string backend_name() const;
 
   /// Builds the reference side: preprocess targets, synthesize decoys,
@@ -111,11 +113,15 @@ class Pipeline {
   /// Accounting snapshot of the search backend (valid after set_library).
   [[nodiscard]] BackendStats backend_stats() const;
 
-  /// Searches all queries (batched through the backend) and applies the
-  /// FDR filter.
+  /// Searches all queries and applies the FDR filter. Implemented as a
+  /// QueryEngine stream (submit everything, drain); use QueryEngine
+  /// directly to admit queries as they arrive or to tune block size and
+  /// stage workers.
   [[nodiscard]] PipelineResult run(const std::vector<ms::Spectrum>& queries);
 
  private:
+  friend class QueryEngine;  ///< The streaming executor behind run().
+
   [[nodiscard]] std::vector<util::BitVec> encode_spectra(
       const std::vector<ms::BinnedSpectrum>& spectra, std::uint64_t ber_salt);
 

@@ -1,0 +1,450 @@
+#include "core/query_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "accel/imc_encoder.hpp"
+#include "hd/errors.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oms::core {
+namespace {
+
+/// Salt for query-side keyed noise and bit errors ("QUER"); the same value
+/// Pipeline has always used for its query encoding stream.
+constexpr std::uint64_t kQuerySalt = 0x51554552ULL;
+
+/// One unit of work flowing through the stages. The hypervectors live on
+/// the heap, so Query::hv pointers into `hvs` stay valid as the block
+/// moves between queues.
+struct Block {
+  std::vector<ms::BinnedSpectrum> spectra;  ///< Prepped queries.
+  std::vector<std::size_t> index;           ///< Global query index per entry.
+  std::vector<util::BitVec> hvs;            ///< Encoded, aligned to spectra.
+  std::vector<Query> searches;              ///< Interpretation requests.
+  /// (local slot, interpreted precursor mass) per search request.
+  std::vector<std::pair<std::size_t, double>> interp;
+  std::vector<std::vector<hd::SearchHit>> hits;  ///< Aligned to searches.
+};
+
+/// A finished PSM tagged with its global query index for final ordering.
+struct Emitted {
+  std::size_t index = 0;
+  Psm psm;
+};
+
+}  // namespace
+
+struct QueryEngine::Impl {
+  Impl(Pipeline& p, const QueryEngineConfig& engine_cfg)
+      : pipeline(p),
+        cfg(sanitize(engine_cfg, p)),
+        imc_encode(BackendRegistry::instance().imc_encoding(
+            p.backend_name(), p.cfg_.backend_options)),
+        admission(cfg.block_size * cfg.queue_blocks),
+        to_encode(cfg.queue_blocks),
+        to_search(cfg.queue_blocks),
+        to_rescore(cfg.queue_blocks),
+        to_emit(cfg.queue_blocks) {
+    if (pipeline.library_.empty() || !pipeline.backend_) {
+      throw std::logic_error("QueryEngine: Pipeline::set_library() first");
+    }
+    if (imc_encode && !pipeline.imc_encoder_) {
+      // set_library builds the encoder whenever the trait holds, so this
+      // means the references were encoded under a different trait than the
+      // queries would be — fail fast instead of skewing scores silently.
+      throw std::logic_error(
+          "QueryEngine: backend requires IMC-model encoding but the library "
+          "was encoded without it (was the backend re-registered after "
+          "set_library?)");
+    }
+
+    encode_live.store(cfg.stage_threads, std::memory_order_relaxed);
+    search_live.store(cfg.stage_threads, std::memory_order_relaxed);
+    rescore_live.store(cfg.stage_threads, std::memory_order_relaxed);
+    preprocess_thread = std::thread([this] { preprocess_loop(); });
+    for (std::size_t t = 0; t < cfg.stage_threads; ++t) {
+      encode_threads.emplace_back([this] { encode_loop(); });
+      search_threads.emplace_back([this] { search_loop(); });
+      rescore_threads.emplace_back([this] { rescore_loop(); });
+    }
+    emit_thread = std::thread([this] { emit_loop(); });
+  }
+
+  ~Impl() { shutdown(); }
+
+  static QueryEngineConfig sanitize(QueryEngineConfig c, Pipeline& p) {
+    c.block_size = std::max<std::size_t>(1, c.block_size);
+    c.queue_blocks = std::max<std::size_t>(1, c.queue_blocks);
+    c.stage_threads = std::max<std::size_t>(1, c.stage_threads);
+    // A backend with per-call engine state (the circuit simulation) needs
+    // the synchronous call sequence: one worker per stage and in-order
+    // FIFO hand-off reproduce it.
+    if (p.backend_ && !p.backend_->thread_safe()) c.stage_threads = 1;
+    return c;
+  }
+
+  // --- stage loops --------------------------------------------------------
+
+  void preprocess_loop() {
+    Block current;
+    while (auto spectrum = admission.pop()) {
+      if (failed.load(std::memory_order_acquire)) continue;
+      ms::BinnedSpectrum binned;
+      if (!ms::preprocess(*spectrum, pipeline.cfg_.preprocess, binned)) {
+        continue;  // quality-filtered, same as preprocess_all
+      }
+      current.index.push_back(searched++);
+      current.spectra.push_back(std::move(binned));
+      if (current.spectra.size() >= cfg.block_size) flush(current);
+    }
+    if (!current.spectra.empty()) flush(current);
+    to_encode.close();
+  }
+
+  void flush(Block& current) {
+    ++blocks;
+    to_encode.push(std::move(current));
+    current = Block{};
+  }
+
+  void encode_loop() {
+    while (auto block = to_encode.pop()) {
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          encode_block(*block);
+          build_searches(*block);
+          to_search.push(std::move(*block));
+        } catch (...) {
+          fail(std::current_exception());
+        }
+      }
+    }
+    if (encode_live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      to_search.close();
+    }
+  }
+
+  void search_loop() {
+    const std::size_t k =
+        std::max<std::size_t>(1, pipeline.cfg_.rescore_top_k);
+    while (auto block = to_search.pop()) {
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          block->hits = pipeline.backend_->search_batch(block->searches, k);
+          to_rescore.push(std::move(*block));
+        } catch (...) {
+          fail(std::current_exception());
+        }
+      }
+    }
+    if (search_live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      to_rescore.close();
+    }
+  }
+
+  void rescore_loop() {
+    while (auto block = to_rescore.pop()) {
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          std::vector<Emitted> emitted_block = rescore_block(*block);
+          if (!emitted_block.empty()) to_emit.push(std::move(emitted_block));
+        } catch (...) {
+          fail(std::current_exception());
+        }
+      }
+    }
+    if (rescore_live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      to_emit.close();
+    }
+  }
+
+  void emit_loop() {
+    while (auto emitted_block = to_emit.pop()) {
+      emitted.insert(emitted.end(),
+                     std::make_move_iterator(emitted_block->begin()),
+                     std::make_move_iterator(emitted_block->end()));
+    }
+  }
+
+  // --- stage bodies -------------------------------------------------------
+
+  void encode_block(Block& block) {
+    const std::size_t n = block.spectra.size();
+    block.hvs.resize(n);
+
+    // Materialize the ID rows this block touches. ensure() is
+    // thread-safe, and rows another worker materialized are published by
+    // its internal lock.
+    std::vector<std::uint32_t> used;
+    for (const auto& s : block.spectra) {
+      used.insert(used.end(), s.bins.begin(), s.bins.end());
+    }
+    std::sort(used.begin(), used.end());
+    used.erase(std::unique(used.begin(), used.end()), used.end());
+    pipeline.encoder_.id_bank().ensure(used);
+
+    if (imc_encode) {
+      // Deterministic per (device, bucket, seed): block-wise calibration
+      // fills the same sigma cache one whole-batch pass would.
+      std::vector<std::size_t> peak_counts(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        peak_counts[i] = block.spectra[i].peak_count();
+      }
+      pipeline.imc_encoder_->precalibrate(peak_counts);
+      for (std::size_t i = 0; i < n; ++i) {
+        block.hvs[i] = pipeline.imc_encoder_->encode_keyed(
+            block.spectra[i].bins, block.spectra[i].weights,
+            util::hash_combine(kQuerySalt, block.spectra[i].id));
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        block.hvs[i] =
+            pipeline.encoder_.encode(block.spectra[i].bins,
+                                     block.spectra[i].weights);
+      }
+    }
+
+    if (pipeline.cfg_.injected_ber > 0.0) {
+      const std::uint64_t ber_seed =
+          util::hash_combine(pipeline.cfg_.seed, kQuerySalt);
+      for (std::size_t i = 0; i < n; ++i) {
+        block.hvs[i] = hd::with_bit_errors_keyed(
+            block.hvs[i], pipeline.cfg_.injected_ber, ber_seed,
+            block.spectra[i].id);
+      }
+    }
+  }
+
+  void build_searches(Block& block) {
+    const PipelineConfig& pcfg = pipeline.cfg_;
+    const double window =
+        pcfg.open_search ? pcfg.oms_window_da : pcfg.standard_window_da;
+    block.searches.reserve(block.spectra.size());
+    block.interp.reserve(block.spectra.size());
+    for (std::size_t slot = 0; slot < block.spectra.size(); ++slot) {
+      const ms::BinnedSpectrum& q = block.spectra[slot];
+
+      // Candidate precursor-mass interpretations: the recorded charge,
+      // plus z±1 when charge-tolerant search is on. The neutral mass
+      // scales as m·z_alt/z_rec for a fixed observed m/z.
+      double masses[3];
+      std::size_t n_masses = 0;
+      masses[n_masses++] = q.precursor_mass;
+      if (pcfg.charge_tolerant) {
+        const int z = q.precursor_charge;
+        if (z > 1) {
+          masses[n_masses++] =
+              q.precursor_mass * static_cast<double>(z - 1) / z;
+        }
+        masses[n_masses++] = q.precursor_mass * static_cast<double>(z + 1) / z;
+      }
+
+      for (std::size_t m = 0; m < n_masses; ++m) {
+        const auto [first, last] =
+            pipeline.library_.mass_window(masses[m], window);
+        if (first >= last) continue;
+        block.searches.push_back(Query{&block.hvs[slot], first, last, q.id});
+        block.interp.emplace_back(slot, masses[m]);
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<Emitted> rescore_block(Block& block) {
+    const PipelineConfig& pcfg = pipeline.cfg_;
+    const std::size_t k = std::max<std::size_t>(1, pcfg.rescore_top_k);
+    const double bin_width = pcfg.preprocess.bin_width;
+    const std::size_t n = block.spectra.size();
+
+    // Reduce interpretations per query: the strongest leading dot wins,
+    // earlier interpretation (recorded charge first) on ties.
+    std::vector<std::vector<hd::SearchHit>> hits(n);
+    std::vector<double> matched_mass(n);
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      matched_mass[slot] = block.spectra[slot].precursor_mass;
+    }
+    for (std::size_t j = 0; j < block.searches.size(); ++j) {
+      auto& part = block.hits[j];
+      const std::size_t slot = block.interp[j].first;
+      if (!part.empty() &&
+          (hits[slot].empty() || part.front().dot > hits[slot].front().dot)) {
+        hits[slot] = std::move(part);
+        matched_mass[slot] = block.interp[j].second;
+      }
+    }
+
+    std::vector<Emitted> out;
+    out.reserve(n);
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (hits[slot].empty()) continue;
+      const ms::BinnedSpectrum& q = block.spectra[slot];
+
+      hd::SearchHit best = hits[slot].front();
+      double best_score = best.similarity;
+      if (k > 1) {
+        // Rescore the HD candidates with the exact shifted dot product
+        // and keep the strongest.
+        best_score = -1.0;
+        for (const auto& h : hits[slot]) {
+          const ms::BinnedSpectrum& cand = pipeline.library_[h.reference_index];
+          const double shift_da = matched_mass[slot] - cand.precursor_mass;
+          const auto shift =
+              static_cast<std::int64_t>(std::llround(shift_da / bin_width));
+          const double s = ms::shifted_dot(q, cand, shift);
+          if (s > best_score) {
+            best_score = s;
+            best = h;
+          }
+        }
+      }
+
+      const ms::BinnedSpectrum& ref = pipeline.library_[best.reference_index];
+      Emitted e;
+      e.index = block.index[slot];
+      e.psm.query_id = q.id;
+      e.psm.peptide = ref.peptide;
+      e.psm.score = best_score;
+      e.psm.is_decoy = ref.is_decoy;
+      e.psm.mass_shift = matched_mass[slot] - ref.precursor_mass;
+      e.psm.reference_index = best.reference_index;
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+
+  // --- lifecycle ----------------------------------------------------------
+
+  void fail(std::exception_ptr e) {
+    {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::move(e);
+    }
+    failed.store(true, std::memory_order_release);
+    // Unblock every producer and consumer; remaining items are discarded
+    // by the failed checks in the stage loops.
+    admission.close();
+    to_encode.close();
+    to_search.close();
+    to_rescore.close();
+    to_emit.close();
+  }
+
+  void shutdown() {
+    admission.close();
+    if (preprocess_thread.joinable()) preprocess_thread.join();
+    for (auto& t : encode_threads) {
+      if (t.joinable()) t.join();
+    }
+    for (auto& t : search_threads) {
+      if (t.joinable()) t.join();
+    }
+    for (auto& t : rescore_threads) {
+      if (t.joinable()) t.join();
+    }
+    if (emit_thread.joinable()) emit_thread.join();
+  }
+
+  Pipeline& pipeline;
+  const QueryEngineConfig cfg;
+  const bool imc_encode;
+
+  util::BoundedQueue<ms::Spectrum> admission;
+  util::BoundedQueue<Block> to_encode;
+  util::BoundedQueue<Block> to_search;
+  util::BoundedQueue<Block> to_rescore;
+  util::BoundedQueue<std::vector<Emitted>> to_emit;
+
+  std::thread preprocess_thread;
+  std::vector<std::thread> encode_threads;
+  std::vector<std::thread> search_threads;
+  std::vector<std::thread> rescore_threads;
+  std::thread emit_thread;
+  std::atomic<std::size_t> encode_live{0};
+  std::atomic<std::size_t> search_live{0};
+  std::atomic<std::size_t> rescore_live{0};
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  std::vector<Emitted> emitted;  ///< Emission stage only, until joined.
+  std::size_t submitted = 0;     ///< Producer (caller) thread only.
+  std::size_t searched = 0;      ///< Preprocess thread, read after join.
+  std::size_t blocks = 0;        ///< Preprocess thread, read after join.
+  bool drained = false;
+};
+
+QueryEngine::QueryEngine(Pipeline& pipeline, const QueryEngineConfig& cfg)
+    : impl_(std::make_unique<Impl>(pipeline, cfg)) {}
+
+QueryEngine::~QueryEngine() = default;
+
+void QueryEngine::submit(const ms::Spectrum& query) {
+  submit(ms::Spectrum(query));
+}
+
+void QueryEngine::submit(ms::Spectrum&& query) {
+  if (impl_->drained) {
+    throw std::logic_error("QueryEngine::submit: already drained");
+  }
+  ++impl_->submitted;
+  // push() only fails when a stage failure closed the queue; drain()
+  // reports the stored exception.
+  (void)impl_->admission.push(std::move(query));
+}
+
+void QueryEngine::submit_batch(std::span<const ms::Spectrum> queries) {
+  for (const ms::Spectrum& q : queries) submit(q);
+}
+
+PipelineResult QueryEngine::drain() {
+  if (impl_->drained) {
+    throw std::logic_error("QueryEngine::drain: already drained");
+  }
+  impl_->drained = true;
+  impl_->admission.close();
+  impl_->shutdown();
+  {
+    const std::lock_guard<std::mutex> lock(impl_->error_mutex);
+    if (impl_->error) std::rethrow_exception(impl_->error);
+  }
+
+  PipelineResult result;
+  result.queries_in = impl_->submitted;
+  result.queries_searched = impl_->searched;
+  result.library_targets = impl_->pipeline.library_.target_count();
+  result.library_decoys = impl_->pipeline.library_.decoy_count();
+
+  // Blocks finish out of order; the assigned query index restores the
+  // admission order the synchronous path emits in.
+  std::sort(impl_->emitted.begin(), impl_->emitted.end(),
+            [](const Emitted& a, const Emitted& b) { return a.index < b.index; });
+  result.psms.reserve(impl_->emitted.size());
+  for (Emitted& e : impl_->emitted) result.psms.push_back(std::move(e.psm));
+
+  const PipelineConfig& pcfg = impl_->pipeline.cfg_;
+  result.accepted =
+      pcfg.grouped_fdr
+          ? filter_at_fdr_standard_open(result.psms, pcfg.fdr_threshold)
+          : filter_at_fdr(result.psms, pcfg.fdr_threshold);
+  return result;
+}
+
+QueryEngineStats QueryEngine::stats() const {
+  QueryEngineStats s;
+  s.submitted = impl_->submitted;
+  s.searched = impl_->searched;
+  s.blocks = impl_->blocks;
+  s.block_size = impl_->cfg.block_size;
+  s.stage_threads = impl_->cfg.stage_threads;
+  return s;
+}
+
+}  // namespace oms::core

@@ -1,0 +1,97 @@
+// Staged streaming query executor — the engine behind Pipeline::run and
+// the entry point for serving queries as they arrive instead of as one
+// synchronous batch.
+//
+// Queries are admitted one at a time (submit) or in chunks (submit_batch)
+// and flow through bounded-queue stages:
+//
+//   admission → preprocess → encode → search → rescore → PSM emission
+//
+// The preprocess stage (single-threaded, so query indices are assigned in
+// admission order) packs surviving spectra into size-`block_size` blocks;
+// encode workers turn a block into hypervectors (exact digital or IMC-model
+// encoding, matching the pipeline's backend trait) and expand the
+// precursor-mass interpretations; search workers hand each block to
+// SearchBackend::search_batch — the size-B query blocks the genuinely
+// batched backends amortize activation phases and shard entries over;
+// rescore workers reduce interpretations and build PSMs; the emission stage
+// collects them. drain() flushes everything, applies the FDR filter, and
+// returns the PipelineResult.
+//
+// Determinism contract: every per-query artifact — encoding noise, injected
+// bit errors, search noise, rescoring — is keyed on the query's spectrum id
+// or assigned index, never on arrival time, block composition, or thread
+// schedule. Streaming results are therefore bit-identical to a synchronous
+// Pipeline::run over the same queries in the same admission order, for any
+// block size and worker count. (Backends that report thread_safe() == false
+// — the circuit simulation — are served by single-threaded stages so their
+// engine-state call sequence matches the synchronous path.)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "core/pipeline.hpp"
+
+namespace oms::core {
+
+struct QueryEngineConfig {
+  /// Queries per search block (B): the unit the backend's batched
+  /// search_batch amortizes over. 0 → 1.
+  std::size_t block_size = 64;
+  /// Capacity of each inter-stage queue, in blocks. Bounds memory and
+  /// applies back-pressure to admission when a stage falls behind.
+  std::size_t queue_blocks = 8;
+  /// Worker threads for each of the encode / search / rescore stages.
+  /// Forced to 1 when the backend is not thread-safe. 0 → 1.
+  std::size_t stage_threads = 1;
+};
+
+/// Accounting for one streaming run; valid after drain().
+struct QueryEngineStats {
+  std::size_t submitted = 0;      ///< Spectra handed to submit*().
+  std::size_t searched = 0;       ///< Survived preprocessing.
+  std::size_t blocks = 0;         ///< Query blocks formed.
+  std::size_t block_size = 0;     ///< Effective B.
+  std::size_t stage_threads = 0;  ///< Effective workers per stage.
+};
+
+class QueryEngine {
+ public:
+  /// Binds to a pipeline whose library is already built (set_library must
+  /// have run; throws std::logic_error otherwise). The pipeline must
+  /// outlive the engine, and set_library must not be called while the
+  /// engine is live.
+  explicit QueryEngine(Pipeline& pipeline, const QueryEngineConfig& cfg = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Admits one query spectrum. Blocks while the admission queue is full
+  /// (back-pressure). Throws std::logic_error after drain().
+  void submit(const ms::Spectrum& query);
+
+  /// Move overload for streaming producers that hand over ownership
+  /// (avoids copying the peak arrays into the admission queue).
+  void submit(ms::Spectrum&& query);
+
+  /// Admits a chunk of query spectra in order.
+  void submit_batch(std::span<const ms::Spectrum> queries);
+
+  /// Ends the stream: flushes every stage, applies the FDR filter, and
+  /// returns exactly what a synchronous Pipeline::run over the submitted
+  /// queries would have. The engine accepts no further submissions.
+  /// Rethrows the first stage failure, if any.
+  [[nodiscard]] PipelineResult drain();
+
+  /// Streaming accounting; call after drain().
+  [[nodiscard]] QueryEngineStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace oms::core

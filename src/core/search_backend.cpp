@@ -1,5 +1,7 @@
 #include "core/search_backend.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -29,11 +31,58 @@ std::vector<std::vector<hd::SearchHit>> SearchBackend::search_batch(
 
 namespace {
 
+/// Runs `block(sub, out_offset)` for every size-`block_size` slice of
+/// `queries` in parallel over the global thread pool, collecting results
+/// into one batch-aligned vector. Shared by the genuinely batched
+/// search_batch overrides: per-query results are keyed, so block
+/// composition and scheduling never change them.
+template <typename BlockFn>
+std::vector<std::vector<hd::SearchHit>> run_blocked(
+    std::span<const Query> queries, std::size_t block_size,
+    const BlockFn& block) {
+  std::vector<std::vector<hd::SearchHit>> out(queries.size());
+  const std::size_t bsize = std::max<std::size_t>(1, block_size);
+  const std::size_t n_blocks = (queries.size() + bsize - 1) / bsize;
+  util::ThreadPool::global().parallel_for(
+      0, n_blocks, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          const std::size_t begin = b * bsize;
+          const std::size_t count = std::min(bsize, queries.size() - begin);
+          auto hits = block(queries.subspan(begin, count));
+          for (std::size_t j = 0; j < count; ++j) {
+            out[begin + j] = std::move(hits[j]);
+          }
+        }
+      });
+  return out;
+}
+
+/// Block accounting shared by the batched overrides: how many blocks were
+/// served and how many queries they amortized (BackendStats::query_blocks /
+/// batched_queries).
+struct BlockCounters {
+  std::atomic<std::uint64_t> query_blocks{0};
+  std::atomic<std::uint64_t> batched_queries{0};
+
+  void count(std::size_t n_queries, std::size_t block_size) {
+    const std::size_t bsize = std::max<std::size_t>(1, block_size);
+    query_blocks.fetch_add((n_queries + bsize - 1) / bsize,
+                           std::memory_order_relaxed);
+    batched_queries.fetch_add(n_queries, std::memory_order_relaxed);
+  }
+
+  void fill(BackendStats& s) const {
+    s.query_blocks = query_blocks.load(std::memory_order_relaxed);
+    s.batched_queries = batched_queries.load(std::memory_order_relaxed);
+  }
+};
+
 /// Exact digital Hamming search — hd::top_k_search behind the seam.
 class IdealHdBackend final : public SearchBackend {
  public:
-  explicit IdealHdBackend(std::span<const util::BitVec> references)
-      : refs_(references) {}
+  IdealHdBackend(std::span<const util::BitVec> references,
+                 std::size_t query_block)
+      : refs_(references), query_block_(query_block) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "ideal-hd";
@@ -45,23 +94,38 @@ class IdealHdBackend final : public SearchBackend {
     return hd::top_k_search(query, refs_, first, last, k);
   }
 
+  [[nodiscard]] std::vector<std::vector<hd::SearchHit>> search_batch(
+      std::span<const Query> queries, std::size_t k) override {
+    auto out = run_blocked(queries, query_block_,
+                           [&](std::span<const Query> sub) {
+                             return hd::top_k_search_batch(sub, refs_, k);
+                           });
+    counters_.count(queries.size(), query_block_);
+    return out;
+  }
+
   [[nodiscard]] BackendStats stats() const override {
     BackendStats s;
     s.backend = "ideal-hd";
     s.references = refs_.size();
+    counters_.fill(s);
     return s;
   }
 
  private:
   std::span<const util::BitVec> refs_;
+  std::size_t query_block_;
+  BlockCounters counters_;
 };
 
 /// One in-memory-compute engine (statistical or circuit fidelity).
 class ImcBackend final : public SearchBackend {
  public:
   ImcBackend(std::string name, std::span<const util::BitVec> references,
-             const accel::ImcSearchConfig& cfg)
-      : name_(std::move(name)), engine_(references, cfg) {}
+             const accel::ImcSearchConfig& cfg, std::size_t query_block)
+      : name_(std::move(name)),
+        engine_(references, cfg),
+        query_block_(query_block) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return name_;
@@ -81,6 +145,20 @@ class ImcBackend final : public SearchBackend {
     return engine_.top_k_keyed(query, first, last, k, stream);
   }
 
+  [[nodiscard]] std::vector<std::vector<hd::SearchHit>> search_batch(
+      std::span<const Query> queries, std::size_t k) override {
+    if (engine_.config().fidelity == accel::Fidelity::kCircuit) {
+      // The analog arrays carry per-call state; keep the sequential path.
+      return SearchBackend::search_batch(queries, k);
+    }
+    auto out = run_blocked(queries, query_block_,
+                           [&](std::span<const Query> sub) {
+                             return engine_.search_many(sub, k);
+                           });
+    counters_.count(queries.size(), query_block_);
+    return out;
+  }
+
   [[nodiscard]] BackendStats stats() const override {
     BackendStats s;
     s.backend = name_;
@@ -88,20 +166,24 @@ class ImcBackend final : public SearchBackend {
     s.phases_executed = engine_.phases_executed();
     s.phase_sigma = engine_.phase_sigma();
     s.gain = engine_.gain();
+    counters_.fill(s);
     return s;
   }
 
  private:
   std::string name_;
   accel::ImcSearchEngine engine_;
+  std::size_t query_block_;
+  BlockCounters counters_;
 };
 
 /// Multi-chip scale-out: contiguous shards, merged top-k.
 class ShardedBackend final : public SearchBackend {
  public:
   ShardedBackend(std::span<const util::BitVec> references,
-                 const accel::ShardedSearchConfig& cfg)
-      : sharded_(references, cfg) {}
+                 const accel::ShardedSearchConfig& cfg,
+                 std::size_t query_block)
+      : sharded_(references, cfg), query_block_(query_block) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "sharded";
@@ -113,6 +195,16 @@ class ShardedBackend final : public SearchBackend {
     return sharded_.top_k(query, first, last, k, stream);
   }
 
+  [[nodiscard]] std::vector<std::vector<hd::SearchHit>> search_batch(
+      std::span<const Query> queries, std::size_t k) override {
+    auto out = run_blocked(queries, query_block_,
+                           [&](std::span<const Query> sub) {
+                             return sharded_.search_many(sub, k);
+                           });
+    counters_.count(queries.size(), query_block_);
+    return out;
+  }
+
   [[nodiscard]] BackendStats stats() const override {
     BackendStats s;
     s.backend = "sharded";
@@ -121,11 +213,15 @@ class ShardedBackend final : public SearchBackend {
     s.phases_executed = sharded_.phases_executed();
     s.phase_sigma = sharded_.phase_sigma();
     s.gain = sharded_.gain();
+    s.shard_entries = sharded_.shard_entries();
+    counters_.fill(s);
     return s;
   }
 
  private:
   accel::ShardedSearch sharded_;
+  std::size_t query_block_;
+  BlockCounters counters_;
 };
 
 accel::ImcSearchConfig imc_config(const BackendOptions& opts,
@@ -146,22 +242,24 @@ BackendRegistry::BackendRegistry() {
     return true;
   };
   factories_["ideal-hd"] = {[](std::span<const util::BitVec> refs,
-                               const BackendOptions&) {
-                              return std::make_unique<IdealHdBackend>(refs);
+                               const BackendOptions& opts) {
+                              return std::make_unique<IdealHdBackend>(
+                                  refs, opts.query_block);
                             },
                             /*imc_encoding=*/nullptr};
   factories_["rram-statistical"] = {
       [](std::span<const util::BitVec> refs, const BackendOptions& opts) {
         return std::make_unique<ImcBackend>(
             "rram-statistical", refs,
-            imc_config(opts, accel::Fidelity::kStatistical));
+            imc_config(opts, accel::Fidelity::kStatistical),
+            opts.query_block);
       },
       always_imc_encoded};
   factories_["rram-circuit"] = {
       [](std::span<const util::BitVec> refs, const BackendOptions& opts) {
         return std::make_unique<ImcBackend>(
-            "rram-circuit", refs,
-            imc_config(opts, accel::Fidelity::kCircuit));
+            "rram-circuit", refs, imc_config(opts, accel::Fidelity::kCircuit),
+            opts.query_block);
       },
       always_imc_encoded};
   factories_["sharded"] = {
@@ -176,7 +274,7 @@ BackendRegistry::BackendRegistry() {
         cfg.chip.array = opts.array;
         cfg.engine = imc_config(opts, opts.sharded_fidelity);
         cfg.max_refs_per_shard = opts.max_refs_per_shard;
-        return std::make_unique<ShardedBackend>(refs, cfg);
+        return std::make_unique<ShardedBackend>(refs, cfg, opts.query_block);
       },
       // Statistical shards model the same device noise as the monolithic
       // rram-statistical engine, so their libraries must be encoded the

@@ -71,13 +71,10 @@ namespace oms::core {
 /// One batched search request: score `*hv` against references
 /// [first, last) — the precursor-mass window — under noise stream `stream`
 /// (conventionally the query spectrum id, so simulated hardware noise is
-/// reproducible regardless of scheduling).
-struct Query {
-  const util::BitVec* hv = nullptr;
-  std::size_t first = 0;
-  std::size_t last = 0;
-  std::uint64_t stream = 0;
-};
+/// reproducible regardless of scheduling). The same struct is the block
+/// vocabulary of the batched kernels underneath (hd::top_k_search_batch,
+/// accel::ImcSearchEngine::search_many, accel::ShardedSearch::search_many).
+using Query = hd::BatchQuery;
 
 /// Substrate-independent accounting a backend can report.
 struct BackendStats {
@@ -87,6 +84,17 @@ struct BackendStats {
   std::uint64_t phases_executed = 0;  ///< Hardware activation phases so far.
   double phase_sigma = 0.0;           ///< Per-phase noise sigma (0 = exact).
   double gain = 1.0;                  ///< Multiplicative score gain (IR droop).
+  std::uint64_t shard_entries = 0;    ///< Shard searches: per query on the
+                                      ///< fan-out path, per block batched.
+  std::uint64_t query_blocks = 0;     ///< Blocks served by batched overrides.
+  std::uint64_t batched_queries = 0;  ///< Queries inside those blocks.
+
+  /// Mean queries amortized per batched block (0 before any batched call).
+  [[nodiscard]] double queries_per_block() const noexcept {
+    return query_blocks == 0 ? 0.0
+                             : static_cast<double>(batched_queries) /
+                                   static_cast<double>(query_blocks);
+  }
 };
 
 /// Options consumed by the built-in backend factories. Unknown/irrelevant
@@ -106,6 +114,11 @@ struct BackendOptions {
   /// the capacity/shard-size derivation.
   rram::ChipConfig chip{};
   std::size_t max_refs_per_shard = 0;  ///< 0 → derive from chip capacity.
+  /// Queries per block inside the batched search_batch overrides: each
+  /// block is one reference-major sweep (ideal-hd, rram-statistical) or
+  /// one shipment to every intersecting shard (sharded), and blocks are
+  /// processed in parallel over the global thread pool.
+  std::size_t query_block = 64;
 };
 
 /// Abstract search backend over an externally owned reference set (the
@@ -132,10 +145,12 @@ class SearchBackend {
 
   /// Searches a whole batch; result i corresponds to queries[i]. The
   /// default fans out over util::ThreadPool::global() when thread_safe(),
-  /// and degrades to a sequential loop otherwise. Backends may override
-  /// with a genuinely batched implementation (query blocking, shared
-  /// activation scheduling, ...); overrides must return results identical
-  /// to sequential top_k calls.
+  /// and degrades to a sequential loop otherwise. The built-in backends
+  /// override it with genuinely batched implementations — "ideal-hd" and
+  /// "rram-statistical" sweep size-`BackendOptions::query_block` blocks
+  /// reference-major (shared activation-phase scheduling), "sharded" ships
+  /// each block to every intersecting shard once — and any override must
+  /// return results identical to sequential top_k calls.
   [[nodiscard]] virtual std::vector<std::vector<hd::SearchHit>> search_batch(
       std::span<const Query> queries, std::size_t k);
 

@@ -28,6 +28,14 @@ std::vector<util::BitVec> with_bit_errors(std::span<const util::BitVec> hvs,
   return out;
 }
 
+util::BitVec with_bit_errors_keyed(const util::BitVec& hv, double ber,
+                                   std::uint64_t seed, std::uint64_t stream) {
+  util::BitVec out = hv;
+  util::Xoshiro256 rng(util::hash_combine(seed, stream, 0xBE12ULL));
+  inject_bit_errors(out, ber, rng);
+  return out;
+}
+
 double measured_ber(std::span<const util::BitVec> original,
                     std::span<const util::BitVec> corrupted) {
   if (original.size() != corrupted.size() || original.empty()) return 0.0;

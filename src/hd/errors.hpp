@@ -18,9 +18,20 @@ namespace oms::hd {
 void inject_bit_errors(util::BitVec& hv, double ber, util::Xoshiro256& rng);
 
 /// Returns a copy of every hypervector with errors injected; deterministic
-/// in `seed`.
+/// in `seed`. One RNG streams across the whole batch, so the realization
+/// depends on batch composition — use the keyed variant when vectors are
+/// corrupted independently (e.g. streamed one block at a time).
 [[nodiscard]] std::vector<util::BitVec> with_bit_errors(
     std::span<const util::BitVec> hvs, double ber, std::uint64_t seed);
+
+/// Returns a corrupted copy of one hypervector with the error realization
+/// keyed on (seed, stream): the same (seed, stream) always flips the same
+/// bits no matter where or when the vector is processed. `stream` is
+/// conventionally the spectrum id.
+[[nodiscard]] util::BitVec with_bit_errors_keyed(const util::BitVec& hv,
+                                                 double ber,
+                                                 std::uint64_t seed,
+                                                 std::uint64_t stream);
 
 /// Measures the empirical flip rate between an original and a corrupted
 /// set (used to validate the injector itself).

@@ -33,6 +33,7 @@ void IdBank::generate_row(std::uint32_t bin,
 }
 
 void IdBank::ensure(std::span<const std::uint32_t> bins) {
+  const std::lock_guard<std::mutex> lock(ensure_mutex_);
   for (const std::uint32_t bin : bins) {
     if (bin >= bins_) {
       throw std::out_of_range("IdBank::ensure: bin out of range");

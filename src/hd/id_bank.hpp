@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -44,8 +45,11 @@ class IdBank {
   [[nodiscard]] std::uint32_t bin_count() const noexcept { return bins_; }
   [[nodiscard]] IdPrecision precision() const noexcept { return precision_; }
 
-  /// Materializes the rows for every bin in `bins` (deduplicated); must be
-  /// called before row() is used from multiple threads.
+  /// Materializes the rows for every bin in `bins` (deduplicated).
+  /// Thread-safe and idempotent: concurrent streaming encoders may ensure
+  /// overlapping bin sets; a thread may read row() for any bin it passed
+  /// through its own ensure() call (the internal lock publishes rows
+  /// materialized by other threads).
   void ensure(std::span<const std::uint32_t> bins);
 
   /// Read-only view of a materialized row (size dim()); components are
@@ -66,6 +70,7 @@ class IdBank {
   std::uint32_t dim_;
   IdPrecision precision_;
   std::uint64_t seed_;
+  std::mutex ensure_mutex_;  ///< Serializes row materialization.
   std::vector<std::unique_ptr<std::int8_t[]>> rows_;
 };
 

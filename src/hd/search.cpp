@@ -22,15 +22,46 @@ std::vector<SearchHit> top_k_search(const util::BitVec& query,
         util::xor_popcount(qwords, references[i].words().data(), nwords);
     const auto dot = static_cast<std::int64_t>(query.size()) -
                      2 * static_cast<std::int64_t>(ham);
-    if (hits.size() == k && dot <= hits.back().dot) continue;
-    const SearchHit hit{i, dot, 1.0 - static_cast<double>(ham) / dim};
-    const auto pos = std::upper_bound(
-        hits.begin(), hits.end(), hit,
-        [](const SearchHit& a, const SearchHit& b) { return a.dot > b.dot; });
-    hits.insert(pos, hit);
-    if (hits.size() > k) hits.pop_back();
+    insert_top_k(hits, SearchHit{i, dot, 1.0 - static_cast<double>(ham) / dim},
+                 k);
   }
   return hits;
+}
+
+std::vector<std::vector<SearchHit>> top_k_search_batch(
+    std::span<const BatchQuery> queries,
+    std::span<const util::BitVec> references, std::size_t k) {
+  std::vector<std::vector<SearchHit>> out(queries.size());
+  if (k == 0 || queries.empty()) return out;
+
+  // Clip every range once so the sweep only sees valid indices.
+  std::vector<BatchQuery> clipped(queries.begin(), queries.end());
+  for (BatchQuery& q : clipped) {
+    q.last = std::min(q.last, references.size());
+    q.first = std::min(q.first, q.last);
+  }
+
+  for_each_query_segment(
+      clipped, [&](std::size_t lo, std::size_t hi,
+                   std::span<const std::size_t> active) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint64_t* rwords = references[i].words().data();
+          for (const std::size_t slot : active) {
+            const util::BitVec& query = *clipped[slot].hv;
+            const std::size_t ham = util::xor_popcount(
+                query.words().data(), rwords, query.word_count());
+            const auto dot = static_cast<std::int64_t>(query.size()) -
+                             2 * static_cast<std::int64_t>(ham);
+            insert_top_k(
+                out[slot],
+                SearchHit{i, dot,
+                          1.0 - static_cast<double>(ham) /
+                                    static_cast<double>(query.size())},
+                k);
+          }
+        }
+      });
+  return out;
 }
 
 SearchHit best_match(const util::BitVec& query,

@@ -3,8 +3,17 @@
 // the precursor-mass window computed by the spectral library — which is
 // what turns the same kernel into either a standard search (narrow window)
 // or an open modification search (wide window).
+//
+// Besides the per-query kernels this header carries the *query block*
+// vocabulary shared by every batched search path: BatchQuery (one request
+// in a block), insert_top_k (the top-k maintenance every kernel uses, so
+// tie-breaking is identical everywhere), for_each_query_segment (the
+// reference-major sweep that lets one pass over resident references serve a
+// whole block), and top_k_search_batch (the batched exact kernel built on
+// them).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -45,5 +54,83 @@ struct SearchHit {
 [[nodiscard]] SearchHit best_match(const util::BitVec& query,
                                    std::span<const util::BitVec> references,
                                    std::size_t first, std::size_t last);
+
+/// One request of a query block: score `*hv` against references
+/// [first, last) under noise stream `stream` (ignored by exact kernels;
+/// conventionally the query spectrum id for simulated hardware).
+struct BatchQuery {
+  const util::BitVec* hv = nullptr;
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::uint64_t stream = 0;
+};
+
+/// Inserts `hit` into `hits` keeping it sorted by (dot desc, index asc)
+/// with at most `k` entries. Every top-k loop in the codebase uses this,
+/// so the equal-score-orders-by-lower-index contract cannot drift: callers
+/// visit references in ascending index order and equal-dot hits land after
+/// their earlier-indexed peers.
+inline void insert_top_k(std::vector<SearchHit>& hits, const SearchHit& hit,
+                         std::size_t k) {
+  if (k == 0) return;
+  if (hits.size() == k && hit.dot <= hits.back().dot) return;
+  const auto pos = std::upper_bound(
+      hits.begin(), hits.end(), hit,
+      [](const SearchHit& a, const SearchHit& b) { return a.dot > b.dot; });
+  hits.insert(pos, hit);
+  if (hits.size() > k) hits.pop_back();
+}
+
+/// Reference-major sweep over a query block: partitions the union of the
+/// block's candidate ranges into maximal segments over which the set of
+/// covering queries is constant, and calls
+///
+///   segment(seg_first, seg_last, active)
+///
+/// for each, where `active` lists the block slots whose [first, last)
+/// contains the whole segment, ascending. Iterating references in the
+/// outer loop and the active queries in the inner loop means each resident
+/// reference (a programmed crossbar tile in hardware, a cache-resident
+/// bit vector here) serves the entire block before the sweep advances —
+/// the batching the paper's accelerator amortizes its cost with. Every
+/// query still sees its candidates in ascending reference order, so
+/// per-query results are bit-identical to an independent scan.
+template <typename Fn>
+void for_each_query_segment(std::span<const BatchQuery> queries,
+                            Fn&& segment) {
+  std::vector<std::size_t> bounds;
+  bounds.reserve(queries.size() * 2);
+  for (const BatchQuery& q : queries) {
+    if (q.first < q.last) {
+      bounds.push_back(q.first);
+      bounds.push_back(q.last);
+    }
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  std::vector<std::size_t> active;
+  for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+    const std::size_t lo = bounds[b];
+    const std::size_t hi = bounds[b + 1];
+    active.clear();
+    for (std::size_t slot = 0; slot < queries.size(); ++slot) {
+      if (queries[slot].first <= lo && queries[slot].last >= hi) {
+        active.push_back(slot);
+      }
+    }
+    if (!active.empty()) {
+      segment(lo, hi, std::span<const std::size_t>(active));
+    }
+  }
+}
+
+/// Batched exact kernel: searches a whole query block in one
+/// reference-major sweep. result[i] is bit-identical to
+/// top_k_search(*queries[i].hv, references, queries[i].first,
+/// queries[i].last, k).
+[[nodiscard]] std::vector<std::vector<SearchHit>> top_k_search_batch(
+    std::span<const BatchQuery> queries,
+    std::span<const util::BitVec> references, std::size_t k);
 
 }  // namespace oms::hd

@@ -77,9 +77,25 @@ void ThreadPool::parallel_for(
                [&] { return remaining.load(std::memory_order_acquire) == 0; });
 }
 
+namespace {
+// set_global_threads must act before the lazily constructed global pool
+// exists; the request and the built flag live outside the function-local
+// static so both sides can see them.
+std::atomic<std::size_t> g_global_threads_request{0};
+std::atomic<bool> g_global_pool_built{false};
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  g_global_pool_built.store(true, std::memory_order_release);
+  static ThreadPool pool(
+      g_global_threads_request.load(std::memory_order_acquire));
   return pool;
+}
+
+bool ThreadPool::set_global_threads(std::size_t threads) {
+  if (g_global_pool_built.load(std::memory_order_acquire)) return false;
+  g_global_threads_request.store(threads, std::memory_order_release);
+  return !g_global_pool_built.load(std::memory_order_acquire);
 }
 
 }  // namespace oms::util

@@ -1,15 +1,24 @@
-// Minimal fixed-size thread pool with a blocking parallel_for. Search and
-// encoding over tens of thousands of spectra are embarrassingly parallel;
-// this pool gives deterministic work partitioning (static chunking) so that
-// results do not depend on scheduling order.
+// Work-queue primitives for the library's concurrency:
+//   * ThreadPool     — minimal fixed-size pool with a blocking parallel_for.
+//                      Search and encoding over tens of thousands of spectra
+//                      are embarrassingly parallel; static chunking keeps the
+//                      partitioning deterministic so results do not depend on
+//                      scheduling order.
+//   * BoundedQueue<T> — blocking MPMC queue with a capacity bound and close
+//                      semantics; the hand-off between core::QueryEngine's
+//                      streaming stages (preprocess → encode → search →
+//                      rescore → emit).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace oms::util {
@@ -30,12 +39,21 @@ class ThreadPool {
   /// Runs fn(begin..end) partitioned statically over the pool and blocks
   /// until all chunks complete. fn receives a half-open index range
   /// [chunk_begin, chunk_end). Exceptions from fn terminate (by design:
-  /// worker functions in this codebase are noexcept in spirit).
+  /// worker functions in this codebase are noexcept in spirit). Safe to
+  /// call concurrently from several non-pool threads; must not be called
+  /// from inside a pool task (the caller blocks without helping).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
   /// Global pool shared by the library (lazily constructed).
   [[nodiscard]] static ThreadPool& global();
+
+  /// Requests `threads` workers (0 → hardware_concurrency) for the global
+  /// pool. Must be called before the first global() use — the pool is
+  /// created once and never resized. Returns false (and changes nothing)
+  /// if the global pool already exists. Wired to the examples' --threads
+  /// flag.
+  static bool set_global_threads(std::size_t threads);
 
  private:
   void worker_loop();
@@ -45,6 +63,75 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+};
+
+/// Blocking bounded FIFO queue linking two pipeline stages. push() blocks
+/// while the queue is full; pop() blocks while it is empty; close() wakes
+/// everyone — subsequent push() calls fail and pop() drains the remaining
+/// items before returning nullopt. All operations are safe from any number
+/// of producer and consumer threads.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue closes). Returns false and
+  /// drops `item` if the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue closes and drains).
+  /// Returns nullopt only when the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Ends the stream: pending items stay poppable, new pushes fail.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
 };
 
 }  // namespace oms::util

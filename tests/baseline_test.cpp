@@ -114,7 +114,7 @@ TEST(HyperOms, ConfigMapsToBinaryUnchunkedEncoder) {
   const core::PipelineConfig pc = hyperoms_pipeline_config(cfg);
   EXPECT_EQ(pc.encoder.id_precision, hd::IdPrecision::k1Bit);
   EXPECT_EQ(pc.encoder.chunks, 4096U);
-  EXPECT_EQ(pc.backend, core::Backend::kIdealHd);
+  EXPECT_EQ(pc.backend_name, "ideal-hd");
 }
 
 TEST(Tools, AgreeOnMostIdentifications) {

@@ -1,0 +1,235 @@
+#include "core/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ms/synthetic.hpp"
+
+namespace oms::core {
+namespace {
+
+/// Shared small workload: generating spectra is the expensive part, so the
+/// suite builds it once.
+const ms::Workload& shared_workload() {
+  static const ms::Workload wl = [] {
+    ms::WorkloadConfig cfg;
+    cfg.reference_count = 300;
+    cfg.query_count = 120;
+    cfg.modified_fraction = 0.4;
+    cfg.unmatched_fraction = 0.15;
+    cfg.seed = 20240606;
+    return ms::generate_workload(cfg);
+  }();
+  return wl;
+}
+
+PipelineConfig small_config(const std::string& backend) {
+  PipelineConfig cfg;
+  cfg.encoder.dim = 1024;
+  cfg.encoder.bins = cfg.preprocess.bin_count();
+  cfg.encoder.chunks = 64;
+  cfg.backend_options.calibration_samples = 256;
+  cfg.backend_name = backend;
+  cfg.seed = 777;
+  return cfg;
+}
+
+void expect_same_psms(const PipelineResult& a, const PipelineResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.queries_in, b.queries_in) << what;
+  EXPECT_EQ(a.queries_searched, b.queries_searched) << what;
+  ASSERT_EQ(a.psms.size(), b.psms.size()) << what;
+  for (std::size_t i = 0; i < a.psms.size(); ++i) {
+    EXPECT_EQ(a.psms[i].query_id, b.psms[i].query_id) << what << " psm " << i;
+    EXPECT_EQ(a.psms[i].reference_index, b.psms[i].reference_index)
+        << what << " psm " << i;
+    EXPECT_EQ(a.psms[i].score, b.psms[i].score) << what << " psm " << i;
+    EXPECT_EQ(a.psms[i].is_decoy, b.psms[i].is_decoy) << what << " psm " << i;
+    EXPECT_EQ(a.psms[i].mass_shift, b.psms[i].mass_shift)
+        << what << " psm " << i;
+  }
+  ASSERT_EQ(a.accepted.size(), b.accepted.size()) << what;
+  EXPECT_EQ(a.identification_set(), b.identification_set()) << what;
+}
+
+/// The tentpole contract: interleaved streaming admission, any block size,
+/// any worker count — PSM lists bit-identical to the synchronous run, for
+/// every registered backend.
+void check_streaming_matches_run(const std::string& backend) {
+  const ms::Workload& wl = shared_workload();
+
+  Pipeline reference(small_config(backend));
+  reference.set_library(wl.references);
+  const PipelineResult sync = reference.run(wl.queries);
+  ASSERT_GT(sync.psms.size(), 0U) << backend;
+
+  const std::size_t block_sizes[] = {1, 7, 64};
+  const std::size_t thread_counts[] = {1, 2, 4};
+  for (const std::size_t block : block_sizes) {
+    for (const std::size_t threads : thread_counts) {
+      Pipeline streamed(small_config(backend));
+      streamed.set_library(wl.references);
+
+      QueryEngineConfig ecfg;
+      ecfg.block_size = block;
+      ecfg.stage_threads = threads;
+      ecfg.queue_blocks = 3;
+      QueryEngine engine(streamed, ecfg);
+      // Interleave one-by-one submission with chunked admission.
+      std::size_t i = 0;
+      for (; i < wl.queries.size() && i < 10; ++i) {
+        engine.submit(wl.queries[i]);
+      }
+      const std::size_t half = i + (wl.queries.size() - i) / 2;
+      engine.submit_batch(std::span<const ms::Spectrum>(
+          wl.queries.data() + i, half - i));
+      for (i = half; i < wl.queries.size(); ++i) engine.submit(wl.queries[i]);
+
+      const PipelineResult streamed_result = engine.drain();
+      expect_same_psms(sync, streamed_result,
+                       backend + " B=" + std::to_string(block) +
+                           " T=" + std::to_string(threads));
+
+      const QueryEngineStats stats = engine.stats();
+      EXPECT_EQ(stats.submitted, wl.queries.size());
+      EXPECT_EQ(stats.searched, sync.queries_searched);
+      EXPECT_EQ(stats.block_size, block);
+      EXPECT_EQ(stats.blocks, (stats.searched + block - 1) / block);
+    }
+  }
+}
+
+TEST(QueryEngine, StreamingMatchesRunIdealHd) {
+  check_streaming_matches_run("ideal-hd");
+}
+
+TEST(QueryEngine, StreamingMatchesRunRramStatistical) {
+  check_streaming_matches_run("rram-statistical");
+}
+
+TEST(QueryEngine, StreamingMatchesRunSharded) {
+  check_streaming_matches_run("sharded");
+}
+
+TEST(QueryEngine, StreamingMatchesRunShardedMultiShard) {
+  // Same contract with several shards actually in play.
+  const ms::Workload& wl = shared_workload();
+  PipelineConfig cfg = small_config("sharded");
+  cfg.backend_options.max_refs_per_shard = 70;
+
+  Pipeline reference(cfg);
+  reference.set_library(wl.references);
+  ASSERT_GT(reference.backend_stats().shards, 1U);
+  const PipelineResult sync = reference.run(wl.queries);
+
+  Pipeline streamed(cfg);
+  streamed.set_library(wl.references);
+  QueryEngineConfig ecfg;
+  ecfg.block_size = 16;
+  ecfg.stage_threads = 3;
+  QueryEngine engine(streamed, ecfg);
+  engine.submit_batch(wl.queries);
+  expect_same_psms(sync, engine.drain(), "sharded multi-shard");
+}
+
+TEST(QueryEngine, StreamingMatchesRunRramCircuit) {
+  // The circuit backend carries engine state, so the engine serves it with
+  // single-threaded stages and in-order blocks; two freshly built
+  // pipelines must agree between run() and streaming. Tiny workload: the
+  // circuit path simulates every analog phase.
+  ms::WorkloadConfig wcfg;
+  wcfg.reference_count = 25;
+  wcfg.query_count = 8;
+  wcfg.seed = 99;
+  const ms::Workload wl = ms::generate_workload(wcfg);
+
+  PipelineConfig cfg = small_config("rram-circuit");
+  cfg.encoder.dim = 256;
+  cfg.encoder.chunks = 32;
+  cfg.add_decoys = false;
+
+  Pipeline reference(cfg);
+  reference.set_library(wl.references);
+  const PipelineResult sync = reference.run(wl.queries);
+
+  Pipeline streamed(cfg);
+  streamed.set_library(wl.references);
+  QueryEngineConfig ecfg;
+  ecfg.block_size = 3;
+  ecfg.stage_threads = 4;  // forced down to 1 for non-thread-safe backends
+  QueryEngine engine(streamed, ecfg);
+  engine.submit_batch(wl.queries);
+  const PipelineResult streamed_result = engine.drain();
+  expect_same_psms(sync, streamed_result, "rram-circuit");
+  EXPECT_EQ(engine.stats().stage_threads, 1U);
+}
+
+TEST(QueryEngine, RescoringCascadeAndChargeToleranceMatch) {
+  // The rescore stage (top-k shifted-dot cascade) and the charge-tolerant
+  // interpretation fan-out must survive the move into the engine.
+  const ms::Workload& wl = shared_workload();
+  PipelineConfig cfg = small_config("ideal-hd");
+  cfg.rescore_top_k = 5;
+  cfg.charge_tolerant = true;
+
+  Pipeline reference(cfg);
+  reference.set_library(wl.references);
+  const PipelineResult sync = reference.run(wl.queries);
+
+  Pipeline streamed(cfg);
+  streamed.set_library(wl.references);
+  QueryEngineConfig ecfg;
+  ecfg.block_size = 9;
+  ecfg.stage_threads = 2;
+  QueryEngine engine(streamed, ecfg);
+  engine.submit_batch(wl.queries);
+  expect_same_psms(sync, engine.drain(), "rescore+charge");
+}
+
+TEST(QueryEngine, RequiresLibrary) {
+  Pipeline pipeline(small_config("ideal-hd"));
+  EXPECT_THROW(QueryEngine engine(pipeline), std::logic_error);
+}
+
+TEST(QueryEngine, SubmitAfterDrainThrows) {
+  const ms::Workload& wl = shared_workload();
+  Pipeline pipeline(small_config("ideal-hd"));
+  pipeline.set_library(wl.references);
+  QueryEngine engine(pipeline);
+  engine.submit(wl.queries.front());
+  (void)engine.drain();
+  EXPECT_THROW(engine.submit(wl.queries.front()), std::logic_error);
+  EXPECT_THROW((void)engine.drain(), std::logic_error);
+}
+
+TEST(QueryEngine, DrainWithoutSubmissionsIsEmpty) {
+  const ms::Workload& wl = shared_workload();
+  Pipeline pipeline(small_config("ideal-hd"));
+  pipeline.set_library(wl.references);
+  QueryEngine engine(pipeline);
+  const PipelineResult result = engine.drain();
+  EXPECT_EQ(result.queries_in, 0U);
+  EXPECT_EQ(result.queries_searched, 0U);
+  EXPECT_TRUE(result.psms.empty());
+  EXPECT_GT(result.library_targets, 0U);
+}
+
+TEST(QueryEngine, BatchedBackendsReportBlockAccounting) {
+  const ms::Workload& wl = shared_workload();
+  Pipeline pipeline(small_config("rram-statistical"));
+  pipeline.set_library(wl.references);
+  QueryEngine engine(pipeline);
+  engine.submit_batch(wl.queries);
+  (void)engine.drain();
+  const BackendStats stats = pipeline.backend_stats();
+  EXPECT_GT(stats.query_blocks, 0U);
+  EXPECT_GT(stats.batched_queries, 0U);
+  EXPECT_GT(stats.queries_per_block(), 0.0);
+}
+
+}  // namespace
+}  // namespace oms::core

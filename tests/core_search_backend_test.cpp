@@ -305,12 +305,9 @@ TEST(Pipeline, ShardedPipelineMatchesMonolithicRramPipeline) {
   EXPECT_EQ(sr.identification_set(), mr.identification_set());
 }
 
-TEST(Pipeline, DeprecatedEnumMapsOntoRegistryNames) {
+TEST(Pipeline, EmptyBackendNameDefaultsToIdealHd) {
   PipelineConfig cfg;
   EXPECT_EQ(Pipeline(cfg).backend_name(), "ideal-hd");
-  cfg.backend = Backend::kRramStatistical;
-  EXPECT_EQ(Pipeline(cfg).backend_name(), "rram-statistical");
-  // An explicit name wins over the enum.
   cfg.backend_name = "sharded";
   EXPECT_EQ(Pipeline(cfg).backend_name(), "sharded");
 }

@@ -109,9 +109,7 @@ TEST(Integration, ThreeToolVennHasLargeCommonCore) {
 TEST(Integration, RramBackendEndToEndWithMultiBitIds) {
   const ms::Workload& wl = shared_workload();
   core::PipelineConfig cfg = small_config();
-  // Exercises the deprecated Backend enum shim on purpose: it must keep
-  // mapping onto the registry's "rram-statistical" for one release.
-  cfg.backend = core::Backend::kRramStatistical;
+  cfg.backend_name = "rram-statistical";
   cfg.encoder.id_precision = hd::IdPrecision::k3Bit;
   core::Pipeline pipeline(cfg);
   pipeline.set_library(wl.references);

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace oms::util {
@@ -72,6 +74,88 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   ThreadPool& b = ThreadPool::global();
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.thread_count(), 1U);
+}
+
+TEST(ThreadPool, SetGlobalThreadsFailsOnceGlobalExists) {
+  (void)ThreadPool::global();
+  EXPECT_FALSE(ThreadPool::set_global_threads(2));
+}
+
+TEST(BoundedQueue, FifoOrderSingleThread) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3U);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(7));
+  q.close();
+  EXPECT_FALSE(q.push(8));  // closed: push fails
+  EXPECT_EQ(q.pop(), 7);    // pending item still delivered
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueue, BlockedPushUnblocksWhenConsumerPops) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueue, BlockedPushUnblocksOnClose) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+  q.close();
+  producer.join();
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverythingOnce) {
+  BoundedQueue<int> q(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.pop()) seen[*item].fetch_add(1);
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(BoundedQueue, MoveOnlyItems) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.push(std::make_unique<int>(42)));
+  auto out = q.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 42);
 }
 
 }  // namespace
