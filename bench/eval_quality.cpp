@@ -38,6 +38,7 @@ void run_dataset(const oms::ms::WorkloadConfig& cfg, std::uint32_t dim) {
     ours.set_library(wl.references);
     add_row(table, "This Work (RRAM)",
             oms::core::evaluate(ours.run(wl.queries).accepted, wl));
+    oms::bench::print_backend_stats(ours.backend_stats());
   }
   {
     oms::baseline::HyperOmsConfig hcfg;

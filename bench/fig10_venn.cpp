@@ -21,6 +21,7 @@ void run_dataset(const oms::ms::WorkloadConfig& cfg, std::uint32_t dim) {
   oms::core::Pipeline ours(ours_cfg);
   ours.set_library(wl.references);
   const auto ours_ids = ours.run(wl.queries).identification_set();
+  oms::bench::print_backend_stats(ours.backend_stats());
 
   // HyperOMS: same dimension, binary IDs, exact digital search.
   oms::baseline::HyperOmsConfig hcfg;

@@ -4,6 +4,8 @@
 // and query), modelling storage + compute bit errors.
 #include "bench_common.hpp"
 
+#include <iterator>
+
 namespace {
 
 void run_dataset(const oms::ms::WorkloadConfig& wl_cfg, std::uint32_t dim) {
@@ -31,6 +33,11 @@ void run_dataset(const oms::ms::WorkloadConfig& wl_cfg, std::uint32_t dim) {
       oms::core::Pipeline pipeline(cfg);
       pipeline.set_library(wl.references);
       counts[row][col] = pipeline.run(wl.queries).identifications();
+      // One substrate-accounting line per precision column, taken at the
+      // harshest BER so the sweep stays readable.
+      if (ber == bers[std::size(bers) - 1]) {
+        oms::bench::print_backend_stats(pipeline.backend_stats());
+      }
       ++row;
     }
     ++col;

@@ -23,29 +23,35 @@ int main(int argc, char** argv) {
   wl.n_references = static_cast<std::uint64_t>(cli.get("refs", 2000000L));
 
   // Measure the OMS candidate fraction empirically from a scaled workload
-  // instead of assuming it: generate an iPRG-like dataset, build the
-  // mass-sorted library (targets + decoys), and average the ±500 Da window
-  // selectivity over the query population.
+  // instead of assuming it: build the RRAM pipeline's own mass-sorted
+  // library (targets + synthesized decoys) and average the ±500 Da window
+  // selectivity over the query population. Running the sample queries
+  // through the pipeline also populates the substrate counters printed
+  // below, so the analytic model's inputs sit next to the simulated
+  // accounting they abstract.
   {
     auto wcfg = oms::bench::bench_workloads(0.25).iprg;
     const oms::ms::Workload sample = oms::ms::generate_workload(wcfg);
+    oms::core::PipelineConfig pcfg = oms::bench::paper_pipeline_config(2048);
+    pcfg.backend_name = "rram-statistical";
+    oms::core::Pipeline pipeline(pcfg);
+    pipeline.set_library(sample.references);
+
     const oms::ms::PreprocessConfig pre;
-    std::vector<oms::ms::BinnedSpectrum> entries =
-        oms::ms::preprocess_all(sample.references, pre);
-    const std::size_t targets = entries.size();
-    entries.insert(entries.end(), entries.begin(),
-                   entries.begin() + static_cast<std::ptrdiff_t>(targets));
-    const oms::ms::SpectralLibrary library(std::move(entries));
     const auto queries = oms::ms::preprocess_all(sample.queries, pre);
     double fraction_sum = 0.0;
     for (const auto& q : queries) {
-      const auto [first, last] = library.mass_window(q.precursor_mass, 500.0);
+      const auto [first, last] =
+          pipeline.library().mass_window(q.precursor_mass, 500.0);
       fraction_sum += static_cast<double>(last - first) /
-                      static_cast<double>(library.size());
+                      static_cast<double>(pipeline.library().size());
     }
     if (!queries.empty()) {
-      wl.candidate_fraction = fraction_sum / static_cast<double>(queries.size());
+      wl.candidate_fraction =
+          fraction_sum / static_cast<double>(queries.size());
     }
+    (void)pipeline.run(sample.queries);
+    oms::bench::print_backend_stats(pipeline.backend_stats());
     std::printf("measured OMS candidate fraction (±500 Da): %.3f\n\n",
                 wl.candidate_fraction);
   }

@@ -14,21 +14,32 @@ std::vector<double> compute_q_values(std::span<const Psm> psms) {
     return a < b;  // deterministic tie-break
   });
 
-  // Walk down the ranked list accumulating decoy/target counts, then take
-  // the running minimum from the bottom so q-values are monotone.
+  // Walk down the ranked list accumulating decoy/target counts. The counts
+  // are read only at the lower boundary of each equal-score group: a score
+  // cutoff cannot separate tied PSMs, so every member of a group gets the
+  // FDR of the whole group and the result is independent of input order.
+  // Then take the running minimum from the bottom so q-values are monotone.
   std::vector<double> fdr_at(psms.size(), 0.0);
   std::size_t decoys = 0;
   std::size_t targets = 0;
+  std::size_t group_start = 0;
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     if (psms[order[rank]].is_decoy) {
       ++decoys;
     } else {
       ++targets;
     }
-    fdr_at[rank] = targets == 0
-                       ? 1.0
-                       : std::min(1.0, static_cast<double>(decoys) /
-                                           static_cast<double>(targets));
+    const bool group_end =
+        rank + 1 == order.size() ||
+        psms[order[rank + 1]].score != psms[order[rank]].score;
+    if (group_end) {
+      const double fdr = targets == 0
+                             ? 1.0
+                             : std::min(1.0, static_cast<double>(decoys) /
+                                                 static_cast<double>(targets));
+      for (std::size_t r = group_start; r <= rank; ++r) fdr_at[r] = fdr;
+      group_start = rank + 1;
+    }
   }
   double running = 1.0;
   std::vector<double> q(psms.size(), 1.0);
@@ -39,13 +50,49 @@ std::vector<double> compute_q_values(std::span<const Psm> psms) {
   return q;
 }
 
-std::vector<Psm> filter_at_fdr(std::span<const Psm> psms, double threshold) {
+std::vector<bool> accept_mask_at_fdr(std::span<const Psm> psms,
+                                     double threshold) {
   const std::vector<double> q = compute_q_values(psms);
+  std::vector<bool> mask(psms.size(), false);
+  for (std::size_t i = 0; i < psms.size(); ++i) {
+    mask[i] = !psms[i].is_decoy && q[i] <= threshold;
+  }
+  return mask;
+}
+
+std::vector<bool> accept_mask_at_fdr_grouped(
+    std::span<const Psm> psms, double threshold,
+    const std::function<int(const Psm&)>& group_of) {
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < psms.size(); ++i) {
+    groups[group_of(psms[i])].push_back(i);
+  }
+
+  std::vector<bool> mask(psms.size(), false);
+  for (const auto& [key, members] : groups) {
+    std::vector<Psm> part;
+    part.reserve(members.size());
+    for (const std::size_t i : members) part.push_back(psms[i]);
+    const std::vector<double> q = compute_q_values(part);
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      mask[members[j]] = !part[j].is_decoy && q[j] <= threshold;
+    }
+  }
+  return mask;
+}
+
+std::vector<bool> accept_mask_at_fdr_standard_open(std::span<const Psm> psms,
+                                                   double threshold) {
+  return accept_mask_at_fdr_grouped(psms, threshold, [](const Psm& p) {
+    return p.is_standard() ? 0 : 1;
+  });
+}
+
+std::vector<Psm> filter_at_fdr(std::span<const Psm> psms, double threshold) {
+  const std::vector<bool> mask = accept_mask_at_fdr(psms, threshold);
   std::vector<Psm> accepted;
   for (std::size_t i = 0; i < psms.size(); ++i) {
-    if (!psms[i].is_decoy && q[i] <= threshold) {
-      accepted.push_back(psms[i]);
-    }
+    if (mask[i]) accepted.push_back(psms[i]);
   }
   return accepted;
 }
@@ -53,13 +100,11 @@ std::vector<Psm> filter_at_fdr(std::span<const Psm> psms, double threshold) {
 std::vector<Psm> filter_at_fdr_grouped(
     std::span<const Psm> psms, double threshold,
     const std::function<int(const Psm&)>& group_of) {
-  std::map<int, std::vector<Psm>> groups;
-  for (const auto& p : psms) groups[group_of(p)].push_back(p);
-
+  const std::vector<bool> mask =
+      accept_mask_at_fdr_grouped(psms, threshold, group_of);
   std::vector<Psm> accepted;
-  for (const auto& [key, members] : groups) {
-    auto part = filter_at_fdr(members, threshold);
-    accepted.insert(accepted.end(), part.begin(), part.end());
+  for (std::size_t i = 0; i < psms.size(); ++i) {
+    if (mask[i]) accepted.push_back(psms[i]);
   }
   std::sort(accepted.begin(), accepted.end(),
             [](const Psm& a, const Psm& b) { return a.query_id < b.query_id; });

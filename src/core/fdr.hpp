@@ -29,8 +29,22 @@ struct Psm {
   }
 };
 
-/// q-value for every PSM (parallel to the input order).
+/// q-value for every PSM (parallel to the input order). PSMs with equal
+/// score stand or fall together — any cutoff that admits one tied PSM
+/// admits them all — so ties share one q-value regardless of input order.
 [[nodiscard]] std::vector<double> compute_q_values(std::span<const Psm> psms);
+
+/// Acceptance mask at the given threshold, parallel to the input order:
+/// mask[i] is true iff psms[i] is a target with q-value <= threshold.
+/// filter_at_fdr* are views over these masks; the streaming engine uses
+/// the mask directly to reconcile early emissions against the final list.
+[[nodiscard]] std::vector<bool> accept_mask_at_fdr(std::span<const Psm> psms,
+                                                   double threshold);
+[[nodiscard]] std::vector<bool> accept_mask_at_fdr_grouped(
+    std::span<const Psm> psms, double threshold,
+    const std::function<int(const Psm&)>& group_of);
+[[nodiscard]] std::vector<bool> accept_mask_at_fdr_standard_open(
+    std::span<const Psm> psms, double threshold);
 
 /// Accepted *target* PSMs at the given q-value threshold.
 [[nodiscard]] std::vector<Psm> filter_at_fdr(std::span<const Psm> psms,

@@ -93,6 +93,13 @@ class Pipeline {
 
   [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
 
+  /// Adjusts the FDR threshold for subsequent runs and engine drains. A
+  /// filter-time knob: the library, encodings, and backend are untouched.
+  /// Must not be called while a QueryEngine is live on this pipeline.
+  void set_fdr_threshold(double threshold) noexcept {
+    cfg_.fdr_threshold = threshold;
+  }
+
   /// The backend registry name this pipeline resolves to (backend_name,
   /// or "ideal-hd" when it is empty).
   [[nodiscard]] std::string backend_name() const;

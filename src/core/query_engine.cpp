@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "accel/imc_encoder.hpp"
+#include "core/streaming_fdr.hpp"
 #include "hd/errors.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,6 +57,18 @@ struct QueryEngine::Impl {
     if (pipeline.library_.empty() || !pipeline.backend_) {
       throw std::logic_error("QueryEngine: Pipeline::set_library() first");
     }
+    // Without an expected_queries promise nothing can ever clear the
+    // confident-emission bound, and the drain flush works off the batch
+    // mask — so only build (and pay for) the estimator when a mid-run
+    // release is actually possible.
+    if (cfg.emit_policy == EmitPolicy::Rolling && cfg.expected_queries > 0) {
+      if (pipeline.cfg_.grouped_fdr) {
+        rolling_grouped = std::make_unique<StreamingGroupedFdr>(
+            StreamingGroupedFdr::standard_open());
+      } else {
+        rolling = std::make_unique<StreamingFdr>();
+      }
+    }
     if (imc_encode && !pipeline.imc_encoder_) {
       // set_library builds the encoder whenever the trait holds, so this
       // means the references were encoded under a different trait than the
@@ -99,7 +112,10 @@ struct QueryEngine::Impl {
       if (failed.load(std::memory_order_acquire)) continue;
       ms::BinnedSpectrum binned;
       if (!ms::preprocess(*spectrum, pipeline.cfg_.preprocess, binned)) {
-        continue;  // quality-filtered, same as preprocess_all
+        // Quality-filtered, same as preprocess_all. The query can no
+        // longer produce a PSM, which tightens the rolling bound.
+        resolved_no_psm.fetch_add(1, std::memory_order_relaxed);
+        continue;
       }
       current.index.push_back(searched++);
       current.spectra.push_back(std::move(binned));
@@ -167,10 +183,70 @@ struct QueryEngine::Impl {
   }
 
   void emit_loop() {
+    // Estimator adds allocate and the user's on_accept may throw; route
+    // failures through fail() like every other stage instead of letting
+    // them terminate the emission thread.
     while (auto emitted_block = to_emit.pop()) {
-      emitted.insert(emitted.end(),
-                     std::make_move_iterator(emitted_block->begin()),
-                     std::make_move_iterator(emitted_block->end()));
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          if (rolling || rolling_grouped) {
+            for (const Emitted& e : *emitted_block) {
+              if (rolling_grouped) {
+                rolling_grouped->add(e.psm, e.index);
+              } else {
+                rolling->add(e.psm, e.index);
+              }
+            }
+          }
+          emitted.insert(emitted.end(),
+                         std::make_move_iterator(emitted_block->begin()),
+                         std::make_move_iterator(emitted_block->end()));
+          roll_emit();
+        } catch (...) {
+          fail(std::current_exception());
+        }
+      }
+    }
+    // The stream is complete once to_emit closes: every stage has finished,
+    // so the outstanding-query count is exact (zero when the caller's
+    // expected_queries promise was exact) and everything the final filter
+    // will accept can be released before the drain machinery runs.
+    try {
+      roll_emit();
+    } catch (...) {
+      fail(std::current_exception());
+    }
+  }
+
+  /// Rolling early release: runs on the emission thread after each block.
+  /// Charges every query that could still produce a PSM as a potential
+  /// future decoy; confident survivors go to the user callback now.
+  void roll_emit() {
+    if ((!rolling && !rolling_grouped) || cfg.expected_queries == 0) return;
+    if (failed.load(std::memory_order_acquire)) return;
+    // Every admitted query yields at most one PSM. Queries the caller has
+    // promised but not yet submitted count as outstanding too; queries that
+    // already resolved without a PSM (quality-filtered, empty mass window)
+    // do not. Relaxed loads may lag and over-count the future — that only
+    // delays a release, never unsounds one. If submissions overrun the
+    // promise, fall back to what has actually arrived so far — the bound
+    // stays as honest as the caller's expected_queries hint.
+    const std::size_t seen =
+        rolling_grouped ? rolling_grouped->size() : rolling->size();
+    const std::size_t done =
+        seen + resolved_no_psm.load(std::memory_order_relaxed);
+    const std::size_t expected = std::max(
+        cfg.expected_queries, submitted.load(std::memory_order_acquire));
+    const std::size_t max_future = expected > done ? expected - done : 0;
+    const double threshold = pipeline.cfg_.fdr_threshold;
+    const std::vector<StreamingFdr::Release> releases =
+        rolling_grouped ? rolling_grouped->emit_confident(threshold, max_future)
+                        : rolling->emit_confident(threshold, max_future);
+    for (const StreamingFdr::Release& r : releases) {
+      if (released.size() <= r.tag) released.resize(r.tag + 1, false);
+      released[r.tag] = true;
+      ++early_emitted;
+      if (cfg.on_accept) cfg.on_accept(r.psm);
     }
   }
 
@@ -283,7 +359,11 @@ struct QueryEngine::Impl {
     std::vector<Emitted> out;
     out.reserve(n);
     for (std::size_t slot = 0; slot < n; ++slot) {
-      if (hits[slot].empty()) continue;
+      if (hits[slot].empty()) {
+        // No candidate in any mass window: resolved without a PSM.
+        resolved_no_psm.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       const ms::BinnedSpectrum& q = block.spectra[slot];
 
       hd::SearchHit best = hits[slot].front();
@@ -375,10 +455,23 @@ struct QueryEngine::Impl {
   std::exception_ptr error;
 
   std::vector<Emitted> emitted;  ///< Emission stage only, until joined.
-  std::size_t submitted = 0;     ///< Producer (caller) thread only.
+  /// Producer (caller) thread writes; the emission thread reads it for
+  /// the rolling future-arrival bound, hence atomic.
+  std::atomic<std::size_t> submitted{0};
+  /// Queries that finished without producing a PSM (preprocess-filtered or
+  /// empty candidate windows); written by preprocess/rescore workers, read
+  /// by the emission thread to tighten the rolling bound.
+  std::atomic<std::size_t> resolved_no_psm{0};
   std::size_t searched = 0;      ///< Preprocess thread, read after join.
   std::size_t blocks = 0;        ///< Preprocess thread, read after join.
   bool drained = false;
+
+  // Rolling-emission state: owned by the emission thread while stages are
+  // live, read by drain() after the join.
+  std::unique_ptr<StreamingFdr> rolling;
+  std::unique_ptr<StreamingGroupedFdr> rolling_grouped;
+  std::vector<bool> released;     ///< By admission index; emitted early.
+  std::size_t early_emitted = 0;  ///< Releases before drain().
 };
 
 QueryEngine::QueryEngine(Pipeline& pipeline, const QueryEngineConfig& cfg)
@@ -394,7 +487,7 @@ void QueryEngine::submit(ms::Spectrum&& query) {
   if (impl_->drained) {
     throw std::logic_error("QueryEngine::submit: already drained");
   }
-  ++impl_->submitted;
+  impl_->submitted.fetch_add(1, std::memory_order_acq_rel);
   // push() only fails when a stage failure closed the queue; drain()
   // reports the stored exception.
   (void)impl_->admission.push(std::move(query));
@@ -417,7 +510,7 @@ PipelineResult QueryEngine::drain() {
   }
 
   PipelineResult result;
-  result.queries_in = impl_->submitted;
+  result.queries_in = impl_->submitted.load(std::memory_order_acquire);
   result.queries_searched = impl_->searched;
   result.library_targets = impl_->pipeline.library_.target_count();
   result.library_decoys = impl_->pipeline.library_.decoy_count();
@@ -429,21 +522,44 @@ PipelineResult QueryEngine::drain() {
   result.psms.reserve(impl_->emitted.size());
   for (Emitted& e : impl_->emitted) result.psms.push_back(std::move(e.psm));
 
+  // One mask serves both the accepted list and the rolling flush; the
+  // grouped sort-by-query-id mirrors filter_at_fdr_standard_open.
   const PipelineConfig& pcfg = impl_->pipeline.cfg_;
-  result.accepted =
+  const std::vector<bool> mask =
       pcfg.grouped_fdr
-          ? filter_at_fdr_standard_open(result.psms, pcfg.fdr_threshold)
-          : filter_at_fdr(result.psms, pcfg.fdr_threshold);
+          ? accept_mask_at_fdr_standard_open(result.psms, pcfg.fdr_threshold)
+          : accept_mask_at_fdr(result.psms, pcfg.fdr_threshold);
+  for (std::size_t i = 0; i < result.psms.size(); ++i) {
+    if (mask[i]) result.accepted.push_back(result.psms[i]);
+  }
+  if (pcfg.grouped_fdr) {
+    std::sort(result.accepted.begin(), result.accepted.end(),
+              [](const Psm& a, const Psm& b) { return a.query_id < b.query_id; });
+  }
+
+  // Rolling flush: every accepted PSM not already released mid-run goes to
+  // the callback now, in admission order, so the callback has seen exactly
+  // result.accepted once the drain returns. Early releases are a subset of
+  // the final accepted list by the confident-emission bound.
+  if (impl_->cfg.emit_policy == EmitPolicy::Rolling && impl_->cfg.on_accept) {
+    for (std::size_t i = 0; i < result.psms.size(); ++i) {
+      const std::size_t admission = impl_->emitted[i].index;
+      const bool was_released = admission < impl_->released.size() &&
+                                impl_->released[admission];
+      if (mask[i] && !was_released) impl_->cfg.on_accept(result.psms[i]);
+    }
+  }
   return result;
 }
 
 QueryEngineStats QueryEngine::stats() const {
   QueryEngineStats s;
-  s.submitted = impl_->submitted;
+  s.submitted = impl_->submitted.load(std::memory_order_acquire);
   s.searched = impl_->searched;
   s.blocks = impl_->blocks;
   s.block_size = impl_->cfg.block_size;
   s.stage_threads = impl_->cfg.stage_threads;
+  s.early_emitted = impl_->early_emitted;
   return s;
 }
 

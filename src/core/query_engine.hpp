@@ -18,6 +18,14 @@
 // collects them. drain() flushes everything, applies the FDR filter, and
 // returns the PipelineResult.
 //
+// Emission is policy-driven: AtDrain (default) holds all PSMs for the
+// batch filter at drain(); Rolling additionally threads every PSM through
+// core::StreamingFdr so hits whose q-value provably cannot rise above the
+// FDR threshold are handed to QueryEngineConfig::on_accept while queries
+// are still arriving. Either way drain() returns the same bit-identical
+// result — rolling release order may vary with scheduling, membership
+// never does.
+//
 // Determinism contract: every per-query artifact — encoding noise, injected
 // bit errors, search noise, rescoring — is keyed on the query's spectrum id
 // or assigned index, never on arrival time, block composition, or thread
@@ -29,12 +37,28 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <span>
 
 #include "core/pipeline.hpp"
 
 namespace oms::core {
+
+/// When the emission stage releases accepted PSMs.
+enum class EmitPolicy {
+  /// Hold every PSM until drain(); the FDR filter runs once at stream end
+  /// (the paper's offline protocol). Pipeline::run uses this.
+  AtDrain,
+  /// Feed PSMs through core::StreamingFdr as they are rescored and fire
+  /// on_accept mid-run for every PSM whose q-value provably cannot rise
+  /// above the pipeline's fdr_threshold no matter what still arrives (the
+  /// confident-emission bound; see core/streaming_fdr.hpp). drain() still
+  /// returns the bit-identical final list and flushes the remaining
+  /// accepted PSMs through on_accept, so the callback sees exactly
+  /// drain().accepted, each PSM once.
+  Rolling,
+};
 
 struct QueryEngineConfig {
   /// Queries per search block (B): the unit the backend's batched
@@ -46,6 +70,20 @@ struct QueryEngineConfig {
   /// Worker threads for each of the encode / search / rescore stages.
   /// Forced to 1 when the backend is not thread-safe. 0 → 1.
   std::size_t stage_threads = 1;
+  /// PSM release policy. Rolling streams confident hits mid-run.
+  EmitPolicy emit_policy = EmitPolicy::AtDrain;
+  /// Rolling callback. Early releases fire from an engine-internal thread
+  /// while submit() may still be running on the caller's thread — the
+  /// callback must tolerate that concurrency. The drain-time flush fires
+  /// on the drain() caller's thread, in admission order.
+  std::function<void(const Psm&)> on_accept;
+  /// Upper bound on the total number of queries this engine will be given
+  /// (0 = unknown). The confident-emission bound charges every query not
+  /// yet scored as a potential future decoy, so with an unknown total
+  /// nothing can be released before drain(); with a declared bound the
+  /// early-release guarantee holds as long as the caller keeps the
+  /// promise and submits no more than this many queries.
+  std::size_t expected_queries = 0;
 };
 
 /// Accounting for one streaming run; valid after drain().
@@ -55,6 +93,7 @@ struct QueryEngineStats {
   std::size_t blocks = 0;         ///< Query blocks formed.
   std::size_t block_size = 0;     ///< Effective B.
   std::size_t stage_threads = 0;  ///< Effective workers per stage.
+  std::size_t early_emitted = 0;  ///< PSMs released before drain (Rolling).
 };
 
 class QueryEngine {

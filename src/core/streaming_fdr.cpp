@@ -1,0 +1,186 @@
+#include "core/streaming_fdr.hpp"
+
+#include <algorithm>
+
+namespace oms::core {
+
+// --- Fenwick --------------------------------------------------------------
+
+void StreamingFdr::Fenwick::rebuild(const std::vector<std::size_t>& counts) {
+  const std::size_t n = counts.size();
+  tree.assign(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    tree[i] += counts[i - 1];
+    const std::size_t parent = i + (i & (~i + 1));
+    if (parent <= n) tree[parent] += tree[i];
+  }
+}
+
+void StreamingFdr::Fenwick::add_at(std::size_t pos, std::size_t delta) {
+  for (std::size_t i = pos + 1; i < tree.size(); i += i & (~i + 1)) {
+    tree[i] += delta;
+  }
+}
+
+std::size_t StreamingFdr::Fenwick::prefix(std::size_t pos) const {
+  std::size_t sum = 0;
+  for (std::size_t i = pos; i > 0; i -= i & (~i + 1)) sum += tree[i];
+  return sum;
+}
+
+// --- StreamingFdr ---------------------------------------------------------
+
+std::size_t StreamingFdr::lower_slot(double score) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(scores_.begin(), scores_.end(), score) -
+      scores_.begin());
+}
+
+std::size_t StreamingFdr::slot_for(double score) {
+  const std::size_t pos = lower_slot(score);
+  if (pos < scores_.size() && scores_[pos] == score) return pos;
+  scores_.insert(scores_.begin() + static_cast<std::ptrdiff_t>(pos), score);
+  targets_.insert(targets_.begin() + static_cast<std::ptrdiff_t>(pos), 0);
+  decoys_.insert(decoys_.begin() + static_cast<std::ptrdiff_t>(pos), 0);
+  // A new distinct score shifts every slot above it; the Fenwick layout
+  // has no cheap middle insert, so rebuild both trees from the counts.
+  target_fen_.rebuild(targets_);
+  decoy_fen_.rebuild(decoys_);
+  return pos;
+}
+
+void StreamingFdr::add(Psm psm, std::size_t tag) {
+  const std::size_t slot = slot_for(psm.score);
+  if (psm.is_decoy) {
+    ++decoys_[slot];
+    decoy_fen_.add_at(slot, 1);
+    ++total_decoys_;
+  } else {
+    ++targets_[slot];
+    target_fen_.add_at(slot, 1);
+    ++total_targets_;
+    pending_.push_back(PendingPsm{std::move(psm), tag});
+  }
+  ++total_;
+  q_dirty_ = true;
+}
+
+std::size_t StreamingFdr::targets_at_or_above(double score) const {
+  return total_targets_ - target_fen_.prefix(lower_slot(score));
+}
+
+std::size_t StreamingFdr::decoys_at_or_above(double score) const {
+  return total_decoys_ - decoy_fen_.prefix(lower_slot(score));
+}
+
+void StreamingFdr::rebuild_q_cache() const {
+  // With no adversarial future the worst-case bound collapses to the
+  // plain q-value (the same group-boundary FDR walk compute_q_values
+  // does, then the running minimum over cutoffs at or below each slot) —
+  // one walk serves both, which keeps the emit-safety invariant
+  // bound_per_slot(0) == q_cache by construction.
+  q_cache_ = bound_per_slot(0);
+  q_dirty_ = false;
+}
+
+double StreamingFdr::q_value(double score) const {
+  if (scores_.empty()) return 1.0;
+  if (q_dirty_) rebuild_q_cache();
+  const std::size_t pos = lower_slot(score);
+  if (pos < scores_.size() && scores_[pos] == score) return q_cache_[pos];
+  return pos == 0 ? 1.0 : q_cache_[pos - 1];
+}
+
+std::vector<double> StreamingFdr::bound_per_slot(std::size_t max_future) const {
+  const std::size_t n = scores_.size();
+  // Worst-case final FDR at each cutoff: all max_future arrivals land as
+  // decoys at or above it. Capped at 1 like the real FDR, which keeps the
+  // bound valid (min(1, x) is monotone) and releases everything at a
+  // threshold of 1, where the batch filter accepts every target too.
+  std::vector<double> worst(n, 1.0);
+  std::size_t decoys = 0;
+  std::size_t targets = 0;
+  for (std::size_t i = n; i-- > 0;) {
+    decoys += decoys_[i];
+    targets += targets_[i];
+    worst[i] = targets == 0
+                   ? 1.0
+                   : std::min(1.0, static_cast<double>(decoys + max_future) /
+                                       static_cast<double>(targets));
+  }
+  std::vector<double> bound(n, 1.0);
+  double running = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    running = std::min(running, worst[i]);
+    bound[i] = running;
+  }
+  return bound;
+}
+
+std::vector<StreamingFdr::Release> StreamingFdr::emit_confident(
+    double threshold, std::size_t max_future) {
+  std::vector<Release> released;
+  if (pending_.empty()) return released;
+  const std::vector<double> bound = bound_per_slot(max_future);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingPsm& p = pending_[i];
+    const std::size_t slot = lower_slot(p.psm.score);  // exact: score added
+    if (bound[slot] <= threshold) {
+      released.push_back(Release{p.tag, std::move(p.psm)});
+    } else {
+      if (kept != i) pending_[kept] = std::move(p);  // no self-move
+      ++kept;
+    }
+  }
+  pending_.resize(kept);
+  return released;
+}
+
+// --- StreamingGroupedFdr --------------------------------------------------
+
+StreamingGroupedFdr::StreamingGroupedFdr(std::function<int(const Psm&)> g)
+    : group_of_(std::move(g)) {}
+
+StreamingGroupedFdr StreamingGroupedFdr::standard_open() {
+  return StreamingGroupedFdr(
+      [](const Psm& p) { return p.is_standard() ? 0 : 1; });
+}
+
+void StreamingGroupedFdr::add(Psm psm, std::size_t tag) {
+  const int group = group_of_(psm);
+  const std::size_t arrival = user_tags_.size();
+  user_tags_.push_back(tag);
+  groups_[group].add(std::move(psm), arrival);
+  ++total_;
+}
+
+std::size_t StreamingGroupedFdr::pending() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [key, group] : groups_) n += group.pending();
+  return n;
+}
+
+double StreamingGroupedFdr::q_value(const Psm& psm) const {
+  const auto it = groups_.find(group_of_(psm));
+  return it == groups_.end() ? 1.0 : it->second.q_value(psm.score);
+}
+
+std::vector<StreamingFdr::Release> StreamingGroupedFdr::emit_confident(
+    double threshold, std::size_t max_future) {
+  std::vector<StreamingFdr::Release> released;
+  for (auto& [key, group] : groups_) {
+    std::vector<StreamingFdr::Release> part =
+        group.emit_confident(threshold, max_future);
+    released.insert(released.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+  std::sort(released.begin(), released.end(),
+            [](const StreamingFdr::Release& a, const StreamingFdr::Release& b) {
+              return a.tag < b.tag;
+            });
+  for (StreamingFdr::Release& r : released) r.tag = user_tags_[r.tag];
+  return released;
+}
+
+}  // namespace oms::core

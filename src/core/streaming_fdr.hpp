@@ -1,0 +1,161 @@
+// Incremental target-decoy FDR (paper §3.4, made streaming). The batch
+// protocol sorts the full PSM list once at the end of a run; a serving
+// deployment wants rolling q-values and wants confident hits released
+// while queries are still arriving. StreamingFdr maintains the
+// distinct-score axis incrementally — a sorted vector of scores with
+// per-score target/decoy counts plus Fenwick (binary indexed) trees over
+// those positions, so count-at-or-above queries are O(log n) — and
+// rebuilds the q-value prefix-minimum cache lazily after inserts.
+//
+// q_value(s) reproduces exactly what core::compute_q_values would assign
+// to score s over the PSMs seen so far: ties share one q-value, FDR at a
+// cutoff is decoys/targets at or above it (1.0 while no target is above),
+// capped at 1, and the running minimum from the weakest cutoff up makes q
+// monotone in rank.
+//
+// emit_confident(threshold, max_future) releases target PSMs whose final
+// q-value provably cannot rise above `threshold` no matter what else
+// arrives, given that at most `max_future` further PSMs will be added.
+// The monotone bound: for any cutoff c, future arrivals with score below
+// c leave FDR(c) = decoys(>=c)/targets(>=c) untouched, arrivals at or
+// above c add at most `max_future` decoys to the numerator and can only
+// grow the denominator, so
+//
+//   final FDR(c) <= (decoys(>=c) + max_future) / targets(>=c)
+//
+// and, taking the minimum over cutoffs at or below a PSM's score s,
+//
+//   final q(s) <= min_{c <= s} (decoys(>=c) + max_future) / targets(>=c).
+//
+// When that worst case is still <= threshold, the end-of-stream batch
+// filter is guaranteed to accept the PSM, so it is safe to hand to the
+// caller early. With max_future == 0 the bound collapses to the current
+// q-value and emit_confident releases exactly the currently-accepted
+// targets. Each PSM is released at most once.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/fdr.hpp"
+
+namespace oms::core {
+
+class StreamingFdr {
+ public:
+  /// A released PSM paired with the caller's tag from add(). The engine
+  /// tags PSMs with their admission index so the drain-time flush can
+  /// skip what was already released.
+  struct Release {
+    std::size_t tag = 0;
+    Psm psm;
+  };
+
+  /// Admits one PSM. `tag` is opaque to the estimator and travels with
+  /// the PSM into its Release.
+  void add(Psm psm, std::size_t tag = 0);
+
+  /// PSMs admitted so far (targets + decoys).
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
+
+  /// Target PSMs admitted but not yet released by emit_confident.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+
+  /// Targets / decoys with score >= s over the PSMs seen so far
+  /// (Fenwick-backed, O(log n)).
+  [[nodiscard]] std::size_t targets_at_or_above(double score) const;
+  [[nodiscard]] std::size_t decoys_at_or_above(double score) const;
+
+  /// Rolling q-value of `score` over the PSMs seen so far; equal to the
+  /// value compute_q_values assigns to a PSM with this score in a batch
+  /// over the same set. Scores never seen get the q-value of the nearest
+  /// cutoff at or below them (1.0 if there is none).
+  [[nodiscard]] double q_value(double score) const;
+
+  /// Releases every pending target PSM whose final q-value cannot exceed
+  /// `threshold` even if all `max_future` remaining arrivals are decoys
+  /// scoring above it (see the bound in the header comment). Releases are
+  /// returned in admission order and never repeated.
+  [[nodiscard]] std::vector<Release> emit_confident(double threshold,
+                                                    std::size_t max_future);
+
+ private:
+  /// Fenwick / binary-indexed tree over score slots. Point updates for
+  /// scores already on the axis are O(log n); inserting a brand-new
+  /// distinct score shifts the axis and rebuilds in O(n).
+  struct Fenwick {
+    std::vector<std::size_t> tree;
+
+    void rebuild(const std::vector<std::size_t>& counts);
+    void add_at(std::size_t pos, std::size_t delta);
+    /// Sum of counts[0..pos).
+    [[nodiscard]] std::size_t prefix(std::size_t pos) const;
+  };
+
+  /// Index of the slot holding `score`, inserting it if absent.
+  std::size_t slot_for(double score);
+  /// First slot with score >= s (== scores_.size() if none).
+  [[nodiscard]] std::size_t lower_slot(double score) const;
+  void rebuild_q_cache() const;
+  /// Worst-case final q per slot under `max_future` adversarial arrivals.
+  [[nodiscard]] std::vector<double> bound_per_slot(
+      std::size_t max_future) const;
+
+  std::vector<double> scores_;        ///< Distinct scores, ascending.
+  std::vector<std::size_t> targets_;  ///< Target count per slot.
+  std::vector<std::size_t> decoys_;   ///< Decoy count per slot.
+  Fenwick target_fen_;
+  Fenwick decoy_fen_;
+  std::size_t total_ = 0;
+  std::size_t total_targets_ = 0;
+  std::size_t total_decoys_ = 0;
+
+  struct PendingPsm {
+    Psm psm;
+    std::size_t tag = 0;
+  };
+  std::vector<PendingPsm> pending_;  ///< Unreleased targets, arrival order.
+
+  mutable std::vector<double> q_cache_;  ///< q per slot; valid when !dirty.
+  mutable bool q_dirty_ = false;
+};
+
+/// Grouped (cascaded) streaming FDR in the style of ANN-SoLo, mirroring
+/// filter_at_fdr_grouped: PSMs are routed by `group_of` into independent
+/// StreamingFdr estimators so abundant unmodified matches cannot mask
+/// modified ones. emit_confident applies each group's bound with the
+/// *global* max_future — any future PSM could land in any group.
+class StreamingGroupedFdr {
+ public:
+  explicit StreamingGroupedFdr(std::function<int(const Psm&)> group_of);
+
+  /// The standard/open two-group split used by the pipeline's grouped
+  /// filter (group 0 = |mass shift| < 0.5 Da).
+  static StreamingGroupedFdr standard_open();
+
+  void add(Psm psm, std::size_t tag = 0);
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
+  [[nodiscard]] std::size_t pending() const noexcept;
+
+  /// Rolling q-value of `psm` within its group.
+  [[nodiscard]] double q_value(const Psm& psm) const;
+
+  /// Confident releases across all groups, in admission order.
+  [[nodiscard]] std::vector<StreamingFdr::Release> emit_confident(
+      double threshold, std::size_t max_future);
+
+ private:
+  std::function<int(const Psm&)> group_of_;
+  std::map<int, StreamingFdr> groups_;
+  std::size_t total_ = 0;
+  /// Caller tags in global admission order; group members carry their
+  /// global admission index as the internal tag so cross-group releases
+  /// can be merged back into admission order, then mapped to these.
+  std::vector<std::size_t> user_tags_;
+};
+
+}  // namespace oms::core

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 namespace oms::core {
 namespace {
 
@@ -94,6 +97,69 @@ TEST(Fdr, GroupedFdrSeparatesPopulations) {
   EXPECT_GE(open_grouped, open_global);
   // Standard matches accepted in both.
   EXPECT_GE(grouped.size(), 20U);
+}
+
+TEST(Fdr, TiedScoresShareOneQValueRegardlessOfInputOrder) {
+  // Three tie groups mixing targets and decoys. A score cutoff cannot
+  // separate tied PSMs, so every member of a group must get the same
+  // q-value, and reordering the input must not change any q-value.
+  std::vector<Psm> psms = {
+      psm(0, 0.9, false), psm(1, 0.9, false), psm(2, 0.9, true),
+      psm(3, 0.7, false), psm(4, 0.7, true),  psm(5, 0.7, false),
+      psm(6, 0.5, true),  psm(7, 0.5, false),
+  };
+
+  const auto q_ref = compute_q_values(psms);
+  std::map<double, double> q_by_score;
+  for (std::size_t i = 0; i < psms.size(); ++i) {
+    const auto it = q_by_score.emplace(psms[i].score, q_ref[i]).first;
+    EXPECT_DOUBLE_EQ(it->second, q_ref[i]) << "tied PSMs disagree at " << i;
+  }
+  // Hand check: group FDRs top-down — 0.9: 1/2, 0.7: 2/4, 0.5: 3/5; the
+  // running minimum from the bottom leaves 0.5, 0.5, 0.6.
+  EXPECT_NEAR(q_by_score[0.9], 0.5, 1e-12);
+  EXPECT_NEAR(q_by_score[0.7], 0.5, 1e-12);
+  EXPECT_NEAR(q_by_score[0.5], 0.6, 1e-12);
+
+  // Regression: before the tie fix, q depended on which tied PSM came
+  // first in the input. Every permutation must reproduce q_ref per id.
+  std::vector<std::size_t> perm(psms.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (int rot = 0; rot < 8; ++rot) {
+    std::rotate(perm.begin(), perm.begin() + 1, perm.end());
+    std::vector<Psm> shuffled;
+    for (const std::size_t i : perm) shuffled.push_back(psms[i]);
+    std::reverse(shuffled.begin() + 2, shuffled.end());
+    const auto q = compute_q_values(shuffled);
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      EXPECT_DOUBLE_EQ(q[i], q_ref[shuffled[i].query_id])
+          << "rotation " << rot << " psm " << i;
+    }
+  }
+}
+
+TEST(Fdr, AcceptMaskAgreesWithFilters) {
+  std::vector<Psm> psms = {psm(0, 0.9, false),       psm(1, 0.85, true),
+                           psm(2, 0.8, false),       psm(3, 0.5, false, 16.0),
+                           psm(4, 0.45, true, 16.0), psm(5, 0.4, false, 16.0)};
+  for (const double threshold : {0.01, 0.3, 1.0}) {
+    const auto mask = accept_mask_at_fdr(psms, threshold);
+    const auto accepted = filter_at_fdr(psms, threshold);
+    std::size_t masked = 0;
+    for (std::size_t i = 0; i < psms.size(); ++i) {
+      if (mask[i]) {
+        EXPECT_FALSE(psms[i].is_decoy);
+        ++masked;
+      }
+    }
+    EXPECT_EQ(masked, accepted.size()) << "threshold " << threshold;
+
+    const auto gmask = accept_mask_at_fdr_standard_open(psms, threshold);
+    const auto gaccepted = filter_at_fdr_standard_open(psms, threshold);
+    std::size_t gmasked = 0;
+    for (const bool m : gmask) gmasked += m ? 1 : 0;
+    EXPECT_EQ(gmasked, gaccepted.size()) << "threshold " << threshold;
+  }
 }
 
 TEST(Fdr, IsStandardUsesTolerance) {

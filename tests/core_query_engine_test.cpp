@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -101,6 +103,165 @@ void check_streaming_matches_run(const std::string& backend) {
       EXPECT_EQ(stats.blocks, (stats.searched + block - 1) / block);
     }
   }
+}
+
+/// Sorts PSMs into the deterministic order of the final accepted list so
+/// callback deliveries (which arrive in clearance order) can be compared
+/// bit-for-bit against drain().accepted.
+void sort_like_accepted(std::vector<Psm>& psms) {
+  std::sort(psms.begin(), psms.end(),
+            [](const Psm& a, const Psm& b) { return a.query_id < b.query_id; });
+}
+
+void expect_same_psm_lists(const std::vector<Psm>& a, const std::vector<Psm>& b,
+                           const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].query_id, b[i].query_id) << what << " psm " << i;
+    EXPECT_EQ(a[i].reference_index, b[i].reference_index) << what << " " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << what << " psm " << i;
+    EXPECT_EQ(a[i].peptide, b[i].peptide) << what << " psm " << i;
+    EXPECT_EQ(a[i].mass_shift, b[i].mass_shift) << what << " psm " << i;
+  }
+}
+
+/// The rolling contract: with EmitPolicy::Rolling the engine's callback
+/// delivers exactly drain().accepted (early releases plus the drain-time
+/// flush, nothing twice), drain() itself is bit-identical to the AtDrain
+/// run, and early emission actually happens on this workload.
+void check_rolling_matches_at_drain(const std::string& backend,
+                                    std::size_t block,
+                                    std::size_t threads) {
+  const ms::Workload& wl = shared_workload();
+
+  Pipeline reference(small_config(backend));
+  reference.set_library(wl.references);
+  const PipelineResult sync = reference.run(wl.queries);
+  ASSERT_GT(sync.accepted.size(), 0U) << backend;
+
+  Pipeline streamed(small_config(backend));
+  streamed.set_library(wl.references);
+
+  QueryEngineConfig ecfg;
+  ecfg.block_size = block;
+  ecfg.stage_threads = threads;
+  ecfg.queue_blocks = 3;
+  ecfg.emit_policy = EmitPolicy::Rolling;
+  ecfg.expected_queries = wl.queries.size();
+  std::mutex mu;
+  std::vector<Psm> delivered;
+  ecfg.on_accept = [&](const Psm& p) {
+    const std::lock_guard<std::mutex> lock(mu);
+    delivered.push_back(p);
+  };
+
+  QueryEngine engine(streamed, ecfg);
+  // Interleave one-by-one submission with chunked admission, as in the
+  // AtDrain harness.
+  std::size_t i = 0;
+  for (; i < wl.queries.size() && i < 10; ++i) engine.submit(wl.queries[i]);
+  const std::size_t half = i + (wl.queries.size() - i) / 2;
+  engine.submit_batch(
+      std::span<const ms::Spectrum>(wl.queries.data() + i, half - i));
+  for (i = half; i < wl.queries.size(); ++i) engine.submit(wl.queries[i]);
+
+  const PipelineResult streamed_result = engine.drain();
+  const std::string what = backend + " rolling B=" + std::to_string(block) +
+                           " T=" + std::to_string(threads);
+  expect_same_psms(sync, streamed_result, what);
+
+  const std::lock_guard<std::mutex> lock(mu);
+  std::vector<Psm> sorted = delivered;
+  sort_like_accepted(sorted);
+  expect_same_psm_lists(sorted, streamed_result.accepted, what);
+
+  const QueryEngineStats stats = engine.stats();
+  EXPECT_LE(stats.early_emitted, streamed_result.accepted.size()) << what;
+  // The shared workload has a solid block of confident hits; rolling
+  // emission must release some of them before the drain.
+  EXPECT_GT(stats.early_emitted, 0U) << what;
+}
+
+TEST(QueryEngine, RollingMatchesAtDrainIdealHd) {
+  for (const std::size_t block : {1UL, 7UL, 64UL}) {
+    check_rolling_matches_at_drain("ideal-hd", block, 2);
+  }
+  for (const std::size_t threads : {1UL, 3UL, 4UL}) {
+    check_rolling_matches_at_drain("ideal-hd", 16, threads);
+  }
+}
+
+TEST(QueryEngine, RollingMatchesAtDrainRramStatistical) {
+  check_rolling_matches_at_drain("rram-statistical", 8, 2);
+  check_rolling_matches_at_drain("rram-statistical", 32, 4);
+}
+
+TEST(QueryEngine, RollingMatchesAtDrainSharded) {
+  check_rolling_matches_at_drain("sharded", 16, 2);
+}
+
+TEST(QueryEngine, RollingMatchesAtDrainRramCircuit) {
+  // Non-thread-safe backend: rolling rides the single-threaded stage path.
+  ms::WorkloadConfig wcfg;
+  wcfg.reference_count = 25;
+  wcfg.query_count = 8;
+  wcfg.seed = 99;
+  const ms::Workload wl = ms::generate_workload(wcfg);
+
+  PipelineConfig cfg = small_config("rram-circuit");
+  cfg.encoder.dim = 256;
+  cfg.encoder.chunks = 32;
+  cfg.add_decoys = false;
+
+  Pipeline reference(cfg);
+  reference.set_library(wl.references);
+  const PipelineResult sync = reference.run(wl.queries);
+
+  Pipeline streamed(cfg);
+  streamed.set_library(wl.references);
+  QueryEngineConfig ecfg;
+  ecfg.block_size = 3;
+  ecfg.stage_threads = 4;  // forced down to 1
+  ecfg.emit_policy = EmitPolicy::Rolling;
+  ecfg.expected_queries = wl.queries.size();
+  std::vector<Psm> delivered;  // single-threaded stages; no lock needed
+  std::mutex mu;
+  ecfg.on_accept = [&](const Psm& p) {
+    const std::lock_guard<std::mutex> lock(mu);
+    delivered.push_back(p);
+  };
+  QueryEngine engine(streamed, ecfg);
+  engine.submit_batch(wl.queries);
+  const PipelineResult streamed_result = engine.drain();
+  expect_same_psms(sync, streamed_result, "rram-circuit rolling");
+  sort_like_accepted(delivered);
+  expect_same_psm_lists(delivered, streamed_result.accepted,
+                        "rram-circuit rolling");
+}
+
+TEST(QueryEngine, RollingWithoutExpectedQueriesFlushesEverythingAtDrain) {
+  // Unknown stream length: the bound can never retire the adversarial
+  // future, so nothing releases early — but the callback still sees the
+  // full accepted list via the drain flush.
+  const ms::Workload& wl = shared_workload();
+  Pipeline pipeline(small_config("ideal-hd"));
+  pipeline.set_library(wl.references);
+
+  QueryEngineConfig ecfg;
+  ecfg.emit_policy = EmitPolicy::Rolling;
+  ecfg.expected_queries = 0;
+  std::mutex mu;
+  std::vector<Psm> delivered;
+  ecfg.on_accept = [&](const Psm& p) {
+    const std::lock_guard<std::mutex> lock(mu);
+    delivered.push_back(p);
+  };
+  QueryEngine engine(pipeline, ecfg);
+  engine.submit_batch(wl.queries);
+  const PipelineResult result = engine.drain();
+  EXPECT_EQ(engine.stats().early_emitted, 0U);
+  sort_like_accepted(delivered);
+  expect_same_psm_lists(delivered, result.accepted, "no-expected rolling");
 }
 
 TEST(QueryEngine, StreamingMatchesRunIdealHd) {
