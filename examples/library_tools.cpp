@@ -4,11 +4,19 @@
 // data files.
 //
 // Usage: library_tools [--out=/tmp] [--peptides=500]
+//                      [--index-out=FILE] [--index-in=FILE]
+//
+// --index-out persists the encoded library as a full LibraryIndex
+// artifact; --index-in searches from a previously persisted artifact
+// instead of re-encoding (the build-once/load-many flow).
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "hd/serialize.hpp"
+#include "index/index_builder.hpp"
+#include "index/library_index.hpp"
 #include "ms/mgf.hpp"
 #include "ms/mzml.hpp"
 #include "ms/synthetic.hpp"
@@ -55,19 +63,56 @@ int main(int argc, char** argv) {
                                                    2, query_params, 9, id++));
   }
 
-  // Search against the mzML round-tripped library.
+  // Search against the mzML round-tripped library — or, with --index-in,
+  // against a previously persisted LibraryIndex (zero re-encoding).
+  const std::string index_in = cli.get("index-in", std::string());
+  const std::string index_out = cli.get("index-out", std::string());
   oms::core::PipelineConfig cfg;
   cfg.encoder.dim = 4096;
   cfg.encoder.bins = cfg.preprocess.bin_count();
   cfg.encoder.chunks = 128;
   oms::core::Pipeline pipeline(cfg);
-  pipeline.set_library(from_mzml);
+  try {
+    if (!index_in.empty()) {
+      auto idx = std::make_shared<oms::index::LibraryIndex>(
+          oms::index::LibraryIndex::open(index_in));
+      pipeline.set_library(idx);
+      std::printf("loaded index %s: %zu entries (%s)\n", index_in.c_str(),
+                  idx->size(), idx->mapped() ? "mmap" : "in-memory");
+    } else {
+      pipeline.set_library(from_mzml);
+    }
+  } catch (const std::exception& e) {
+    // Unreadable --index-in or one built under a different configuration.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   const auto result = pipeline.run(queries);
   std::printf("searched %zu queries against the round-tripped library: "
               "%zu identified at 1%% FDR\n",
               queries.size(), result.identifications());
 
-  // Persist the encoded hypervector library: encode once, search forever.
+  // Persist the full search artifact: entries + hypervector word block +
+  // fingerprint, reloadable with LibraryIndex::open / --index-in. Runs
+  // when the user asked for it (--index-out) or as a throwaway demo on
+  // the build path — never on a pure --index-in load, where rewriting
+  // (and cleaning up) a default path could clobber the user's artifact.
+  const bool demo_persist = index_out.empty() && index_in.empty();
+  const std::string index_path =
+      index_out.empty() ? out_dir + "/oms_library.omsx" : index_out;
+  if (!index_out.empty() || demo_persist) {
+    const auto build_stats =
+        oms::index::IndexBuilder::write_from_pipeline(pipeline, index_path);
+    const auto reopened = oms::index::LibraryIndex::open(index_path);
+    std::printf("library index persisted: %zu entries, %zu bytes (%s), "
+                "reload OK (%zu entries back, %s)\n",
+                build_stats.entries, build_stats.file_bytes,
+                index_path.c_str(), reopened.size(),
+                reopened.mapped() ? "mmap" : "in-memory");
+  }
+
+  // The hypervector-only cache API still works and shares the same
+  // container format underneath.
   const std::string hv_path = out_dir + "/oms_library.hvs";
   oms::hd::save_encoded_library_file(hv_path, cfg.encoder,
                                      pipeline.reference_hvs());
@@ -79,5 +124,6 @@ int main(int argc, char** argv) {
   std::remove(mgf_path.c_str());
   std::remove(mzml_path.c_str());
   std::remove(hv_path.c_str());
+  if (demo_persist) std::remove(index_path.c_str());
   return 0;
 }

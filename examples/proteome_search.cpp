@@ -10,21 +10,27 @@
 // Usage: proteome_search [--proteins=150] [--out=/tmp/psms.tsv]
 //                        [--backend=ideal-hd|rram-statistical|sharded|...]
 //                        [--batch-size=64] [--threads=0] [--rolling-fdr]
+//                        [--index-out=FILE] [--index-in=FILE]
 //
 // --batch-size is the streaming engine's query-block size; --threads sizes
 // the global thread pool (0 = all cores). --rolling-fdr switches the
 // engine to the Rolling emission policy: identifications print the moment
 // their q-value provably clears the FDR threshold, mid-run, instead of
 // only after the final drain — the final PSM list is bit-identical either
-// way.
+// way. --index-out persists the encoded library as a LibraryIndex;
+// --index-in cold-starts from one (build once, load many — the restarted
+// replica skips digest→synthesize→encode entirely on the reference side).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 
 #include "core/pipeline.hpp"
 #include "core/query_engine.hpp"
 #include "core/report.hpp"
+#include "index/index_builder.hpp"
+#include "index/library_index.hpp"
 #include "ms/fasta.hpp"
 #include "ms/modifications.hpp"
 #include "ms/synthesizer.hpp"
@@ -41,6 +47,8 @@ int main(int argc, char** argv) {
   const auto batch_size = static_cast<std::size_t>(cli.get("batch-size", 64L));
   const auto threads = static_cast<std::size_t>(cli.get("threads", 0L));
   const bool rolling_fdr = cli.has("rolling-fdr");
+  const std::string index_in = cli.get("index-in", std::string());
+  const std::string index_out = cli.get("index-out", std::string());
   oms::util::ThreadPool::set_global_threads(threads);
 
   // 1. A synthetic proteome, digested with trypsin (1 missed cleavage).
@@ -50,13 +58,19 @@ int main(int argc, char** argv) {
   std::printf("digested %zu proteins -> %zu unique tryptic peptides\n",
               proteome.size(), peptides.size());
 
-  // 2. Reference library: one consensus spectrum per peptide.
+  // 2. Reference library: one consensus spectrum per peptide — skipped
+  // entirely when a persisted index supplies the reference side (query
+  // ids continue from where the reference ids would have ended, so PSMs
+  // match the build-path run line for line).
   const oms::ms::SynthesisParams ref_params{};
   std::vector<oms::ms::Spectrum> references;
-  std::uint32_t id = 0;
-  for (const auto& pep : peptides) {
-    references.push_back(
-        oms::ms::synthesize_spectrum(pep, 2, ref_params, 13, id++));
+  std::uint32_t id = static_cast<std::uint32_t>(peptides.size());
+  if (index_in.empty()) {
+    id = 0;
+    for (const auto& pep : peptides) {
+      references.push_back(
+          oms::ms::synthesize_spectrum(pep, 2, ref_params, 13, id++));
+    }
   }
 
   // 3. "Run the instrument": noisy spectra of library peptides, 40% with
@@ -95,13 +109,32 @@ int main(int argc, char** argv) {
   cfg.backend_name = backend;
   oms::core::Pipeline pipeline(cfg);
   try {
-    pipeline.set_library(references);
-  } catch (const std::invalid_argument& e) {
-    // Typo'd --backend: the registry's message lists every valid name.
+    if (!index_in.empty()) {
+      auto idx = std::make_shared<oms::index::LibraryIndex>(
+          oms::index::LibraryIndex::open(index_in));
+      pipeline.set_library(idx);
+      std::printf("loaded index %s: %zu entries (%s), zero re-encoding "
+                  "(%zu reference encodes)\n",
+                  index_in.c_str(), idx->size(),
+                  idx->mapped() ? "mmap" : "in-memory",
+                  pipeline.reference_encode_count());
+    } else {
+      pipeline.set_library(references);
+    }
+  } catch (const std::exception& e) {
+    // Typo'd --backend (the registry's message lists every valid name),
+    // an unreadable/corrupt --index-in, or an index built under a
+    // different configuration.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   std::printf("search backend: %s\n", pipeline.backend_name().c_str());
+  if (!index_out.empty()) {
+    const auto st =
+        oms::index::IndexBuilder::write_from_pipeline(pipeline, index_out);
+    std::printf("persisted index %s: %zu entries, %zu bytes\n",
+                index_out.c_str(), st.entries, st.file_bytes);
+  }
 
   // Stream the instrument's output through the staged query engine — the
   // serving path a real deployment uses; bit-identical to pipeline.run.

@@ -5,6 +5,8 @@
 
 #include "core/query_engine.hpp"
 #include "hd/errors.hpp"
+#include "index/index_builder.hpp"
+#include "index/library_index.hpp"
 #include "util/thread_pool.hpp"
 
 namespace oms::core {
@@ -25,6 +27,10 @@ Pipeline::~Pipeline() = default;
 
 std::string Pipeline::backend_name() const {
   return cfg_.backend_name.empty() ? "ideal-hd" : cfg_.backend_name;
+}
+
+const ms::SpectralLibrary& Pipeline::library() const noexcept {
+  return index_ ? index_->library() : library_;
 }
 
 BackendStats Pipeline::backend_stats() const {
@@ -51,16 +57,10 @@ std::vector<util::BitVec> Pipeline::encode_spectra(
   const bool imc_encode = BackendRegistry::instance().imc_encoding(
       backend_name(), cfg_.backend_options);
 
+  reference_encodes_ += spectra.size();
   std::vector<util::BitVec> hvs;
   if (imc_encode) {
-    if (!imc_encoder_) {
-      imc_encoder_ = std::make_unique<accel::ImcEncoder>(
-          encoder_,
-          accel::ImcEncoderConfig{cfg_.backend_options.array,
-                                  accel::Fidelity::kStatistical,
-                                  cfg_.backend_options.calibration_samples,
-                                  cfg_.seed});
-    }
+    ensure_imc_encoder();
     // Materialize ID rows and calibrate sigmas up front, then encode in
     // parallel with per-spectrum keyed noise.
     std::vector<std::uint32_t> used;
@@ -92,9 +92,21 @@ std::vector<util::BitVec> Pipeline::encode_spectra(
   return hvs;
 }
 
+void Pipeline::ensure_imc_encoder() {
+  if (!imc_encoder_) {
+    imc_encoder_ = std::make_unique<accel::ImcEncoder>(
+        encoder_,
+        accel::ImcEncoderConfig{cfg_.backend_options.array,
+                                accel::Fidelity::kStatistical,
+                                cfg_.backend_options.calibration_samples,
+                                cfg_.seed});
+  }
+}
+
 void Pipeline::set_library(const std::vector<ms::Spectrum>& targets) {
   // Fail on a typo'd backend name before the (expensive) encoding work.
   BackendRegistry::instance().require(backend_name());
+  reference_encodes_ = 0;  // count this library build only
 
   std::vector<ms::BinnedSpectrum> entries =
       ms::preprocess_all(targets, cfg_.preprocess);
@@ -124,14 +136,53 @@ void Pipeline::set_library(const std::vector<ms::Spectrum>& targets) {
 
   // All search paths go through the registry — the pipeline never touches
   // a concrete engine type.
+  index_.reset();
+  ref_view_ = ref_hvs_;
   BackendOptions opts = cfg_.backend_options;
   opts.seed = cfg_.seed;
   backend_.reset();
-  backend_ = make_backend(backend_name(), ref_hvs_, opts);
+  backend_ = make_backend(backend_name(), ref_view_, opts);
+}
+
+void Pipeline::set_library(std::shared_ptr<const index::LibraryIndex> index) {
+  BackendRegistry::instance().require(backend_name());
+  if (!index) {
+    throw std::invalid_argument("Pipeline::set_library: null index");
+  }
+  if (!index->has_entries()) {
+    throw std::runtime_error(
+        "Pipeline::set_library: hypervector-only cache (no library "
+        "entries) — build a full index with index::IndexBuilder");
+  }
+  // Fail loudly on any configuration drift before a single query runs.
+  oms::index::validate_fingerprint(index->fingerprint(), cfg_);
+
+  // Adopt the artifact: entries and hypervectors come straight from the
+  // mapped file; nothing is preprocessed or encoded here (the counter
+  // reset keeps the zero-re-encoding contract observable after a warm
+  // replica switches to the artifact).
+  reference_encodes_ = 0;
+  library_ = ms::SpectralLibrary();
+  ref_hvs_.clear();
+  index_ = std::move(index);
+  ref_view_ = index_->hypervectors();
+
+  // Query-side encoding must still go through the IMC model when the
+  // backend's trait demands it (the references already did, per the
+  // fingerprint).
+  if (BackendRegistry::instance().imc_encoding(backend_name(),
+                                               cfg_.backend_options)) {
+    ensure_imc_encoder();
+  }
+
+  BackendOptions opts = cfg_.backend_options;
+  opts.seed = cfg_.seed;
+  backend_.reset();
+  backend_ = make_backend(backend_name(), ref_view_, opts);
 }
 
 PipelineResult Pipeline::run(const std::vector<ms::Spectrum>& queries) {
-  if (library_.empty() || !backend_) {
+  if (lib().empty() || !backend_) {
     throw std::logic_error("Pipeline::run: set_library() first");
   }
   // Thin wrapper over the streaming executor: submit everything, drain.

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,10 @@
 #include "ms/preprocess.hpp"
 #include "ms/spectrum.hpp"
 #include "ms/synthesizer.hpp"
+
+namespace oms::index {
+class LibraryIndex;  // persistent search artifact (index/library_index.hpp)
+}  // namespace oms::index
 
 namespace oms::core {
 
@@ -109,13 +114,28 @@ class Pipeline {
   /// search backend through the registry. Must be called before run().
   void set_library(const std::vector<ms::Spectrum>& targets);
 
-  [[nodiscard]] const ms::SpectralLibrary& library() const {
-    return library_;
-  }
-  /// Encoded reference hypervectors, aligned with library() order.
-  [[nodiscard]] const std::vector<util::BitVec>& reference_hvs()
+  /// Cold-start path: adopts a persistent index::LibraryIndex in place of
+  /// raw spectra. The library entries and reference hypervectors come
+  /// straight from the (typically mmap'd) artifact — zero encode calls —
+  /// and the search backend is built over the mapped word block. Throws
+  /// std::invalid_argument when the index's fingerprint does not match
+  /// this pipeline's preprocess/encoder/encoding configuration, and
+  /// std::runtime_error for hypervector-only caches (no entries). The
+  /// pipeline shares ownership, so the mapping outlives it.
+  void set_library(std::shared_ptr<const index::LibraryIndex> index);
+
+  /// The active library: owned (spectra path) or the index's (load path).
+  [[nodiscard]] const ms::SpectralLibrary& library() const noexcept;
+  /// Encoded reference hypervectors, aligned with library() order. On the
+  /// index load path these are zero-copy views into the mapped word block.
+  [[nodiscard]] std::span<const util::BitVec> reference_hvs()
       const noexcept {
-    return ref_hvs_;
+    return ref_view_;
+  }
+  /// Reference spectra encoded by this pipeline so far. Stays 0 on the
+  /// index load path — the zero-re-encoding cold-start contract.
+  [[nodiscard]] std::size_t reference_encode_count() const noexcept {
+    return reference_encodes_;
   }
   /// Accounting snapshot of the search backend (valid after set_library).
   [[nodiscard]] BackendStats backend_stats() const;
@@ -131,11 +151,22 @@ class Pipeline {
 
   [[nodiscard]] std::vector<util::BitVec> encode_spectra(
       const std::vector<ms::BinnedSpectrum>& spectra, std::uint64_t ber_salt);
+  /// Query-side IMC encoder when the backend's trait requires it.
+  void ensure_imc_encoder();
+  /// Alias for library() used by the engine internals.
+  [[nodiscard]] const ms::SpectralLibrary& lib() const noexcept {
+    return library();
+  }
 
   PipelineConfig cfg_;
   hd::Encoder encoder_;
-  ms::SpectralLibrary library_;
-  std::vector<util::BitVec> ref_hvs_;
+  ms::SpectralLibrary library_;             ///< Spectra-path storage.
+  std::vector<util::BitVec> ref_hvs_;       ///< Spectra-path storage.
+  /// Keep-alive for the load path: the mapped artifact must outlive the
+  /// backend reading its word block. Non-null ⇔ index-backed library.
+  std::shared_ptr<const index::LibraryIndex> index_;
+  std::span<const util::BitVec> ref_view_;      ///< Active hypervectors.
+  std::size_t reference_encodes_ = 0;
   std::unique_ptr<SearchBackend> backend_;
   std::unique_ptr<accel::ImcEncoder> imc_encoder_;
 };

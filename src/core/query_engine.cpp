@@ -54,7 +54,7 @@ struct QueryEngine::Impl {
         to_search(cfg.queue_blocks),
         to_rescore(cfg.queue_blocks),
         to_emit(cfg.queue_blocks) {
-    if (pipeline.library_.empty() || !pipeline.backend_) {
+    if (pipeline.lib().empty() || !pipeline.backend_) {
       throw std::logic_error("QueryEngine: Pipeline::set_library() first");
     }
     // Without an expected_queries promise nothing can ever clear the
@@ -325,7 +325,7 @@ struct QueryEngine::Impl {
 
       for (std::size_t m = 0; m < n_masses; ++m) {
         const auto [first, last] =
-            pipeline.library_.mass_window(masses[m], window);
+            pipeline.lib().mass_window(masses[m], window);
         if (first >= last) continue;
         block.searches.push_back(Query{&block.hvs[slot], first, last, q.id});
         block.interp.emplace_back(slot, masses[m]);
@@ -373,7 +373,7 @@ struct QueryEngine::Impl {
         // and keep the strongest.
         best_score = -1.0;
         for (const auto& h : hits[slot]) {
-          const ms::BinnedSpectrum& cand = pipeline.library_[h.reference_index];
+          const ms::BinnedSpectrum& cand = pipeline.lib()[h.reference_index];
           const double shift_da = matched_mass[slot] - cand.precursor_mass;
           const auto shift =
               static_cast<std::int64_t>(std::llround(shift_da / bin_width));
@@ -385,7 +385,7 @@ struct QueryEngine::Impl {
         }
       }
 
-      const ms::BinnedSpectrum& ref = pipeline.library_[best.reference_index];
+      const ms::BinnedSpectrum& ref = pipeline.lib()[best.reference_index];
       Emitted e;
       e.index = block.index[slot];
       e.psm.query_id = q.id;
@@ -512,8 +512,8 @@ PipelineResult QueryEngine::drain() {
   PipelineResult result;
   result.queries_in = impl_->submitted.load(std::memory_order_acquire);
   result.queries_searched = impl_->searched;
-  result.library_targets = impl_->pipeline.library_.target_count();
-  result.library_decoys = impl_->pipeline.library_.decoy_count();
+  result.library_targets = impl_->pipeline.lib().target_count();
+  result.library_decoys = impl_->pipeline.lib().decoy_count();
 
   // Blocks finish out of order; the assigned query index restores the
   // admission order the synchronous path emits in.

@@ -26,6 +26,11 @@
 //                                            (accel::ShardedSearch).
 //   * make_backend    — convenience wrapper over the registry.
 //
+// Reference libraries reach a backend as a span of util::BitVec — either
+// encoded in-process by core::Pipeline::set_library(spectra), or mapped
+// zero-copy from a persistent index::LibraryIndex (index/library_index.hpp),
+// whose word block backs every backend with no re-encoding on cold start.
+//
 // Registering a new backend (e.g. from a plugin or a future GPU/FPGA port):
 //
 //   class MyBackend final : public core::SearchBackend { ... };

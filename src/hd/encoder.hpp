@@ -23,6 +23,26 @@
 
 namespace oms::hd {
 
+/// Which encoding family produced a hypervector library. The ID-Level
+/// encoder is the paper's (and this pipeline's) default; the alternatives
+/// live in hd/alt_encoders.hpp and are compared in bench/ablation_encoding.
+/// Persisted libraries carry this in their fingerprint so a library encoded
+/// one way is never searched with queries encoded another.
+enum class EncoderKind : std::uint32_t {
+  kIdLevel = 0,
+  kPermutation = 1,
+  kRandomProjection = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(EncoderKind kind) noexcept {
+  switch (kind) {
+    case EncoderKind::kIdLevel: return "id-level";
+    case EncoderKind::kPermutation: return "permutation";
+    case EncoderKind::kRandomProjection: return "random-projection";
+  }
+  return "unknown";
+}
+
 struct EncoderConfig {
   std::uint32_t dim = 8192;        ///< Hypervector dimension D.
   std::uint32_t bins = 27981;      ///< Number of m/z bins (ID rows).

@@ -1,10 +1,19 @@
-// Binary serialization of encoded hypervector libraries. Encoding a
-// million-spectrum library dominates setup time; persisting the encoded
-// form lets a deployment encode once and search forever ("encode offline,
-// store in memory" is the paper's own data flow, §4). The format is a
-// small versioned header plus raw little-endian words, with the encoder
-// configuration embedded so a mismatched load fails loudly instead of
-// silently searching garbage.
+// Compat shim for persisting encoded hypervector libraries. These
+// functions predate the persistent index::LibraryIndex subsystem and now
+// write/read hypervector-only caches in the same single on-disk container
+// (src/index/format.hpp, magic "OMSXIDX1") — there is exactly one format,
+// and a file saved here opens with index::LibraryIndex (has_entries() ==
+// false) and with the `library_index inspect` tool.
+//
+// Prefer index::IndexBuilder / index::LibraryIndex for anything beyond a
+// bare hypervector cache: the full index also carries the spectra,
+// mass axis, and the complete pipeline fingerprint, and loads zero-copy
+// via mmap. This API copies every vector on load.
+//
+// The embedded fingerprint covers the encoder configuration *and* the
+// encoder kind (ID-Level vs the alternative encoders of
+// hd/alt_encoders.hpp), so a library encoded one way is never searched
+// with queries encoded another.
 #pragma once
 
 #include <cstdint>
@@ -19,21 +28,30 @@ namespace oms::hd {
 
 /// Writes hypervectors (all of dimension cfg.dim) with their encoder
 /// fingerprint. Throws std::invalid_argument on dimension mismatch.
+/// The stream must be seekable (files and stringstreams are): the
+/// container's section table is patched in after the payload streams out.
+/// Files saved by the pre-container "OMSH" format are no longer readable
+/// and fail with a targeted error — re-encode and re-save.
 void save_encoded_library(std::ostream& out, const EncoderConfig& cfg,
-                          std::span<const util::BitVec> hvs);
+                          std::span<const util::BitVec> hvs,
+                          EncoderKind kind = EncoderKind::kIdLevel);
 
 /// Loads a library saved by save_encoded_library. Throws
-/// std::runtime_error on format/version errors and std::invalid_argument
-/// if `expected` does not match the stored encoder fingerprint (dim,
-/// seed, precision, levels, chunks, bins).
+/// std::runtime_error on format/version/corruption errors and
+/// std::invalid_argument if `expected` (with `kind`) does not match the
+/// stored encoder fingerprint (dim, seed, precision, levels, chunks,
+/// bins, encoder kind).
 [[nodiscard]] std::vector<util::BitVec> load_encoded_library(
-    std::istream& in, const EncoderConfig& expected);
+    std::istream& in, const EncoderConfig& expected,
+    EncoderKind kind = EncoderKind::kIdLevel);
 
 /// File variants; throw std::runtime_error on IO failure.
 void save_encoded_library_file(const std::string& path,
                                const EncoderConfig& cfg,
-                               std::span<const util::BitVec> hvs);
+                               std::span<const util::BitVec> hvs,
+                               EncoderKind kind = EncoderKind::kIdLevel);
 [[nodiscard]] std::vector<util::BitVec> load_encoded_library_file(
-    const std::string& path, const EncoderConfig& expected);
+    const std::string& path, const EncoderConfig& expected,
+    EncoderKind kind = EncoderKind::kIdLevel);
 
 }  // namespace oms::hd

@@ -1,0 +1,187 @@
+#include "index/index_builder.hpp"
+
+#include <bit>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "index/writer.hpp"
+#include "util/rng.hpp"
+
+namespace oms::index {
+namespace {
+
+[[nodiscard]] std::uint64_t mix_double(std::uint64_t acc, double v) noexcept {
+  return util::hash_combine(acc, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Order-sensitive hash of the device model the IMC encoder calibrates
+/// against. Field-by-field (not raw struct bytes) so padding never leaks in.
+[[nodiscard]] std::uint64_t device_hash(const rram::ArrayConfig& a) noexcept {
+  std::uint64_t x = util::hash_combine(0x4445564943453031ULL,  // "DEVICE01"
+                                       a.rows, a.cols);
+  x = util::hash_combine(x, static_cast<std::uint64_t>(a.adc_bits));
+  x = mix_double(x, a.v_pulse);
+  x = mix_double(x, a.ir_alpha);
+  x = mix_double(x, a.sense_sigma);
+  x = mix_double(x, a.wire_sigma);
+  x = mix_double(x, a.read_time_s);
+  x = mix_double(x, a.read_disturb_us);
+  const rram::CellConfig& c = a.cell;
+  x = util::hash_combine(x, static_cast<std::uint64_t>(c.levels),
+                         static_cast<std::uint64_t>(c.write_verify_iterations));
+  x = mix_double(x, c.g_min_us);
+  x = mix_double(x, c.g_max_us);
+  x = mix_double(x, c.sigma_program_us);
+  x = mix_double(x, c.relax_sigma_us);
+  x = mix_double(x, c.relax_tau_s);
+  x = mix_double(x, c.drift_frac);
+  x = mix_double(x, c.mid_state_factor);
+  x = mix_double(x, c.tail_prob_per_ln);
+  x = mix_double(x, c.tail_sigma_us);
+  x = mix_double(x, c.common_mode_fraction);
+  x = mix_double(x, c.verify_tolerance_us);
+  return x;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+IndexFingerprint fingerprint_of(const core::PipelineConfig& cfg) {
+  IndexFingerprint fp;
+  const ms::PreprocessConfig& p = cfg.preprocess;
+  fp.pre_min_mz = p.min_mz;
+  fp.pre_max_mz = p.max_mz;
+  fp.pre_bin_width = p.bin_width;
+  fp.pre_precursor_window = p.precursor_window;
+  fp.pre_min_intensity_ratio = p.min_intensity_ratio;
+  fp.pre_max_peaks = static_cast<std::uint32_t>(p.max_peaks);
+  fp.pre_min_peaks = static_cast<std::uint32_t>(p.min_peaks);
+  fp.pre_sqrt_intensity = p.sqrt_intensity ? 1 : 0;
+  fp.pre_remove_precursor = p.remove_precursor ? 1 : 0;
+
+  const hd::EncoderConfig& e = cfg.encoder;
+  fp.enc_dim = e.dim;
+  fp.enc_bins = e.bins;
+  fp.enc_levels = e.levels;
+  fp.enc_chunks = e.chunks;
+  fp.enc_id_precision = static_cast<std::uint32_t>(e.id_precision);
+  fp.enc_kind = static_cast<std::uint32_t>(hd::EncoderKind::kIdLevel);
+  fp.enc_seed = e.seed;
+
+  const std::string backend =
+      cfg.backend_name.empty() ? "ideal-hd" : cfg.backend_name;
+  const bool imc = core::BackendRegistry::instance().imc_encoding(
+      backend, cfg.backend_options);
+  fp.imc_encoding = imc ? 1 : 0;
+  fp.add_decoys = cfg.add_decoys ? 1 : 0;
+  fp.pipeline_seed = cfg.seed;
+  fp.injected_ber = cfg.injected_ber;
+  if (imc) {
+    fp.calibration_samples = cfg.backend_options.calibration_samples;
+    fp.device_hash = device_hash(cfg.backend_options.array);
+  }
+  return fp;
+}
+
+void validate_fingerprint(const IndexFingerprint& fp,
+                          const core::PipelineConfig& cfg) {
+  const IndexFingerprint want = fingerprint_of(cfg);
+  if (fp == want) return;
+
+  std::string fields;
+  const auto differs = [&fields](bool mismatch, const char* name) {
+    if (mismatch) {
+      if (!fields.empty()) fields += ", ";
+      fields += name;
+    }
+  };
+  differs(fp.pre_min_mz != want.pre_min_mz ||
+              fp.pre_max_mz != want.pre_max_mz ||
+              fp.pre_bin_width != want.pre_bin_width ||
+              fp.pre_precursor_window != want.pre_precursor_window ||
+              fp.pre_min_intensity_ratio != want.pre_min_intensity_ratio ||
+              fp.pre_max_peaks != want.pre_max_peaks ||
+              fp.pre_min_peaks != want.pre_min_peaks ||
+              fp.pre_sqrt_intensity != want.pre_sqrt_intensity ||
+              fp.pre_remove_precursor != want.pre_remove_precursor,
+          "preprocess");
+  differs(fp.enc_dim != want.enc_dim, "encoder.dim");
+  differs(fp.enc_bins != want.enc_bins, "encoder.bins");
+  differs(fp.enc_levels != want.enc_levels, "encoder.levels");
+  differs(fp.enc_chunks != want.enc_chunks, "encoder.chunks");
+  differs(fp.enc_id_precision != want.enc_id_precision,
+          "encoder.id_precision");
+  differs(fp.enc_kind != want.enc_kind, "encoder.kind");
+  differs(fp.enc_seed != want.enc_seed, "encoder.seed");
+  differs(fp.imc_encoding != want.imc_encoding, "imc_encoding");
+  differs(fp.add_decoys != want.add_decoys, "add_decoys");
+  differs(fp.pipeline_seed != want.pipeline_seed, "seed");
+  differs(fp.injected_ber != want.injected_ber, "injected_ber");
+  differs(fp.calibration_samples != want.calibration_samples,
+          "calibration_samples");
+  differs(fp.device_hash != want.device_hash, "device model");
+  if (fields.empty()) fields = "reserved fields";
+  throw std::invalid_argument(
+      "library index fingerprint mismatch (" + fields +
+      ") — this artifact was built under a different configuration; "
+      "rebuild it or adjust the pipeline to match");
+}
+
+IndexBuilder::IndexBuilder(const core::PipelineConfig& cfg) : cfg_(cfg) {}
+
+BuildStats IndexBuilder::build(const std::vector<ms::Spectrum>& targets,
+                               const std::string& path) const {
+  // The stored bytes depend on the backend only through its encoding
+  // trait, so build through the cheapest backend of the right trait — a
+  // caller configured for "rram-circuit" should not program crossbar
+  // tiles just to persist the library.
+  core::PipelineConfig build_cfg = cfg_;
+  const std::string backend =
+      cfg_.backend_name.empty() ? "ideal-hd" : cfg_.backend_name;
+  const bool imc = core::BackendRegistry::instance().imc_encoding(
+      backend, cfg_.backend_options);
+  build_cfg.backend_name = imc ? "rram-statistical" : "ideal-hd";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  core::Pipeline pipeline(build_cfg);
+  pipeline.set_library(targets);
+  BuildStats stats;
+  stats.encode_seconds = seconds_since(t0);
+  stats.targets_in = targets.size();
+  stats.entries = pipeline.library().size();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  // Fingerprint with the *caller's* configuration: same trait, and the
+  // loaded artifact must validate against what the caller will run.
+  write_index_file(path, pipeline.library(), pipeline.reference_hvs(),
+                   fingerprint_of(cfg_));
+  stats.write_seconds = seconds_since(t1);
+  stats.file_bytes =
+      static_cast<std::size_t>(std::filesystem::file_size(path));
+  return stats;
+}
+
+BuildStats IndexBuilder::write_from_pipeline(const core::Pipeline& pipeline,
+                                             const std::string& path) {
+  if (pipeline.library().empty()) {
+    throw std::logic_error(
+        "IndexBuilder::write_from_pipeline: set_library() first");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  write_index_file(path, pipeline.library(), pipeline.reference_hvs(),
+                   fingerprint_of(pipeline.config()));
+  BuildStats stats;
+  stats.entries = pipeline.library().size();
+  stats.write_seconds = seconds_since(t0);
+  stats.file_bytes =
+      static_cast<std::size_t>(std::filesystem::file_size(path));
+  return stats;
+}
+
+}  // namespace oms::index

@@ -1,0 +1,121 @@
+// Implementation of the hd/serialize.hpp compat API on top of the
+// LibraryIndex container: saves write a hypervector-only cache
+// (index::write_hv_cache), loads parse the container through
+// index::LibraryIndex and copy the vectors out. Lives in the index layer
+// so hd/ keeps no on-disk format of its own.
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "hd/serialize.hpp"
+#include "index/format.hpp"
+#include "index/library_index.hpp"
+#include "index/writer.hpp"
+
+namespace oms::hd {
+namespace {
+
+[[nodiscard]] index::IndexFingerprint encoder_fingerprint(
+    const EncoderConfig& cfg, EncoderKind kind) {
+  index::IndexFingerprint fp;
+  fp.enc_dim = cfg.dim;
+  fp.enc_bins = cfg.bins;
+  fp.enc_levels = cfg.levels;
+  fp.enc_chunks = cfg.chunks;
+  fp.enc_id_precision = static_cast<std::uint32_t>(cfg.id_precision);
+  fp.enc_kind = static_cast<std::uint32_t>(kind);
+  fp.enc_seed = cfg.seed;
+  return fp;
+}
+
+void check_encoder_fingerprint(const index::IndexFingerprint& stored,
+                               const EncoderConfig& expected,
+                               EncoderKind kind) {
+  const index::IndexFingerprint want = encoder_fingerprint(expected, kind);
+  if (stored.enc_dim != want.enc_dim || stored.enc_bins != want.enc_bins ||
+      stored.enc_levels != want.enc_levels ||
+      stored.enc_chunks != want.enc_chunks ||
+      stored.enc_id_precision != want.enc_id_precision ||
+      stored.enc_seed != want.enc_seed) {
+    throw std::invalid_argument(
+        "encoded library: encoder fingerprint mismatch — re-encode the "
+        "library with this configuration");
+  }
+  if (stored.enc_kind != want.enc_kind) {
+    throw std::invalid_argument(
+        std::string("encoded library: encoder kind mismatch — stored ") +
+        to_string(static_cast<EncoderKind>(stored.enc_kind)) +
+        ", expected " + to_string(kind));
+  }
+}
+
+}  // namespace
+
+void save_encoded_library(std::ostream& out, const EncoderConfig& cfg,
+                          std::span<const util::BitVec> hvs,
+                          EncoderKind kind) {
+  // Dimension mismatches against cfg.dim are rejected inside the writer.
+  index::write_hv_cache(out, hvs, encoder_fingerprint(cfg, kind));
+}
+
+std::vector<util::BitVec> load_encoded_library(std::istream& in,
+                                               const EncoderConfig& expected,
+                                               EncoderKind kind) {
+  // Consume exactly one container and leave the stream positioned after
+  // it (libraries saved back-to-back load sequentially): peek the header
+  // for the recorded container size, then read just that many bytes. A
+  // header that is short or not ours goes to the parser as-is for the
+  // canonical error message.
+  index::FileHeader header;
+  in.read(reinterpret_cast<char*>(&header), sizeof header);
+  const auto got = static_cast<std::size_t>(in.gcount());
+  // Caches written by the pre-container "OMSH" format (v1 of this API)
+  // deserve a targeted message, not a generic bad-magic error.
+  constexpr std::uint32_t kLegacyMagic = 0x4f4d5348;  // "OMSH"
+  std::uint32_t first_word = 0;
+  if (got >= sizeof first_word) {
+    std::memcpy(&first_word, &header, sizeof first_word);
+  }
+  if (first_word == kLegacyMagic) {
+    throw std::runtime_error(
+        "encoded library: legacy OMSH cache format — this release stores "
+        "caches in the LibraryIndex container; re-encode and re-save the "
+        "library");
+  }
+  const bool framed = got == sizeof header && header.magic == index::kMagic &&
+                      header.endian == index::kEndianTag;
+  util::MappedFile image =
+      framed ? util::MappedFile::from_stream(
+                   in, static_cast<std::size_t>(header.file_size), &header,
+                   sizeof header)
+             : util::MappedFile::from_bytes(&header, got);
+  const index::LibraryIndex idx =
+      index::LibraryIndex::from_image(std::move(image));
+  check_encoder_fingerprint(idx.fingerprint(), expected, kind);
+  return index::load_hypervectors_owned(idx);
+}
+
+void save_encoded_library_file(const std::string& path,
+                               const EncoderConfig& cfg,
+                               std::span<const util::BitVec> hvs,
+                               EncoderKind kind) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write: " + path);
+  save_encoded_library(out, cfg, hvs, kind);
+}
+
+std::vector<util::BitVec> load_encoded_library_file(
+    const std::string& path, const EncoderConfig& expected,
+    EncoderKind kind) {
+  // Straight into the aligned buffer — no stream indirection.
+  const index::LibraryIndex idx =
+      index::LibraryIndex::from_image(util::MappedFile::read(path));
+  check_encoder_fingerprint(idx.fingerprint(), expected, kind);
+  return index::load_hypervectors_owned(idx);
+}
+
+}  // namespace oms::hd

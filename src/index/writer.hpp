@@ -1,0 +1,40 @@
+// Streaming writer for the LibraryIndex container. Sections are written
+// sequentially with a running FNV-1a checksum (the hypervector word block
+// streams one vector at a time, so a million-spectrum library never needs
+// a second in-memory copy); the section table is patched in afterwards via
+// one seek. Shared by index::IndexBuilder (full library indexes) and the
+// hd/serialize compat layer (hypervector-only caches).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "index/format.hpp"
+#include "ms/library.hpp"
+#include "util/bitvec.hpp"
+
+namespace oms::index {
+
+/// Writes a full library index: `library` entries (mass-sorted order) and
+/// their encoded hypervectors `hvs` (aligned, hvs[i] ↔ library[i], all of
+/// dimension fingerprint.enc_dim). The stream must be seekable (files and
+/// stringstreams are). Throws std::invalid_argument on size/dimension
+/// mismatches and std::runtime_error on IO failure.
+void write_index(std::ostream& out, const ms::SpectralLibrary& library,
+                 std::span<const util::BitVec> hvs,
+                 const IndexFingerprint& fingerprint);
+
+/// Writes a hypervector-only cache (no entries; kFlagHasEntries clear) —
+/// the on-disk form behind hd::save_encoded_library.
+void write_hv_cache(std::ostream& out, std::span<const util::BitVec> hvs,
+                    const IndexFingerprint& fingerprint);
+
+/// File variant of write_index; throws std::runtime_error when `path`
+/// cannot be created.
+void write_index_file(const std::string& path,
+                      const ms::SpectralLibrary& library,
+                      std::span<const util::BitVec> hvs,
+                      const IndexFingerprint& fingerprint);
+
+}  // namespace oms::index

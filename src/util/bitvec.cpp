@@ -1,28 +1,46 @@
 #include "util/bitvec.hpp"
 
+#include <cstring>
+
 namespace oms::util {
+
+void BitVec::ensure_owned() {
+  if (!ext_) return;
+  storage_.assign(ext_, ext_ + word_count());
+  ext_ = nullptr;
+}
+
+bool BitVec::operator==(const BitVec& other) const noexcept {
+  if (bits_ != other.bits_) return false;
+  const std::size_t n = word_count();
+  if (n != other.word_count()) return false;
+  return n == 0 ||
+         std::memcmp(data(), other.data(), n * sizeof(std::uint64_t)) == 0;
+}
 
 std::size_t BitVec::popcount() const noexcept {
   std::size_t total = 0;
-  for (const std::uint64_t w : words_) total += std::popcount(w);
+  for (const std::uint64_t w : words()) total += std::popcount(w);
   return total;
 }
 
 void BitVec::clear_tail() noexcept {
   const std::size_t tail = bits_ & 63;
-  if (tail != 0 && !words_.empty()) {
-    words_.back() &= (1ULL << tail) - 1;
+  if (tail != 0 && !storage_.empty()) {
+    storage_.back() &= (1ULL << tail) - 1;
   }
 }
 
 void BitVec::randomize(std::uint64_t seed) {
+  ensure_owned();
   SplitMix64 sm(seed);
-  for (auto& w : words_) w = sm.next();
+  for (auto& w : storage_) w = sm.next();
   clear_tail();
 }
 
 void BitVec::inject_errors(double ber, Xoshiro256& rng) {
   if (ber <= 0.0) return;
+  ensure_owned();
   // For small error rates, drawing the number of flips per word from the
   // per-bit Bernoulli directly is fine at these sizes (D ≤ 32k).
   for (std::size_t i = 0; i < bits_; ++i) {

@@ -2,6 +2,19 @@
 // search. A binary hypervector of dimension D is stored as ceil(D/64)
 // uint64 words; bit value 1 encodes hypervector component +1 and bit value 0
 // encodes component -1 (the bipolar convention used throughout the paper).
+//
+// Two storage modes share one type:
+//  * owning  — the words live in an internal vector (the default; what
+//    every encoder produces);
+//  * view    — the words live in externally owned, read-only memory (an
+//    mmap'd index::LibraryIndex word block). Views are zero-copy: copying a
+//    view copies 3 pointers, never the words. Read access is identical in
+//    both modes; calling any mutating member on a view first detaches it
+//    into owned storage (copy-on-write), so a view can never scribble on
+//    the mapped file.
+//
+// ConstBitVec is the raw read-only companion: a trivially copyable
+// (words, bits) pair for code that walks a mapped word block directly.
 #pragma once
 
 #include <bit>
@@ -19,33 +32,58 @@ class BitVec {
  public:
   BitVec() = default;
 
-  /// Creates an all-zero (all -1 in bipolar terms) vector of `bits` bits.
+  /// Creates an all-zero (all -1 in bipolar terms) owning vector of `bits`
+  /// bits.
   explicit BitVec(std::size_t bits)
-      : bits_(bits), words_((bits + 63) / 64, 0) {}
+      : bits_(bits), storage_((bits + 63) / 64, 0) {}
+
+  /// Non-owning read-only view over `(bits + 63) / 64` externally owned
+  /// words (e.g. one hypervector inside a mapped index word block). The
+  /// words must outlive every copy of the view; tail bits beyond `bits`
+  /// must be zero (the serialized format guarantees this).
+  [[nodiscard]] static BitVec view(const std::uint64_t* words,
+                                   std::size_t bits) noexcept {
+    BitVec v;
+    v.bits_ = bits;
+    v.ext_ = words;
+    return v;
+  }
+
+  /// True when this vector aliases external memory instead of owning its
+  /// words. Mutating members detach first, so views stay read-only.
+  [[nodiscard]] bool is_view() const noexcept { return ext_ != nullptr; }
 
   [[nodiscard]] std::size_t size() const noexcept { return bits_; }
   [[nodiscard]] std::size_t word_count() const noexcept {
-    return words_.size();
+    return ext_ ? (bits_ + 63) / 64 : storage_.size();
   }
   [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
-    return words_;
+    return {data(), word_count()};
   }
-  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
+  /// Mutable word access; detaches a view into owned storage first.
+  [[nodiscard]] std::span<std::uint64_t> words() {
+    ensure_owned();
+    return storage_;
+  }
 
   [[nodiscard]] bool get(std::size_t i) const noexcept {
-    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+    return (data()[i >> 6] >> (i & 63)) & 1ULL;
   }
 
-  void set(std::size_t i, bool v) noexcept {
+  void set(std::size_t i, bool v) {
+    ensure_owned();
     const std::uint64_t mask = 1ULL << (i & 63);
     if (v) {
-      words_[i >> 6] |= mask;
+      storage_[i >> 6] |= mask;
     } else {
-      words_[i >> 6] &= ~mask;
+      storage_[i >> 6] &= ~mask;
     }
   }
 
-  void flip(std::size_t i) noexcept { words_[i >> 6] ^= 1ULL << (i & 63); }
+  void flip(std::size_t i) {
+    ensure_owned();
+    storage_[i >> 6] ^= 1ULL << (i & 63);
+  }
 
   /// Bipolar value of component i: +1 or -1.
   [[nodiscard]] int sign(std::size_t i) const noexcept {
@@ -63,15 +101,55 @@ class BitVec {
   /// injection used by the robustness experiments, Fig. 11).
   void inject_errors(double ber, Xoshiro256& rng);
 
-  [[nodiscard]] bool operator==(const BitVec& other) const noexcept {
-    return bits_ == other.bits_ && words_ == other.words_;
-  }
+  [[nodiscard]] bool operator==(const BitVec& other) const noexcept;
 
  private:
+  [[nodiscard]] const std::uint64_t* data() const noexcept {
+    return ext_ ? ext_ : storage_.data();
+  }
+  void ensure_owned();
   void clear_tail() noexcept;
 
   std::size_t bits_ = 0;
-  std::vector<std::uint64_t> words_;
+  /// Non-null → view mode over (bits_ + 63) / 64 external words.
+  const std::uint64_t* ext_ = nullptr;
+  std::vector<std::uint64_t> storage_;
+};
+
+/// Trivially copyable read-only bit-vector view: a (words, bits) pair over
+/// externally owned memory. The minimal vocabulary for walking a mapped
+/// hypervector word block without constructing BitVec objects; convert
+/// with as_bitvec() where the BitVec-based kernels are needed.
+class ConstBitVec {
+ public:
+  constexpr ConstBitVec() = default;
+  constexpr ConstBitVec(const std::uint64_t* words, std::size_t bits) noexcept
+      : words_(words), bits_(bits) {}
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] constexpr std::size_t word_count() const noexcept {
+    return (bits_ + 63) / 64;
+  }
+  [[nodiscard]] constexpr std::span<const std::uint64_t> words()
+      const noexcept {
+    return {words_, word_count()};
+  }
+  [[nodiscard]] bool get(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  [[nodiscard]] std::size_t popcount() const noexcept {
+    std::size_t total = 0;
+    for (const std::uint64_t w : words()) total += std::popcount(w);
+    return total;
+  }
+  /// Zero-copy BitVec view over the same words.
+  [[nodiscard]] BitVec as_bitvec() const noexcept {
+    return BitVec::view(words_, bits_);
+  }
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t bits_ = 0;
 };
 
 /// Hamming distance (# of differing components) between equally sized

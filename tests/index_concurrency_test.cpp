@@ -1,0 +1,114 @@
+// Concurrent readers over one mapped LibraryIndex. The artifact is
+// immutable after open(), so any number of pipelines/threads may share a
+// single mapping: each thread builds its own backend over the shared word
+// block and searches independently; results are bit-identical to a
+// sequential baseline. Runs under the CI ThreadSanitizer job (`ctest -L
+// tsan`) alongside the query-engine suites.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/query_engine.hpp"
+#include "index/index_builder.hpp"
+#include "index/library_index.hpp"
+#include "ms/synthetic.hpp"
+
+namespace {
+
+using namespace oms;
+
+core::PipelineConfig test_config() {
+  core::PipelineConfig cfg;
+  cfg.encoder.dim = 1024;
+  cfg.encoder.bins = cfg.preprocess.bin_count();
+  cfg.encoder.chunks = 64;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(IndexConcurrency, ManyPipelinesShareOneMappedIndex) {
+  ms::WorkloadConfig data_cfg;
+  data_cfg.reference_count = 150;
+  data_cfg.query_count = 30;
+  data_cfg.seed = 17;
+  const auto workload = ms::generate_workload(data_cfg);
+  const auto cfg = test_config();
+
+  const std::string path = testing::TempDir() + "concurrent.omsx";
+  index::IndexBuilder(cfg).build(workload.references, path);
+  auto idx = std::make_shared<index::LibraryIndex>(
+      index::LibraryIndex::open(path));
+
+  // Sequential baseline off the same mapping.
+  core::Pipeline baseline(cfg);
+  baseline.set_library(idx);
+  const auto want = baseline.run(workload.queries);
+
+  constexpr std::size_t kReaders = 4;
+  std::vector<core::PipelineResult> results(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      // Each reader: its own pipeline + engine over the shared mapping
+      // (the per-reader state), with interleaved streaming submission.
+      core::Pipeline pipeline(cfg);
+      pipeline.set_library(idx);
+      core::QueryEngineConfig ecfg;
+      ecfg.block_size = 5 + t;
+      ecfg.stage_threads = 2;
+      core::QueryEngine engine(pipeline, ecfg);
+      engine.submit_batch(workload.queries);
+      results[t] = engine.drain();
+    });
+  }
+  for (auto& r : readers) r.join();
+
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    SCOPED_TRACE("reader " + std::to_string(t));
+    ASSERT_EQ(results[t].psms.size(), want.psms.size());
+    for (std::size_t i = 0; i < want.psms.size(); ++i) {
+      EXPECT_EQ(results[t].psms[i].query_id, want.psms[i].query_id);
+      EXPECT_EQ(results[t].psms[i].score, want.psms[i].score);
+      EXPECT_EQ(results[t].psms[i].reference_index,
+                want.psms[i].reference_index);
+    }
+    EXPECT_EQ(results[t].identification_set(), want.identification_set());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexConcurrency, ConcurrentOpensOfOneFile) {
+  ms::WorkloadConfig data_cfg;
+  data_cfg.reference_count = 80;
+  data_cfg.query_count = 0;
+  data_cfg.seed = 19;
+  const auto workload = ms::generate_workload(data_cfg);
+  const auto cfg = test_config();
+
+  const std::string path = testing::TempDir() + "concurrent_open.omsx";
+  index::IndexBuilder(cfg).build(workload.references, path);
+
+  constexpr std::size_t kOpeners = 4;
+  std::vector<std::size_t> sizes(kOpeners, 0);
+  std::vector<std::thread> openers;
+  openers.reserve(kOpeners);
+  for (std::size_t t = 0; t < kOpeners; ++t) {
+    openers.emplace_back([&, t] {
+      // Independent mappings of the same artifact, verified in parallel.
+      const auto idx = index::LibraryIndex::open(path);
+      idx.verify_deep();
+      sizes[t] = idx.size();
+    });
+  }
+  for (auto& o : openers) o.join();
+  for (const std::size_t s : sizes) EXPECT_EQ(s, 160U);
+  std::remove(path.c_str());
+}
+
+}  // namespace
