@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "accel/perf_model.hpp"
 #include "core/pipeline.hpp"
 #include "ms/synthetic.hpp"
 #include "util/cli.hpp"
@@ -52,6 +53,25 @@ inline core::PipelineConfig paper_pipeline_config(std::uint32_t dim = 8192) {
 inline void print_header(const std::string& title, const std::string& paper) {
   std::printf("=== %s ===\n", title.c_str());
   std::printf("Reproduces: %s\n\n", paper.c_str());
+}
+
+/// PerfWorkload describing a *measured* bench run, for
+/// accel::PerfModel::from_measured: the real query/reference counts and
+/// encoder chunking drive the analytic encode-phase term, while the
+/// search-phase and shard-entry counts come from BackendStats (the
+/// candidate fraction is ignored on the measured path).
+inline accel::PerfWorkload measured_workload(const std::string& name,
+                                             std::size_t queries,
+                                             std::size_t references,
+                                             std::uint32_t dim,
+                                             std::uint32_t chunks) {
+  accel::PerfWorkload wl;
+  wl.name = name;
+  wl.n_queries = queries;
+  wl.n_references = references;
+  wl.dim = dim;
+  wl.chunks = chunks;
+  return wl;
 }
 
 /// One-line substrate accounting after a run: activation phases, shard

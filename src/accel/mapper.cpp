@@ -1,5 +1,6 @@
 #include "accel/mapper.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -68,6 +69,19 @@ double query_energy_j(const MappingPlan& plan, std::size_t candidates,
       2.0 * static_cast<double>(plan.activated_pairs) * e_cell_read_j +
       e_adc_j;
   return phases * per_phase;
+}
+
+double shard_entry_latency_s(std::uint64_t shard_entries, std::size_t shards,
+                             double t_shard_entry_s) {
+  if (shard_entries == 0) return 0.0;
+  const std::uint64_t chips = std::max<std::uint64_t>(1, shards);
+  const std::uint64_t longest_chain = (shard_entries + chips - 1) / chips;
+  return static_cast<double>(longest_chain) * t_shard_entry_s;
+}
+
+double shard_entry_energy_j(std::uint64_t shard_entries,
+                            double e_shard_entry_j) {
+  return static_cast<double>(shard_entries) * e_shard_entry_j;
 }
 
 }  // namespace oms::accel

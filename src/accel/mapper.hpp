@@ -51,4 +51,19 @@ struct MappingPlan {
                                     std::size_t candidates,
                                     double e_cell_read_j, double e_adc_j);
 
+/// Wall-clock overhead of `shard_entries` query-block shipments (block
+/// DMA into a chip + per-query top-k merge back) when they spread across
+/// `shards` chips entering in parallel: the longest per-chip chain is
+/// ceil(entries / shards) sequential entries. This is the latency term
+/// the measured perf-model path charges per BackendStats::shard_entries.
+[[nodiscard]] double shard_entry_latency_s(std::uint64_t shard_entries,
+                                           std::size_t shards,
+                                           double t_shard_entry_s);
+
+/// Energy of `shard_entries` query-block shipments — every entry pays the
+/// interconnect + merge cost regardless of how the entries overlap in
+/// time.
+[[nodiscard]] double shard_entry_energy_j(std::uint64_t shard_entries,
+                                          double e_shard_entry_j);
+
 }  // namespace oms::accel

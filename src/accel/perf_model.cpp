@@ -1,13 +1,38 @@
 #include "accel/perf_model.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "accel/mapper.hpp"
+#include "core/search_backend.hpp"
 
 namespace oms::accel {
 
 PerfModel::PerfModel(const PerfWorkload& workload, const RramPerfConfig& hw)
     : workload_(workload), hw_(hw) {}
 
+PerfModel PerfModel::from_measured(const MeasuredCounters& counters,
+                                   const PerfWorkload& workload,
+                                   const RramPerfConfig& hw) {
+  PerfModel model(workload, hw);
+  model.measured_ = counters;
+  model.measured_->shards = std::max<std::size_t>(1, counters.shards);
+  return model;
+}
+
+PerfModel PerfModel::from_measured(const core::BackendStats& stats,
+                                   const PerfWorkload& workload,
+                                   const RramPerfConfig& hw) {
+  MeasuredCounters counters;
+  counters.search_phases = stats.phases_executed;
+  counters.shard_entries = stats.shard_entries;
+  counters.query_blocks = stats.query_blocks;
+  counters.shards = stats.shards;
+  return from_measured(counters, workload, hw);
+}
+
 std::uint64_t PerfModel::search_phases() const {
+  if (measured_) return measured_->search_phases;
   const auto candidates = static_cast<double>(workload_.n_queries) *
                           workload_.candidate_fraction *
                           static_cast<double>(workload_.n_references);
@@ -15,6 +40,14 @@ std::uint64_t PerfModel::search_phases() const {
       std::ceil(static_cast<double>(workload_.dim) /
                 static_cast<double>(hw_.activated_pairs));
   return static_cast<std::uint64_t>(candidates * phases_per_candidate);
+}
+
+std::uint64_t PerfModel::search_phase_count() const { return search_phases(); }
+
+std::uint64_t PerfModel::charged_entry_count() const {
+  if (!measured_) return 0;
+  return measured_->shard_entries > 0 ? measured_->shard_entries
+                                      : measured_->query_blocks;
 }
 
 std::uint64_t PerfModel::encode_phases() const {
@@ -32,7 +65,14 @@ double PerfModel::this_work_time_s() const {
   // Encoding parallelizes across arrays (one spectrum per array).
   const double t_encode = static_cast<double>(encode_phases()) /
                           static_cast<double>(hw_.arrays) * hw_.cycle_s;
-  return t_search + t_encode;
+  // Measured runs charge each chip entry (per-(block, shard) shipments,
+  // or one per block on a monolithic chip); the entries spread across
+  // chips entering in parallel (mapper.hpp).
+  const double t_entries =
+      measured_ ? shard_entry_latency_s(charged_entry_count(),
+                                        measured_->shards, hw_.t_shard_entry_s)
+                : 0.0;
+  return t_search + t_encode + t_entries;
 }
 
 double PerfModel::this_work_energy_j() const {
@@ -41,7 +81,11 @@ double PerfModel::this_work_energy_j() const {
       hw_.e_adc_j;
   const double e_dynamic =
       static_cast<double>(search_phases() + encode_phases()) * e_phase_col;
-  return e_dynamic + hw_.p_static_w * this_work_time_s();
+  const double e_entries =
+      measured_ ? shard_entry_energy_j(charged_entry_count(),
+                                       hw_.e_shard_entry_j)
+                : 0.0;
+  return e_dynamic + e_entries + hw_.p_static_w * this_work_time_s();
 }
 
 std::vector<BaselineModel> PerfModel::default_baselines() {

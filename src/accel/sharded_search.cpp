@@ -3,11 +3,99 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace oms::accel {
+
+namespace {
+
+/// Bounded k-way merge of per-shard top-k lists into `out`. Every input
+/// list is already sorted by (dot desc, reference_index asc) and the lists
+/// arrive in shard order, i.e. ascending disjoint global index ranges —
+/// so the strictly-better comparison below keeps the "equal scores order
+/// by lower reference index" contract (the earlier list wins ties).
+/// O(S·k) with S intersecting shards, replacing the old
+/// sort-the-concatenation O(S·k·log(S·k)).
+void merge_top_k(std::span<const std::vector<hd::SearchHit>* const> lists,
+                 std::size_t k, std::vector<hd::SearchHit>& out) {
+  out.clear();
+  if (lists.empty() || k == 0) return;
+  if (lists.size() == 1) {
+    const auto& only = *lists.front();
+    out.assign(only.begin(), only.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     std::min(k, only.size())));
+    return;
+  }
+  std::vector<std::size_t> pos(lists.size(), 0);
+  out.reserve(k);
+  while (out.size() < k) {
+    std::size_t best = lists.size();
+    for (std::size_t l = 0; l < lists.size(); ++l) {
+      if (pos[l] >= lists[l]->size()) continue;
+      if (best == lists.size()) {
+        best = l;
+        continue;
+      }
+      const hd::SearchHit& a = (*lists[l])[pos[l]];
+      const hd::SearchHit& b = (*lists[best])[pos[best]];
+      if (a.dot > b.dot ||
+          (a.dot == b.dot && a.reference_index < b.reference_index)) {
+        best = l;
+      }
+    }
+    if (best == lists.size()) break;  // every list exhausted
+    out.push_back((*lists[best])[pos[best]++]);
+  }
+}
+
+/// Gathers per-shard values and weights, then defers to the one
+/// phase_weighted_mean implementation (the same function the aggregation
+/// tests pin down).
+template <typename Get>
+double weighted_over_shards(
+    const std::vector<std::unique_ptr<ImcSearchEngine>>& shards, Get get,
+    double empty_value) {
+  std::vector<double> values;
+  std::vector<std::uint64_t> phases;
+  std::vector<std::size_t> refs;
+  values.reserve(shards.size());
+  phases.reserve(shards.size());
+  refs.reserve(shards.size());
+  for (const auto& s : shards) {
+    values.push_back(get(*s));
+    phases.push_back(s->phases_executed());
+    refs.push_back(s->reference_count());
+  }
+  return phase_weighted_mean(values, phases, refs, empty_value);
+}
+
+}  // namespace
+
+double phase_weighted_mean(std::span<const double> values,
+                           std::span<const std::uint64_t> phase_weights,
+                           std::span<const std::size_t> fallback_weights,
+                           double empty_value) {
+  if (values.empty()) return empty_value;
+  std::uint64_t total_phases = 0;
+  for (const std::uint64_t w : phase_weights) total_phases += w;
+  double acc = 0.0;
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double w = total_phases > 0
+                         ? static_cast<double>(phase_weights[i])
+                         : static_cast<double>(fallback_weights[i]);
+    acc += w * values[i];
+    wsum += w;
+  }
+  return wsum > 0.0 ? acc / wsum : empty_value;
+}
 
 ShardedSearch::ShardedSearch(std::span<const util::BitVec> references,
                              const ShardedSearchConfig& cfg)
-    : refs_(references) {
+    : refs_(references),
+      parallel_shards_(cfg.parallel_shards),
+      pool_(cfg.pool) {
   if (references.empty()) {
     throw std::invalid_argument("ShardedSearch: empty reference set");
   }
@@ -41,6 +129,10 @@ ShardedSearch::ShardedSearch(std::span<const util::BitVec> references,
   }
 }
 
+util::ThreadPool& ShardedSearch::task_pool() const {
+  return pool_ != nullptr ? *pool_ : util::ThreadPool::global();
+}
+
 std::vector<hd::SearchHit> ShardedSearch::top_k(const util::BitVec& query,
                                                 std::size_t first,
                                                 std::size_t last,
@@ -52,23 +144,21 @@ std::vector<hd::SearchHit> ShardedSearch::top_k(const util::BitVec& query,
 
   const std::size_t shard_first = first / refs_per_shard_;
   const std::size_t shard_last = (last - 1) / refs_per_shard_;
+  std::vector<std::vector<hd::SearchHit>> shard_hits;
+  shard_hits.reserve(shard_last - shard_first + 1);
   for (std::size_t s = shard_first; s <= shard_last; ++s) {
     const std::size_t base = s * refs_per_shard_;
     const std::size_t lo = first > base ? first - base : 0;
     const std::size_t hi = std::min(last - base, refs_per_shard_);
     shard_entries_.fetch_add(1, std::memory_order_relaxed);
     auto hits = shards_[s]->top_k_keyed(query, lo, hi, k, stream);
-    for (auto& h : hits) {
-      h.reference_index += base;  // back to global indices
-      merged.push_back(h);
-    }
+    for (auto& h : hits) h.reference_index += base;  // back to global
+    if (!hits.empty()) shard_hits.push_back(std::move(hits));
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const hd::SearchHit& a, const hd::SearchHit& b) {
-              if (a.dot != b.dot) return a.dot > b.dot;
-              return a.reference_index < b.reference_index;
-            });
-  if (merged.size() > k) merged.resize(k);
+  std::vector<const std::vector<hd::SearchHit>*> lists;
+  lists.reserve(shard_hits.size());
+  for (const auto& hits : shard_hits) lists.push_back(&hits);
+  merge_top_k(lists, k, merged);
   return merged;
 }
 
@@ -77,15 +167,20 @@ std::vector<std::vector<hd::SearchHit>> ShardedSearch::search_many(
   std::vector<std::vector<hd::SearchHit>> out(queries.size());
   if (k == 0 || queries.empty()) return out;
 
-  // One pass per shard: every block query whose window intersects the
-  // shard is localized and shipped together, so the shard (one chip in the
-  // deployment picture) is entered once per block.
-  std::vector<hd::BatchQuery> sub;
-  std::vector<std::size_t> slots;
+  // Localize the block once per intersecting shard, up front: every block
+  // query whose window intersects the shard is shipped together, so the
+  // shard (one chip in the deployment picture) is entered once per block.
+  struct ShardTask {
+    std::size_t shard = 0;
+    std::vector<hd::BatchQuery> sub;                ///< Shard-local windows.
+    std::vector<std::size_t> slots;                 ///< Block slot of sub[j].
+    std::vector<std::vector<hd::SearchHit>> hits;   ///< Global indices.
+  };
+  std::vector<ShardTask> tasks;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const std::size_t base = s * refs_per_shard_;
-    sub.clear();
-    slots.clear();
+    ShardTask task;
+    task.shard = s;
     for (std::size_t slot = 0; slot < queries.size(); ++slot) {
       const hd::BatchQuery& q = queries[slot];
       const std::size_t first = q.first;
@@ -95,28 +190,46 @@ std::vector<std::vector<hd::SearchHit>> ShardedSearch::search_many(
       const std::size_t hi =
           last > base ? std::min(last - base, refs_per_shard_) : 0;
       if (lo >= hi) continue;
-      sub.push_back(hd::BatchQuery{q.hv, lo, hi, q.stream});
-      slots.push_back(slot);
+      task.sub.push_back(hd::BatchQuery{q.hv, lo, hi, q.stream});
+      task.slots.push_back(slot);
     }
-    if (sub.empty()) continue;
+    if (!task.sub.empty()) tasks.push_back(std::move(task));
+  }
+
+  // Each intersecting shard's sub-block is one independent task; results
+  // land in per-shard buffers so the merge below reads the same inputs
+  // whether the tasks ran sequentially or concurrently (keyed noise:
+  // scores never depend on scheduling). parallel_tasks lets the caller
+  // help, so blocks already running on the pool can still fan out.
+  const auto run_task = [&](std::size_t t) {
+    ShardTask& task = tasks[t];
+    const std::size_t base = task.shard * refs_per_shard_;
     shard_entries_.fetch_add(1, std::memory_order_relaxed);
-    auto shard_hits = shards_[s]->search_many(sub, k);
-    for (std::size_t j = 0; j < sub.size(); ++j) {
-      auto& merged = out[slots[j]];
-      for (auto& h : shard_hits[j]) {
-        h.reference_index += base;  // back to global indices
-        merged.push_back(std::move(h));
+    task.hits = shards_[task.shard]->search_many(task.sub, k);
+    for (auto& hits : task.hits) {
+      for (auto& h : hits) h.reference_index += base;  // back to global
+    }
+  };
+  if (parallel_shards_ && tasks.size() > 1) {
+    task_pool().parallel_tasks(tasks.size(), run_task);
+  } else {
+    for (std::size_t t = 0; t < tasks.size(); ++t) run_task(t);
+  }
+
+  // Deterministic merge in shard order: gather each slot's per-shard
+  // lists (ascending shard id == ascending global index range) and run
+  // the bounded k-way merge.
+  std::vector<std::vector<const std::vector<hd::SearchHit>*>> per_slot(
+      queries.size());
+  for (const ShardTask& task : tasks) {
+    for (std::size_t j = 0; j < task.slots.size(); ++j) {
+      if (!task.hits[j].empty()) {
+        per_slot[task.slots[j]].push_back(&task.hits[j]);
       }
     }
   }
-
-  for (auto& merged : out) {
-    std::sort(merged.begin(), merged.end(),
-              [](const hd::SearchHit& a, const hd::SearchHit& b) {
-                if (a.dot != b.dot) return a.dot > b.dot;
-                return a.reference_index < b.reference_index;
-              });
-    if (merged.size() > k) merged.resize(k);
+  for (std::size_t slot = 0; slot < queries.size(); ++slot) {
+    merge_top_k(per_slot[slot], k, out[slot]);
   }
   return out;
 }
@@ -128,11 +241,13 @@ std::uint64_t ShardedSearch::phases_executed() const noexcept {
 }
 
 double ShardedSearch::phase_sigma() const noexcept {
-  return shards_.empty() ? 0.0 : shards_.front()->phase_sigma();
+  return weighted_over_shards(
+      shards_, [](const ImcSearchEngine& s) { return s.phase_sigma(); }, 0.0);
 }
 
 double ShardedSearch::gain() const noexcept {
-  return shards_.empty() ? 1.0 : shards_.front()->gain();
+  return weighted_over_shards(
+      shards_, [](const ImcSearchEngine& s) { return s.gain(); }, 1.0);
 }
 
 }  // namespace oms::accel

@@ -7,11 +7,19 @@
 //   * Query           — one batched search request (hypervector + candidate
 //                       window + noise stream key).
 //   * BackendStats    — substrate-independent accounting (refs held, shard
-//                       count, activation phases executed).
+//                       count, activation phases executed, shard entries,
+//                       blocks served). The counters are exact (atomically
+//                       maintained, scheduling-independent), so a stats
+//                       snapshot can be fed straight into
+//                       accel::PerfModel::from_measured to turn a real run
+//                       into latency/energy numbers (accel/perf_model.hpp).
 //   * SearchBackend   — the interface: `top_k` for one query, `search_batch`
 //                       for many (default fans out over the global thread
 //                       pool; backends may override with a genuinely batched
-//                       implementation).
+//                       implementation). The "sharded" backend additionally
+//                       runs a block's intersecting shards concurrently
+//                       (BackendOptions::parallel_shards) via the
+//                       nested-safe util::ThreadPool::parallel_tasks.
 //   * BackendRegistry — string-keyed factory. Built-in names:
 //                         "ideal-hd"         exact Hamming search
 //                                            (hd::top_k_search semantics);
@@ -71,6 +79,10 @@
 #include "rram/chip.hpp"
 #include "util/bitvec.hpp"
 
+namespace oms::util {
+class ThreadPool;
+}  // namespace oms::util
+
 namespace oms::core {
 
 /// One batched search request: score `*hv` against references
@@ -124,6 +136,15 @@ struct BackendOptions {
   /// one shipment to every intersecting shard (sharded), and blocks are
   /// processed in parallel over the global thread pool.
   std::size_t query_block = 64;
+  /// "sharded" only: run a block's intersecting shards concurrently (the
+  /// multi-chip picture — every chip searches its partition of the block
+  /// at once). Results are bit-identical to the sequential shard walk;
+  /// keep it switchable for benchmarking the intra-block speedup.
+  bool parallel_shards = true;
+  /// "sharded" only: pool the intra-block shard tasks run on; null →
+  /// util::ThreadPool::global(). Tests inject small pools to pin the
+  /// worker count.
+  util::ThreadPool* shard_pool = nullptr;
 };
 
 /// Abstract search backend over an externally owned reference set (the

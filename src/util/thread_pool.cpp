@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace oms::util {
 
@@ -51,9 +52,19 @@ void ThreadPool::parallel_for(
     return;
   }
 
-  std::atomic<std::size_t> remaining{n_chunks};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // The completion state is heap-shared with the chunk tasks: the last
+  // task signals *after* its decrement, and a spurious caller wakeup in
+  // that window could otherwise observe remaining == 0, return, and
+  // destroy a stack-allocated mutex/cv the task is still about to lock.
+  // (fn stays caller-owned: every chunk finishes fn before decrementing,
+  // so the caller cannot return while any task still touches it.)
+  struct ForState {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<ForState>();
+  state->remaining.store(n_chunks, std::memory_order_relaxed);
 
   const std::size_t chunk = (total + n_chunks - 1) / n_chunks;
   {
@@ -61,20 +72,72 @@ void ThreadPool::parallel_for(
     for (std::size_t c = 0; c < n_chunks; ++c) {
       const std::size_t lo = begin + c * chunk;
       const std::size_t hi = std::min(end, lo + chunk);
-      tasks_.emplace([&, lo, hi] {
+      tasks_.emplace([&fn, state, lo, hi] {
         if (lo < hi) fn(lo, hi);
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard dl(done_mutex);
-          done_cv.notify_one();
+        if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard dl(state->done_mutex);
+          state->done_cv.notify_one();
         }
       });
     }
   }
   cv_.notify_all();
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock,
-               [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  std::unique_lock lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::parallel_tasks(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  // Shared by the caller and any helper task still queued when the call
+  // returns; helpers that wake late see next_ >= n and exit immediately.
+  struct State {
+    std::function<void(std::size_t)> fn;
+    std::size_t n;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = fn;
+  state->n = n;
+
+  const auto drain = [](State& s) {
+    for (;;) {
+      const std::size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s.n) return;
+      s.fn(i);
+      if (s.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == s.n) {
+        const std::lock_guard<std::mutex> lock(s.done_mutex);
+        s.done_cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(thread_count(), n - 1);
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      tasks_.emplace([state, drain] { drain(*state); });
+    }
+  }
+  cv_.notify_all();
+
+  drain(*state);  // The caller works too — the no-deadlock guarantee.
+
+  std::unique_lock lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == state->n;
+  });
 }
 
 namespace {

@@ -41,9 +41,20 @@ class ThreadPool {
   /// [chunk_begin, chunk_end). Exceptions from fn terminate (by design:
   /// worker functions in this codebase are noexcept in spirit). Safe to
   /// call concurrently from several non-pool threads; must not be called
-  /// from inside a pool task (the caller blocks without helping).
+  /// from inside a pool task (the caller blocks without helping) — use
+  /// parallel_tasks for nested parallelism.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Runs fn(i) for every i in [0, n) and blocks until all calls complete.
+  /// Unlike parallel_for, the *calling thread claims tasks itself* while
+  /// pool workers help out, so this is safe to invoke from inside a pool
+  /// task: even if every worker is busy (or blocked in an outer
+  /// parallel_for), the caller drains the whole index range alone and
+  /// nested parallelism cannot deadlock. Task indices are claimed from a
+  /// shared atomic counter; fn must tolerate any execution order.
+  void parallel_tasks(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
 
   /// Global pool shared by the library (lazily constructed).
   [[nodiscard]] static ThreadPool& global();

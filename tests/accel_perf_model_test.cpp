@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "accel/mapper.hpp"
+#include "core/search_backend.hpp"
+
 namespace oms::accel {
 namespace {
 
@@ -78,6 +83,139 @@ TEST(PerfModel, MoreActivatedRowsIsFaster) {
   many.activated_pairs = 64;
   EXPECT_GT(PerfModel(wl, few).this_work_time_s(),
             PerfModel(wl, many).this_work_time_s());
+}
+
+TEST(PerfModel, FromMeasuredUsesCountersVerbatim) {
+  PerfWorkload wl;
+  wl.n_queries = 10;
+  wl.chunks = 16;
+  const RramPerfConfig hw;
+
+  MeasuredCounters counters;
+  counters.search_phases = 100000;
+  counters.shard_entries = 13;
+  counters.query_blocks = 4;
+  counters.shards = 4;
+  const PerfModel model = PerfModel::from_measured(counters, wl, hw);
+  ASSERT_TRUE(model.measured());
+  ASSERT_NE(model.measured_counters(), nullptr);
+  EXPECT_EQ(model.measured_counters()->shard_entries, 13U);
+  EXPECT_EQ(model.search_phase_count(), 100000U);
+
+  const double lanes = static_cast<double>(hw.arrays * hw.adcs_per_array);
+  const double t_search = 100000.0 / lanes * hw.cycle_s;
+  const double t_encode =
+      (10.0 * 16.0) / static_cast<double>(hw.arrays) * hw.cycle_s;
+  const double t_entries =
+      shard_entry_latency_s(13, 4, hw.t_shard_entry_s);
+  EXPECT_NEAR(model.this_work_time_s(), t_search + t_encode + t_entries,
+              1e-15);
+
+  const double e_phase_col =
+      static_cast<double>(2 * hw.activated_pairs) * hw.e_cell_read_j +
+      hw.e_adc_j;
+  const double e_expected =
+      (100000.0 + 160.0) * e_phase_col +
+      shard_entry_energy_j(13, hw.e_shard_entry_j) +
+      hw.p_static_w * model.this_work_time_s();
+  EXPECT_NEAR(model.this_work_energy_j(), e_expected, 1e-15);
+}
+
+TEST(PerfModel, FromMeasuredMatchesAnalyticWhenCountersAgree) {
+  // Feeding the analytic phase count back through the measured path (with
+  // no shard entries) must land on exactly the analytic time and energy —
+  // the two paths differ only in where the counts come from.
+  const PerfWorkload wl;
+  const RramPerfConfig hw;
+  const PerfModel analytic(wl, hw);
+
+  MeasuredCounters counters;
+  counters.search_phases = analytic.search_phase_count();
+  const PerfModel measured = PerfModel::from_measured(counters, wl, hw);
+  EXPECT_DOUBLE_EQ(measured.this_work_time_s(), analytic.this_work_time_s());
+  EXPECT_DOUBLE_EQ(measured.this_work_energy_j(),
+                   analytic.this_work_energy_j());
+}
+
+TEST(PerfModel, FromMeasuredAcceptsBackendStats) {
+  core::BackendStats stats;
+  stats.phases_executed = 4096;
+  stats.shard_entries = 24;
+  stats.query_blocks = 3;
+  stats.shards = 8;
+  const PerfModel model =
+      PerfModel::from_measured(stats, PerfWorkload{}, RramPerfConfig{});
+  ASSERT_TRUE(model.measured());
+  EXPECT_EQ(model.measured_counters()->search_phases, 4096U);
+  EXPECT_EQ(model.measured_counters()->shard_entries, 24U);
+  EXPECT_EQ(model.measured_counters()->query_blocks, 3U);
+  EXPECT_EQ(model.measured_counters()->shards, 8U);
+  // A stats snapshot from a monolithic backend reports shards = 1 and no
+  // entries; the model must not divide by zero either way.
+  core::BackendStats mono;
+  mono.phases_executed = 1;
+  mono.shards = 0;  // defensive: even a malformed snapshot is safe
+  EXPECT_GT(PerfModel::from_measured(mono, PerfWorkload{}, RramPerfConfig{})
+                .this_work_time_s(),
+            0.0);
+}
+
+TEST(PerfModel, MonolithicBlocksAreChargedAsChipEntries) {
+  // A monolithic backend reports shard_entries = 0 but still serves
+  // batched blocks; each block enters the (single) chip once.
+  const PerfWorkload wl;
+  const RramPerfConfig hw;
+  MeasuredCounters counters;
+  counters.search_phases = 1000;
+  counters.query_blocks = 6;
+  const PerfModel mono = PerfModel::from_measured(counters, wl, hw);
+  EXPECT_EQ(mono.charged_entry_count(), 6U);
+  // Sharded entries take precedence (they already count per block).
+  counters.shard_entries = 20;
+  counters.shards = 4;
+  const PerfModel sharded = PerfModel::from_measured(counters, wl, hw);
+  EXPECT_EQ(sharded.charged_entry_count(), 20U);
+  // Analytic models have nothing to charge.
+  EXPECT_EQ(PerfModel(wl, hw).charged_entry_count(), 0U);
+  // The entry term is visible in the time: 6 blocks on one chip.
+  MeasuredCounters no_blocks = counters;
+  no_blocks.shard_entries = 0;
+  no_blocks.query_blocks = 0;
+  no_blocks.shards = 1;
+  const PerfModel bare = PerfModel::from_measured(no_blocks, wl, hw);
+  EXPECT_NEAR(mono.this_work_time_s() - bare.this_work_time_s(),
+              shard_entry_latency_s(6, 1, hw.t_shard_entry_s), 1e-15);
+}
+
+TEST(PerfModel, AmortizedPhasesShrinkTimeAndEnergy) {
+  // The batched sweeps execute far fewer phases than the per-query
+  // analytic estimate; the measured model must reward that.
+  const PerfWorkload wl;
+  const RramPerfConfig hw;
+  const PerfModel analytic(wl, hw);
+  MeasuredCounters counters;
+  counters.search_phases = analytic.search_phase_count() / 50;
+  const PerfModel measured = PerfModel::from_measured(counters, wl, hw);
+  EXPECT_LT(measured.this_work_time_s(), analytic.this_work_time_s());
+  EXPECT_LT(measured.this_work_energy_j(), analytic.this_work_energy_j());
+  // compare() runs off the measured numbers too.
+  const auto rows = measured.compare();
+  ASSERT_EQ(rows.size(), 4U);
+  EXPECT_DOUBLE_EQ(rows[3].time_s, measured.this_work_time_s());
+}
+
+TEST(MapperShardEntry, LatencyIsLongestPerChipChain) {
+  const double t = 2.0e-6;
+  EXPECT_DOUBLE_EQ(shard_entry_latency_s(0, 4, t), 0.0);
+  EXPECT_DOUBLE_EQ(shard_entry_latency_s(8, 4, t), 2.0 * t);   // 8/4
+  EXPECT_DOUBLE_EQ(shard_entry_latency_s(9, 4, t), 3.0 * t);   // ceil(9/4)
+  EXPECT_DOUBLE_EQ(shard_entry_latency_s(5, 1, t), 5.0 * t);   // one chip
+  EXPECT_DOUBLE_EQ(shard_entry_latency_s(5, 0, t), 5.0 * t);   // clamped
+}
+
+TEST(MapperShardEntry, EnergyChargesEveryEntry) {
+  EXPECT_DOUBLE_EQ(shard_entry_energy_j(0, 1e-9), 0.0);
+  EXPECT_DOUBLE_EQ(shard_entry_energy_j(12, 0.5e-9), 6.0e-9);
 }
 
 TEST(PerfModel, BaselinePowersArePlausible) {

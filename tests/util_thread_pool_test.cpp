@@ -81,6 +81,59 @@ TEST(ThreadPool, SetGlobalThreadsFailsOnceGlobalExists) {
   EXPECT_FALSE(ThreadPool::set_global_threads(2));
 }
 
+TEST(ThreadPool, ParallelTasksRunsEachIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(257);
+  pool.parallel_tasks(257, [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelTasksZeroAndOne) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_tasks(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  std::size_t seen = 99;
+  pool.parallel_tasks(1, [&](std::size_t i) { seen = i; });
+  EXPECT_EQ(seen, 0U);
+}
+
+TEST(ThreadPool, ParallelTasksNestedInsidePoolTaskDoesNotDeadlock) {
+  // The whole point of parallel_tasks: a task already running on the pool
+  // can fan out again. With 2 workers and 4 outer chunks, the inner calls
+  // find every worker busy — the callers must drain their own indices.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      pool.parallel_tasks(8, [&](std::size_t) { total.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ParallelTasksConcurrentCallers) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      pool.parallel_tasks(100, [&](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, ParallelTasksReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_tasks(50, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
 TEST(BoundedQueue, FifoOrderSingleThread) {
   BoundedQueue<int> q(4);
   EXPECT_TRUE(q.push(1));
