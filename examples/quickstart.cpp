@@ -22,9 +22,12 @@
 // calls on the reference side).
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "core/query_engine.hpp"
@@ -122,6 +125,22 @@ int main(int argc, char** argv) {
     const auto& p = result.accepted[i];
     std::printf("  %-7u %-21s %.4f      %+.3f\n", p.query_id,
                 p.peptide.c_str(), p.score, p.mass_shift);
+  }
+
+  // --print-psms: one sorted, round-trippable line per accepted PSM, in
+  // the serve-layer protocol's PSM format — so a solo quickstart run can
+  // be diffed against examples/search_server output (the CI smoke test).
+  if (cli.has("print-psms")) {
+    std::vector<std::string> lines;
+    lines.reserve(result.accepted.size());
+    for (const auto& p : result.accepted) {
+      char buf[320];
+      std::snprintf(buf, sizeof buf, "PSM %u %s %.17g %.17g", p.query_id,
+                    p.peptide.c_str(), p.score, p.mass_shift);
+      lines.emplace_back(buf);
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const std::string& l : lines) std::printf("%s\n", l.c_str());
   }
   return 0;
 }

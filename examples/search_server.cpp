@@ -1,0 +1,338 @@
+// search_server — thin line-protocol front-end over serve::SearchServer.
+//
+// The serve core (src/serve/) is transport-agnostic; this binary wires it
+// to two byte streams:
+//
+//   --mode=pipe   (default) speak the protocol on stdin/stdout — the
+//                 zero-dependency transport a parent process drives
+//                 through a pipe pair (examples/search_client.cpp
+//                 --spawn does exactly that; so does the CI smoke test).
+//   --mode=tcp    listen on 127.0.0.1:--port (default 7777), one thread
+//                 per connection, all connections multiplexed onto one
+//                 shared SearchServer (shared library cache, shared
+//                 backends, fair block scheduling).
+//
+// Protocol (text lines; responses marked ←, asynchronous lines ⇠):
+//
+//   OPEN <library.omsx> [backend=NAME] [fdr=X] [seed=N] [block=N]
+//        [max_in_flight=N] [admit=block|reject] [timeout_ms=N]
+//     ← OK <session-id>            or  ERR <message>
+//   Q <session-id> <query-id> <precursor_mz> <charge> <mz:int,mz:int,...>
+//     ⇠ (nothing on admission; confident PSMs stream asynchronously)
+//     ← REJECT <session-id> <query-id>   only when admission sheds it
+//   ⇠ PSM <session-id> <query-id> <peptide> <score> <mass-shift>
+//     (%.17g — parses back to the exact double; may interleave anywhere)
+//   CLOSE <session-id>
+//     ⇠ remaining PSM lines (the Rolling-FDR close flush)
+//     ← CLOSED <session-id> accepted=<n> searched=<n>
+//   STATS
+//     ← STATS sessions=<open>/<total> queries=<n> psms=<n> cache=<h>/<m>
+//             evict=<n> grants=<n>
+//   QUIT
+//     ← BYE   (pipe mode: the process exits; tcp: the connection closes)
+//
+// The pipeline configuration behind OPEN is the quickstart operating
+// point (D=8192, 3-bit IDs, ±500 Da, 1% FDR) so a served session's PSM
+// stream is directly comparable to `quickstart --print-psms`; the OPEN
+// options override the knobs a tenant may vary.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/pipeline.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+/// The quickstart operating point; OPEN options layer on top.
+oms::core::PipelineConfig base_config() {
+  oms::core::PipelineConfig cfg;
+  cfg.encoder.dim = 8192;
+  cfg.encoder.bins = cfg.preprocess.bin_count();
+  cfg.encoder.chunks = 256;
+  cfg.encoder.id_precision = oms::hd::IdPrecision::k3Bit;
+  cfg.oms_window_da = 500.0;
+  cfg.fdr_threshold = 0.01;
+  return cfg;
+}
+
+struct App {
+  oms::serve::SearchServer server;
+  explicit App(const oms::serve::SearchServerConfig& cfg) : server(cfg) {}
+};
+
+/// One protocol conversation on an (in, out) stream pair. Output lines
+/// are serialized through out_mu because PSM lines fire from engine
+/// threads while the command loop answers on the caller's thread.
+class Conversation {
+ public:
+  Conversation(App& app, std::FILE* in, std::FILE* out)
+      : app_(app), in_(in), out_(out) {}
+
+  /// Runs until QUIT or EOF. Open sessions are closed (results dropped)
+  /// on the way out.
+  void run() {
+    char* line = nullptr;
+    std::size_t cap = 0;
+    ssize_t len = 0;
+    while ((len = getline(&line, &cap, in_)) > 0) {
+      while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+        line[--len] = '\0';
+      }
+      if (len == 0) continue;
+      if (!dispatch(line)) break;  // QUIT
+    }
+    std::free(line);
+    sessions_.clear();  // abandoned sessions wind down in ~Session
+  }
+
+ private:
+  void reply(const std::string& s) {
+    const std::lock_guard lock(out_mu_);
+    std::fprintf(out_, "%s\n", s.c_str());
+    std::fflush(out_);
+  }
+
+  bool dispatch(char* line) {
+    std::vector<char*> tok;
+    for (char* t = std::strtok(line, " "); t; t = std::strtok(nullptr, " ")) {
+      tok.push_back(t);
+    }
+    if (tok.empty()) return true;
+    const std::string cmd = tok[0];
+    try {
+      if (cmd == "OPEN") return cmd_open(tok);
+      if (cmd == "Q") return cmd_query(tok);
+      if (cmd == "CLOSE") return cmd_close(tok);
+      if (cmd == "STATS") return cmd_stats();
+      if (cmd == "QUIT") {
+        reply("BYE");
+        return false;
+      }
+      reply("ERR unknown command: " + cmd);
+    } catch (const std::exception& e) {
+      reply(std::string("ERR ") + e.what());
+    }
+    return true;
+  }
+
+  bool cmd_open(const std::vector<char*>& tok) {
+    if (tok.size() < 2) {
+      reply("ERR OPEN needs a library path");
+      return true;
+    }
+    oms::serve::SessionConfig scfg;
+    scfg.pipeline = base_config();
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+      const std::string opt = tok[i];
+      const auto eq = opt.find('=');
+      if (eq == std::string::npos) {
+        reply("ERR OPEN option without value: " + opt);
+        return true;
+      }
+      const std::string key = opt.substr(0, eq);
+      const std::string val = opt.substr(eq + 1);
+      if (key == "backend") {
+        scfg.pipeline.backend_name = val;
+      } else if (key == "fdr") {
+        scfg.pipeline.fdr_threshold = std::strtod(val.c_str(), nullptr);
+      } else if (key == "seed") {
+        scfg.pipeline.seed = std::strtoull(val.c_str(), nullptr, 10);
+      } else if (key == "block") {
+        scfg.block_size = std::strtoul(val.c_str(), nullptr, 10);
+      } else if (key == "max_in_flight") {
+        scfg.max_in_flight = std::strtoul(val.c_str(), nullptr, 10);
+      } else if (key == "admit") {
+        if (val == "block") {
+          scfg.admit = oms::serve::AdmitPolicy::Block;
+        } else if (val == "reject") {
+          scfg.admit = oms::serve::AdmitPolicy::Reject;
+        } else {
+          reply("ERR admit must be block|reject");
+          return true;
+        }
+      } else if (key == "timeout_ms") {
+        scfg.admit_timeout =
+            std::chrono::milliseconds(std::strtol(val.c_str(), nullptr, 10));
+      } else {
+        reply("ERR unknown OPEN option: " + key);
+        return true;
+      }
+    }
+    // The session id only exists after open() returns, but on_accept is
+    // part of the config — route PSM lines through a tag filled in below
+    // (no PSM can fire before the first Q, which follows the OK reply).
+    auto tag = std::make_shared<std::uint64_t>(0);
+    scfg.on_accept = [this, tag](const oms::core::Psm& p) {
+      char buf[320];
+      std::snprintf(buf, sizeof buf, "PSM %llu %u %s %.17g %.17g",
+                    static_cast<unsigned long long>(*tag), p.query_id,
+                    p.peptide.c_str(), p.score, p.mass_shift);
+      reply(buf);
+    };
+    auto session = app_.server.open(tok[1], std::move(scfg));
+    *tag = session->id();
+    sessions_[session->id()] = std::move(session);
+    reply("OK " + std::to_string(*tag));
+    return true;
+  }
+
+  oms::serve::Session* find(const char* sid_text) {
+    const std::uint64_t sid = std::strtoull(sid_text, nullptr, 10);
+    auto it = sessions_.find(sid);
+    return it == sessions_.end() ? nullptr : it->second.get();
+  }
+
+  bool cmd_query(const std::vector<char*>& tok) {
+    if (tok.size() != 6) {
+      reply("ERR Q <session> <qid> <mz> <charge> <peaks>");
+      return true;
+    }
+    oms::serve::Session* s = find(tok[1]);
+    if (s == nullptr) {
+      reply(std::string("ERR no such session: ") + tok[1]);
+      return true;
+    }
+    oms::ms::Spectrum q;
+    q.id = static_cast<std::uint32_t>(std::strtoul(tok[2], nullptr, 10));
+    q.precursor_mz = std::strtod(tok[3], nullptr);
+    q.precursor_charge = static_cast<int>(std::strtol(tok[4], nullptr, 10));
+    for (const char* p = tok[5]; *p != '\0';) {
+      char* end = nullptr;
+      const double mz = std::strtod(p, &end);
+      if (end == p || *end != ':') {
+        reply("ERR bad peak list");
+        return true;
+      }
+      p = end + 1;
+      const double intensity = std::strtod(p, &end);
+      if (end == p) {
+        reply("ERR bad peak list");
+        return true;
+      }
+      q.peaks.push_back({mz, static_cast<float>(intensity)});
+      p = (*end == ',') ? end + 1 : end;
+    }
+    const std::uint32_t qid = q.id;
+    if (!s->submit(std::move(q))) {
+      reply("REJECT " + std::to_string(s->id()) + " " + std::to_string(qid));
+    }
+    return true;
+  }
+
+  bool cmd_close(const std::vector<char*>& tok) {
+    if (tok.size() != 2) {
+      reply("ERR CLOSE <session>");
+      return true;
+    }
+    oms::serve::Session* s = find(tok[1]);
+    if (s == nullptr) {
+      reply(std::string("ERR no such session: ") + tok[1]);
+      return true;
+    }
+    // close() drains: the remaining accepted PSMs flush through on_accept
+    // (so their lines precede CLOSED), then the summary confirms.
+    const oms::core::PipelineResult result = s->close();
+    const std::uint64_t sid = s->id();
+    sessions_.erase(sid);
+    reply("CLOSED " + std::to_string(sid) +
+          " accepted=" + std::to_string(result.accepted.size()) +
+          " searched=" + std::to_string(result.queries_searched));
+    return true;
+  }
+
+  bool cmd_stats() {
+    const oms::serve::SearchServerStats st = app_.server.stats();
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "STATS sessions=%zu/%llu queries=%llu psms=%llu "
+                  "cache=%zu/%zu evict=%zu grants=%llu",
+                  st.sessions_open,
+                  static_cast<unsigned long long>(st.sessions_total),
+                  static_cast<unsigned long long>(st.queries_admitted),
+                  static_cast<unsigned long long>(st.psms_streamed),
+                  st.cache.hits, st.cache.misses, st.cache.evictions,
+                  static_cast<unsigned long long>(st.scheduler.grants));
+    reply(buf);
+    return true;
+  }
+
+  App& app_;
+  std::FILE* in_;
+  std::FILE* out_;
+  std::mutex out_mu_;
+  std::map<std::uint64_t, std::shared_ptr<oms::serve::Session>> sessions_;
+};
+
+int run_tcp(App& app, int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local tool, local bind
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      listen(fd, 16) < 0) {
+    std::perror("bind/listen");
+    close(fd);
+    return 1;
+  }
+  std::fprintf(stderr, "search_server: listening on 127.0.0.1:%d\n", port);
+  while (true) {
+    const int conn = accept(fd, nullptr, nullptr);
+    if (conn < 0) break;
+    std::thread([&app, conn] {
+      std::FILE* in = fdopen(conn, "r");
+      std::FILE* out = fdopen(dup(conn), "w");
+      if (in != nullptr && out != nullptr) {
+        Conversation(app, in, out).run();
+      }
+      if (in != nullptr) std::fclose(in);
+      if (out != nullptr) std::fclose(out);
+    }).detach();
+  }
+  close(fd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const oms::util::Cli cli(argc, argv);
+  const std::string mode = cli.get("mode", std::string("pipe"));
+
+  oms::serve::SearchServerConfig cfg;
+  cfg.cache.capacity =
+      static_cast<std::size_t>(cli.get("cache-capacity", 4L));
+  cfg.max_sessions = static_cast<std::size_t>(cli.get("max-sessions", 64L));
+  App app(cfg);
+
+  if (mode == "pipe") {
+    Conversation(app, stdin, stdout).run();
+    return 0;
+  }
+  if (mode == "tcp") {
+    return run_tcp(app, static_cast<int>(cli.get("port", 7777L)));
+  }
+  std::fprintf(stderr, "search_server: unknown --mode=%s (pipe|tcp)\n",
+               mode.c_str());
+  return 2;
+}

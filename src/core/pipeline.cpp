@@ -145,6 +145,11 @@ void Pipeline::set_library(const std::vector<ms::Spectrum>& targets) {
 }
 
 void Pipeline::set_library(std::shared_ptr<const index::LibraryIndex> index) {
+  set_library(std::move(index), nullptr);
+}
+
+void Pipeline::set_library(std::shared_ptr<const index::LibraryIndex> index,
+                           std::shared_ptr<SearchBackend> shared_backend) {
   BackendRegistry::instance().require(backend_name());
   if (!index) {
     throw std::invalid_argument("Pipeline::set_library: null index");
@@ -175,6 +180,26 @@ void Pipeline::set_library(std::shared_ptr<const index::LibraryIndex> index) {
     ensure_imc_encoder();
   }
 
+  if (shared_backend) {
+    // Multi-tenant path: adopt a backend another pipeline (or the
+    // serve-layer library cache) already built over this same index's
+    // word block. Per-call engine state cannot be multiplexed, and a
+    // name mismatch would silently search through the wrong substrate.
+    if (!shared_backend->thread_safe()) {
+      throw std::invalid_argument(
+          "Pipeline::set_library: shared backend '" +
+          std::string(shared_backend->name()) +
+          "' is not thread-safe and cannot be multiplexed across sessions");
+    }
+    if (shared_backend->name() != backend_name()) {
+      throw std::invalid_argument(
+          "Pipeline::set_library: shared backend is '" +
+          std::string(shared_backend->name()) + "' but this pipeline wants '" +
+          backend_name() + "'");
+    }
+    backend_ = std::move(shared_backend);
+    return;
+  }
   BackendOptions opts = cfg_.backend_options;
   opts.seed = cfg_.seed;
   backend_.reset();

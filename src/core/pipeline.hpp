@@ -124,6 +124,27 @@ class Pipeline {
   /// pipeline shares ownership, so the mapping outlives it.
   void set_library(std::shared_ptr<const index::LibraryIndex> index);
 
+  /// Multi-tenant variant (the serve::LibraryCache seam): adopts the
+  /// artifact AND an externally owned search backend already built over
+  /// that same index's hypervector block, instead of constructing a
+  /// private one — so N sessions on one library share one backend
+  /// instance (and its exact BackendStats counters). The backend must be
+  /// thread_safe() (per-call engine state cannot be multiplexed across
+  /// concurrent sessions; std::invalid_argument otherwise), must have
+  /// been registered under this pipeline's backend_name (checked), and
+  /// must outlive every query — shared_ptr ownership handles that. A
+  /// null backend falls back to building a private one.
+  void set_library(std::shared_ptr<const index::LibraryIndex> index,
+                   std::shared_ptr<SearchBackend> shared_backend);
+
+  /// The pipeline's search backend, shareable with other pipelines over
+  /// the same reference set (null before set_library). The donation path
+  /// for serve::LibraryCache: the first session builds, the cache keeps.
+  [[nodiscard]] std::shared_ptr<SearchBackend> shared_backend()
+      const noexcept {
+    return backend_;
+  }
+
   /// The active library: owned (spectra path) or the index's (load path).
   [[nodiscard]] const ms::SpectralLibrary& library() const noexcept;
   /// Encoded reference hypervectors, aligned with library() order. On the
@@ -167,7 +188,9 @@ class Pipeline {
   std::shared_ptr<const index::LibraryIndex> index_;
   std::span<const util::BitVec> ref_view_;      ///< Active hypervectors.
   std::size_t reference_encodes_ = 0;
-  std::unique_ptr<SearchBackend> backend_;
+  /// shared_ptr so serve-layer sessions can multiplex one backend over a
+  /// cached library; exclusively owned on the classic single-run paths.
+  std::shared_ptr<SearchBackend> backend_;
   std::unique_ptr<accel::ImcEncoder> imc_encoder_;
 };
 

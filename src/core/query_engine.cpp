@@ -57,11 +57,12 @@ struct QueryEngine::Impl {
     if (pipeline.lib().empty() || !pipeline.backend_) {
       throw std::logic_error("QueryEngine: Pipeline::set_library() first");
     }
-    // Without an expected_queries promise nothing can ever clear the
-    // confident-emission bound, and the drain flush works off the batch
-    // mask — so only build (and pay for) the estimator when a mid-run
-    // release is actually possible.
-    if (cfg.emit_policy == EmitPolicy::Rolling && cfg.expected_queries > 0) {
+    // The estimator serves two release triggers: the expected_queries
+    // promise (mid-stream releases) and close_stream() (release-at-close
+    // with no promise). Either can fire under Rolling, so the estimator is
+    // always built for it; roll_emit holds everything back until one of
+    // the two bounds becomes available.
+    if (cfg.emit_policy == EmitPolicy::Rolling) {
       if (pipeline.cfg_.grouped_fdr) {
         rolling_grouped = std::make_unique<StreamingGroupedFdr>(
             StreamingGroupedFdr::standard_open());
@@ -115,6 +116,7 @@ struct QueryEngine::Impl {
         // Quality-filtered, same as preprocess_all. The query can no
         // longer produce a PSM, which tightens the rolling bound.
         resolved_no_psm.fetch_add(1, std::memory_order_relaxed);
+        note_resolved(1);
         continue;
       }
       current.index.push_back(searched++);
@@ -154,7 +156,16 @@ struct QueryEngine::Impl {
     while (auto block = to_search.pop()) {
       if (!failed.load(std::memory_order_acquire)) {
         try {
-          block->hits = pipeline.backend_->search_batch(block->searches, k);
+          const auto run_block = [&] {
+            block->hits = pipeline.backend_->search_batch(block->searches, k);
+          };
+          // The gate (serve::FairScheduler) only decides *when* the block
+          // runs; keyed noise keeps the results schedule-independent.
+          if (cfg.search_gate) {
+            cfg.search_gate(run_block);
+          } else {
+            run_block();
+          }
           to_rescore.push(std::move(*block));
         } catch (...) {
           fail(std::current_exception());
@@ -170,8 +181,12 @@ struct QueryEngine::Impl {
     while (auto block = to_rescore.pop()) {
       if (!failed.load(std::memory_order_acquire)) {
         try {
+          const std::size_t in_block = block->spectra.size();
           std::vector<Emitted> emitted_block = rescore_block(*block);
           if (!emitted_block.empty()) to_emit.push(std::move(emitted_block));
+          // Every query in the block is now resolved — either its PSM is
+          // en route to emission or it had no candidate window.
+          note_resolved(in_block);
         } catch (...) {
           fail(std::current_exception());
         }
@@ -180,6 +195,13 @@ struct QueryEngine::Impl {
     if (rescore_live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       to_emit.close();
     }
+  }
+
+  /// Resolution bookkeeping shared by the preprocess filter and rescore:
+  /// feeds outstanding() and the serving layer's in-flight quota hook.
+  void note_resolved(std::size_t n) {
+    resolved.fetch_add(n, std::memory_order_acq_rel);
+    if (cfg.on_query_resolved) cfg.on_query_resolved(n);
   }
 
   void emit_loop() {
@@ -222,7 +244,12 @@ struct QueryEngine::Impl {
   /// Charges every query that could still produce a PSM as a potential
   /// future decoy; confident survivors go to the user callback now.
   void roll_emit() {
-    if ((!rolling && !rolling_grouped) || cfg.expected_queries == 0) return;
+    if (!rolling && !rolling_grouped) return;
+    // A future-arrival bound exists once the caller promised a total
+    // (expected_queries) or declared the stream closed; with neither,
+    // nothing can release before the drain flush.
+    const bool stream_closed = closed.load(std::memory_order_acquire);
+    if (!stream_closed && cfg.expected_queries == 0) return;
     if (failed.load(std::memory_order_acquire)) return;
     // Every admitted query yields at most one PSM. Queries the caller has
     // promised but not yet submitted count as outstanding too; queries that
@@ -230,13 +257,18 @@ struct QueryEngine::Impl {
     // do not. Relaxed loads may lag and over-count the future — that only
     // delays a release, never unsounds one. If submissions overrun the
     // promise, fall back to what has actually arrived so far — the bound
-    // stays as honest as the caller's expected_queries hint.
+    // stays as honest as the caller's expected_queries hint. A closed
+    // stream needs no promise: the admitted count IS the total, so the
+    // bound tightens to the unresolved tail and hits zero once every
+    // in-flight query resolves — that is how close releases the whole
+    // eligible set.
     const std::size_t seen =
         rolling_grouped ? rolling_grouped->size() : rolling->size();
     const std::size_t done =
         seen + resolved_no_psm.load(std::memory_order_relaxed);
-    const std::size_t expected = std::max(
-        cfg.expected_queries, submitted.load(std::memory_order_acquire));
+    const std::size_t arrived = submitted.load(std::memory_order_acquire);
+    const std::size_t expected =
+        stream_closed ? arrived : std::max(cfg.expected_queries, arrived);
     const std::size_t max_future = expected > done ? expected - done : 0;
     const double threshold = pipeline.cfg_.fdr_threshold;
     const std::vector<StreamingFdr::Release> releases =
@@ -451,6 +483,9 @@ struct QueryEngine::Impl {
   std::atomic<std::size_t> rescore_live{0};
 
   std::atomic<bool> failed{false};
+  /// Set by close_stream()/drain-after-close: no further arrivals, so the
+  /// rolling bound may treat `submitted` as the exact stream total.
+  std::atomic<bool> closed{false};
   std::mutex error_mutex;
   std::exception_ptr error;
 
@@ -462,6 +497,9 @@ struct QueryEngine::Impl {
   /// empty candidate windows); written by preprocess/rescore workers, read
   /// by the emission thread to tighten the rolling bound.
   std::atomic<std::size_t> resolved_no_psm{0};
+  /// All resolved queries (with or without a PSM) — outstanding() feeds
+  /// the serving layer's in-flight accounting.
+  std::atomic<std::size_t> resolved{0};
   std::size_t searched = 0;      ///< Preprocess thread, read after join.
   std::size_t blocks = 0;        ///< Preprocess thread, read after join.
   bool drained = false;
@@ -487,6 +525,9 @@ void QueryEngine::submit(ms::Spectrum&& query) {
   if (impl_->drained) {
     throw std::logic_error("QueryEngine::submit: already drained");
   }
+  if (impl_->closed.load(std::memory_order_acquire)) {
+    throw std::logic_error("QueryEngine::submit: stream closed");
+  }
   impl_->submitted.fetch_add(1, std::memory_order_acq_rel);
   // push() only fails when a stage failure closed the queue; drain()
   // reports the stored exception.
@@ -495,6 +536,58 @@ void QueryEngine::submit(ms::Spectrum&& query) {
 
 void QueryEngine::submit_batch(std::span<const ms::Spectrum> queries) {
   for (const ms::Spectrum& q : queries) submit(q);
+}
+
+bool QueryEngine::try_submit(ms::Spectrum&& query) {
+  if (impl_->drained) {
+    throw std::logic_error("QueryEngine::try_submit: already drained");
+  }
+  if (impl_->closed.load(std::memory_order_acquire)) {
+    throw std::logic_error("QueryEngine::try_submit: stream closed");
+  }
+  // Count before pushing (like submit) so the rolling bound can only
+  // over-count the future mid-admission, never under-count; undo on
+  // rejection — over-counting merely delays a release.
+  impl_->submitted.fetch_add(1, std::memory_order_acq_rel);
+  if (impl_->admission.try_push(std::move(query))) return true;
+  impl_->submitted.fetch_sub(1, std::memory_order_acq_rel);
+  return false;
+}
+
+bool QueryEngine::submit_for(ms::Spectrum&& query,
+                             std::chrono::milliseconds timeout) {
+  if (impl_->drained) {
+    throw std::logic_error("QueryEngine::submit_for: already drained");
+  }
+  if (impl_->closed.load(std::memory_order_acquire)) {
+    throw std::logic_error("QueryEngine::submit_for: stream closed");
+  }
+  impl_->submitted.fetch_add(1, std::memory_order_acq_rel);
+  if (impl_->admission.push_for(std::move(query), timeout)) return true;
+  impl_->submitted.fetch_sub(1, std::memory_order_acq_rel);
+  return false;
+}
+
+void QueryEngine::close_stream() {
+  if (impl_->drained) {
+    throw std::logic_error("QueryEngine::close_stream: already drained");
+  }
+  impl_->closed.store(true, std::memory_order_release);
+  // Ends admission: the preprocess loop flushes its partial block and the
+  // stage cascade winds down, so the emission thread's final roll_emit
+  // sees max_future == 0 and releases every PSM the drain filter will
+  // accept — without blocking this caller.
+  impl_->admission.close();
+}
+
+bool QueryEngine::failed() const noexcept {
+  return impl_->failed.load(std::memory_order_acquire);
+}
+
+std::size_t QueryEngine::outstanding() const noexcept {
+  const std::size_t in = impl_->submitted.load(std::memory_order_acquire);
+  const std::size_t out = impl_->resolved.load(std::memory_order_acquire);
+  return in > out ? in - out : 0;
 }
 
 PipelineResult QueryEngine::drain() {

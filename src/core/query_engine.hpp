@@ -24,7 +24,12 @@
 // FDR threshold are handed to QueryEngineConfig::on_accept while queries
 // are still arriving. Either way drain() returns the same bit-identical
 // result — rolling release order may vary with scheduling, membership
-// never does.
+// never does. A stream has an explicit lifecycle for serving callers
+// (serve::Session): submit/submit_batch/try_submit admit queries,
+// close_stream() declares "no more arrivals" — which replaces the old
+// expected_queries caller-promise and releases every PSM the final filter
+// will accept as the in-flight tail resolves — and drain() collects the
+// result.
 //
 // Determinism contract: every per-query artifact — encoding noise, injected
 // bit errors, search noise, rescoring — is keyed on the query's spectrum id
@@ -36,6 +41,7 @@
 // engine-state call sequence matches the synchronous path.)
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -77,13 +83,36 @@ struct QueryEngineConfig {
   /// callback must tolerate that concurrency. The drain-time flush fires
   /// on the drain() caller's thread, in admission order.
   std::function<void(const Psm&)> on_accept;
-  /// Upper bound on the total number of queries this engine will be given
-  /// (0 = unknown). The confident-emission bound charges every query not
-  /// yet scored as a potential future decoy, so with an unknown total
-  /// nothing can be released before drain(); with a declared bound the
+  /// DEPRECATED — prefer close_stream(). Upper bound on the total number
+  /// of queries this engine will be given (0 = unknown). The
+  /// confident-emission bound charges every query not yet scored as a
+  /// potential future decoy, so with an unknown total nothing can be
+  /// released before the stream ends; with a declared bound the
   /// early-release guarantee holds as long as the caller keeps the
-  /// promise and submits no more than this many queries.
+  /// promise and submits no more than this many queries. The promise is
+  /// awkward for callers that do not know their stream length up front
+  /// (an acquisition run ends when it ends): close_stream() supersedes it
+  /// by declaring "no more arrivals" *after the fact*, which tightens the
+  /// bound to the queries actually submitted and needs no global count.
+  /// The field remains for callers that genuinely know the total and want
+  /// releases to start mid-stream rather than at close.
   std::size_t expected_queries = 0;
+  /// Serving hook: called from engine-internal stage threads each time
+  /// queries finish flowing through the pipeline (with the count newly
+  /// resolved) — a query resolves when it is quality-filtered, finds no
+  /// candidate window, or has its PSM rescored. Admission-control layers
+  /// (serve::Session) use it to release in-flight quota. Must be
+  /// thread-safe; never called again after drain() returns.
+  std::function<void(std::size_t)> on_query_resolved;
+  /// Serving hook: when set, every backend search_batch call is wrapped in
+  /// this gate — the engine's search workers call gate(run_block) and the
+  /// gate decides when run_block() executes (serve::FairScheduler uses it
+  /// for round-robin block scheduling across tenant sessions). The gate
+  /// must invoke the thunk exactly once (on any thread, but synchronously
+  /// — the engine's worker waits) and propagate its exceptions. Purely a
+  /// scheduling knob: per-query keyed noise makes results independent of
+  /// block execution order.
+  std::function<void(const std::function<void()>&)> search_gate;
 };
 
 /// Accounting for one streaming run; valid after drain().
@@ -118,6 +147,38 @@ class QueryEngine {
 
   /// Admits a chunk of query spectra in order.
   void submit_batch(std::span<const ms::Spectrum> queries);
+
+  /// Non-blocking admission: returns false (leaving the engine untouched)
+  /// when the admission queue is full — the reject arm of admission
+  /// control. Also returns false after a stage failure (drain() reports
+  /// the exception). Throws std::logic_error after close_stream()/drain().
+  [[nodiscard]] bool try_submit(ms::Spectrum&& query);
+
+  /// Bounded-wait admission: blocks up to `timeout` for admission-queue
+  /// room, then gives up. Same contract as try_submit otherwise.
+  [[nodiscard]] bool submit_for(ms::Spectrum&& query,
+                                std::chrono::milliseconds timeout);
+
+  /// Declares the end of arrivals without collecting the result: no
+  /// further submissions are accepted (submit throws std::logic_error),
+  /// and the confident-emission bound tightens from the expected_queries
+  /// promise to "exactly the queries already submitted" — so as the tail
+  /// of the stream resolves, every PSM the final filter will accept is
+  /// released through on_accept (under EmitPolicy::Rolling) with no
+  /// global-count promise needed. Idempotent; drain() may follow to
+  /// block for completion and collect the PipelineResult.
+  void close_stream();
+
+  /// True once a stage failure has poisoned the stream (drain() rethrows
+  /// the stored exception). Submissions are silently dropped from this
+  /// point; admission-control layers use this to unblock quota waiters.
+  [[nodiscard]] bool failed() const noexcept;
+
+  /// Queries admitted but not yet resolved (scored, quality-filtered, or
+  /// empty-windowed) — the in-flight occupancy admission control bounds.
+  /// Counter drift after a stage failure is possible (dropped blocks
+  /// never resolve); check failed() first.
+  [[nodiscard]] std::size_t outstanding() const noexcept;
 
   /// Ends the stream: flushes every stage, applies the FDR filter, and
   /// returns exactly what a synchronous Pipeline::run over the submitted

@@ -39,6 +39,17 @@
 // zero-copy from a persistent index::LibraryIndex (index/library_index.hpp),
 // whose word block backs every backend with no re-encoding on cold start.
 //
+// Multi-tenant serving seam (src/serve/): backends reporting
+// thread_safe() == true may be *shared* across concurrent sessions —
+// serve::LibraryCache holds one instance per (fingerprint, path,
+// backend-config) and hands it to every compatible serve::Session via
+// Pipeline::set_library(index, shared_backend), with cross-tenant
+// search_batch calls arbitrated by serve::FairScheduler. A shared backend
+// must therefore keep top_k / search_batch reentrant and its BackendStats
+// counters atomic (the built-ins already do, for the exact-counter
+// contract above). thread_safe() == false backends ("rram-circuit") are
+// never cached or shared: each session builds and keeps its own.
+//
 // Registering a new backend (e.g. from a plugin or a future GPU/FPGA port):
 //
 //   class MyBackend final : public core::SearchBackend { ... };

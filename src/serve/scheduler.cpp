@@ -1,0 +1,101 @@
+#include "serve/scheduler.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace oms::serve {
+
+FairScheduler::FairScheduler(std::size_t max_concurrent)
+    : max_concurrent_(max_concurrent != 0
+                          ? max_concurrent
+                          : util::ThreadPool::global().thread_count()) {}
+
+std::uint64_t FairScheduler::register_stream() {
+  const std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  streams_.emplace(id, Stream{});
+  return id;
+}
+
+void FairScheduler::unregister_stream(std::uint64_t id) {
+  const std::lock_guard lock(mutex_);
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    throw std::logic_error("FairScheduler: unknown stream id");
+  }
+  if (!it->second.queue.empty() || it->second.active != 0) {
+    throw std::logic_error(
+        "FairScheduler: unregister_stream with blocks waiting or running");
+  }
+  streams_.erase(it);
+}
+
+bool FairScheduler::dispatch() {
+  // Rotate over stream ids strictly after the cursor (wrapping), granting
+  // the head waiter of each stream that has one, until the slots are full
+  // or nothing waits. FIFO within a stream, round-robin across streams.
+  bool granted_any = false;
+  while (active_ < max_concurrent_ && waiting_ > 0) {
+    auto it = streams_.upper_bound(cursor_);
+    bool granted = false;
+    for (std::size_t step = 0; step < streams_.size(); ++step) {
+      if (it == streams_.end()) it = streams_.begin();
+      if (!it->second.queue.empty()) {
+        Waiter* w = it->second.queue.front();
+        it->second.queue.pop_front();
+        w->granted = true;
+        ++it->second.active;
+        ++active_;
+        --waiting_;
+        ++grants_;
+        cursor_ = it->first;
+        granted = granted_any = true;
+        break;
+      }
+      ++it;
+    }
+    if (!granted) break;  // waiting_ > 0 but no queue found: cannot happen
+  }
+  return granted_any;
+}
+
+void FairScheduler::run(std::uint64_t id, const std::function<void()>& fn) {
+  Waiter w;
+  {
+    std::unique_lock lock(mutex_);
+    auto it = streams_.find(id);
+    if (it == streams_.end()) {
+      throw std::logic_error("FairScheduler: unknown stream id");
+    }
+    it->second.queue.push_back(&w);
+    ++waiting_;
+    if (dispatch()) cv_.notify_all();
+    cv_.wait(lock, [&] { return w.granted; });
+  }
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    --streams_.at(id).active;
+    --active_;
+    if (dispatch()) cv_.notify_all();
+    throw;
+  }
+  std::lock_guard lock(mutex_);
+  --streams_.at(id).active;
+  --active_;
+  if (dispatch()) cv_.notify_all();
+}
+
+SchedulerStats FairScheduler::stats() const {
+  const std::lock_guard lock(mutex_);
+  SchedulerStats out;
+  out.grants = grants_;
+  out.streams = streams_.size();
+  out.running = active_;
+  out.waiting = waiting_;
+  return out;
+}
+
+}  // namespace oms::serve

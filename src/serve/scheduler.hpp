@@ -1,0 +1,95 @@
+// FairScheduler: round-robin admission of search blocks across tenant
+// streams — the scheduling half of the serve layer's multiplexing story.
+//
+// Every serve::Session runs its own core::QueryEngine, and each engine's
+// search workers would otherwise hand blocks to the (shared) backend the
+// moment they are ready. One chatty session with deep stage queues could
+// then monopolize the substrate while a lightly loaded neighbor's single
+// block waits behind a dozen of the heavy tenant's. The scheduler sits in
+// the engines' QueryEngineConfig::search_gate seam: a worker wraps its
+// backend call in run(stream, fn), and the scheduler decides when fn()
+// executes.
+//
+// Policy: at most `max_concurrent` blocks execute at once (defaults to the
+// global thread pool's worker count — the substrate's real parallelism);
+// free slots are granted by rotating over streams that have waiting
+// blocks, FIFO within each stream. So with S active streams a session is
+// guaranteed every S-th grant no matter how deep anyone's backlog is —
+// bounded wait, no starvation.
+//
+// This is purely a scheduling layer: the engines' keyed-noise determinism
+// contract makes results independent of block execution order, so
+// fairness costs nothing in reproducibility (serve_server_test pins that).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace oms::serve {
+
+struct SchedulerStats {
+  std::uint64_t grants = 0;    ///< Blocks admitted to the substrate.
+  std::size_t streams = 0;     ///< Streams currently registered.
+  std::size_t running = 0;     ///< Blocks executing or granted right now.
+  std::size_t waiting = 0;     ///< Blocks parked across all streams.
+};
+
+class FairScheduler {
+ public:
+  /// `max_concurrent` = simultaneous blocks on the substrate; 0 → the
+  /// global util::ThreadPool worker count.
+  explicit FairScheduler(std::size_t max_concurrent = 0);
+
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Joins the rotation; the returned id names this stream in run().
+  [[nodiscard]] std::uint64_t register_stream();
+
+  /// Leaves the rotation. The stream must be quiescent — no run() call in
+  /// flight or waiting (sessions unregister after their engine drains);
+  /// throws std::logic_error otherwise.
+  void unregister_stream(std::uint64_t id);
+
+  /// Runs fn() when the rotation grants this stream a slot. Blocks the
+  /// calling worker until then; calls within one stream execute in FIFO
+  /// order. fn's exceptions propagate to the caller (the slot is released
+  /// either way). Throws std::logic_error for an unregistered id.
+  void run(std::uint64_t id, const std::function<void()>& fn);
+
+  [[nodiscard]] SchedulerStats stats() const;
+  [[nodiscard]] std::size_t max_concurrent() const noexcept {
+    return max_concurrent_;
+  }
+
+ private:
+  struct Waiter {
+    bool granted = false;
+  };
+  struct Stream {
+    std::deque<Waiter*> queue;  ///< Parked workers, FIFO.
+    std::size_t active = 0;     ///< Granted or executing blocks.
+  };
+
+  /// Grants free slots round-robin; caller holds mutex_. Returns true if
+  /// anything was granted (caller should notify).
+  bool dispatch();
+
+  const std::size_t max_concurrent_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Stream> streams_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t cursor_ = 0;  ///< Stream id last granted (rotation point).
+  std::size_t active_ = 0;    ///< Granted-or-executing blocks, all streams.
+  std::size_t waiting_ = 0;
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace oms::serve

@@ -1,0 +1,51 @@
+#include "serve/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace oms::serve {
+
+SearchServer::SearchServer(const SearchServerConfig& cfg)
+    : core_(std::make_shared<detail::ServerCore>(cfg)) {}
+
+std::shared_ptr<Session> SearchServer::open(const std::string& library_path,
+                                            SessionConfig cfg) {
+  {
+    const std::lock_guard lock(core_->mutex);
+    if (core_->sessions_open >= core_->cfg.max_sessions) {
+      throw std::runtime_error(
+          "SearchServer::open: at max_sessions (" +
+          std::to_string(core_->cfg.max_sessions) + ")");
+    }
+    // Reserve the slot before the (slow, throwing) construction so two
+    // racing opens cannot both squeeze past the limit.
+    ++core_->sessions_open;
+    ++core_->sessions_total;
+  }
+  try {
+    return std::shared_ptr<Session>(
+        new Session(core_, library_path, std::move(cfg)));
+  } catch (...) {
+    const std::lock_guard lock(core_->mutex);
+    --core_->sessions_open;
+    --core_->sessions_total;
+    throw;
+  }
+}
+
+SearchServerStats SearchServer::stats() const {
+  SearchServerStats out;
+  {
+    const std::lock_guard lock(core_->mutex);
+    out.sessions_open = core_->sessions_open;
+    out.sessions_total = core_->sessions_total;
+  }
+  out.queries_admitted =
+      core_->queries_admitted.load(std::memory_order_relaxed);
+  out.psms_streamed = core_->psms_streamed.load(std::memory_order_relaxed);
+  out.cache = core_->cache.stats();
+  out.scheduler = core_->scheduler.stats();
+  return out;
+}
+
+}  // namespace oms::serve

@@ -1,0 +1,106 @@
+// serve::SearchServer — the multi-tenant front door of the OMS search
+// stack, tying the serve layer together:
+//
+//   SearchServer
+//    ├─ LibraryCache      (serve/library_cache.hpp) keeps N mmapped
+//    │                    index::LibraryIndex artifacts hot, refcounted,
+//    │                    LRU-evicted, with donated shared backends
+//    ├─ FairScheduler     (serve/scheduler.hpp) round-robins search
+//    │                    blocks from all tenant engines onto the
+//    │                    substrate, bounding any one stream's monopoly
+//    └─ Session…          (serve/session.hpp) one per open query stream:
+//                         private Pipeline + QueryEngine (Rolling FDR,
+//                         on_accept delivery), admission quota, explicit
+//                         open → submit → close lifecycle
+//
+// The server is transport-agnostic: examples/search_server.cpp wraps it
+// in a line protocol over TCP or stdin/stdout, but anything able to call
+// open()/submit()/close() can serve queries. Sessions hold shared
+// ownership of the server core, so a Session outliving its SearchServer
+// handle stays fully functional (the core dies with the last session).
+//
+// Capacity: open() fails fast at `max_sessions` rather than queueing —
+// the admission-control philosophy is explicit per-tenant quotas inside a
+// session and explicit rejection at the door, never unbounded buffering.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/library_cache.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session.hpp"
+
+namespace oms::serve {
+
+struct SearchServerConfig {
+  LibraryCacheConfig cache{};
+  /// Concurrently open sessions before open() throws.
+  std::size_t max_sessions = 64;
+  /// Search blocks on the substrate at once, across all sessions
+  /// (FairScheduler slots). 0 → the global thread pool's worker count.
+  std::size_t max_concurrent_blocks = 0;
+};
+
+struct SearchServerStats {
+  std::size_t sessions_open = 0;
+  std::uint64_t sessions_total = 0;      ///< Successfully opened, ever.
+  std::uint64_t queries_admitted = 0;    ///< Across all sessions.
+  std::uint64_t psms_streamed = 0;       ///< on_accept deliveries.
+  LibraryCacheStats cache{};
+  SchedulerStats scheduler{};
+};
+
+namespace detail {
+/// State shared by the server handle and every session it opened.
+struct ServerCore {
+  explicit ServerCore(const SearchServerConfig& config)
+      : cfg(config), cache(config.cache),
+        scheduler(config.max_concurrent_blocks) {}
+
+  const SearchServerConfig cfg;
+  LibraryCache cache;
+  FairScheduler scheduler;
+
+  std::mutex mutex;  ///< Guards the session counts.
+  std::size_t sessions_open = 0;
+  std::uint64_t sessions_total = 0;
+  std::atomic<std::uint64_t> queries_admitted{0};
+  std::atomic<std::uint64_t> psms_streamed{0};
+};
+}  // namespace detail
+
+class SearchServer {
+ public:
+  explicit SearchServer(const SearchServerConfig& cfg = {});
+
+  SearchServer(const SearchServer&) = delete;
+  SearchServer& operator=(const SearchServer&) = delete;
+
+  /// Opens a tenant stream over the artifact at `library_path`: leases
+  /// the mapping from the cache (mapping it on first touch), builds the
+  /// session's pipeline + engine over the shared backend, and registers
+  /// it with the scheduler. Throws std::runtime_error at max_sessions,
+  /// and propagates open/validation failures (missing file, fingerprint
+  /// drift, non-thread-safe backend sharing) without leaking capacity.
+  [[nodiscard]] std::shared_ptr<Session> open(const std::string& library_path,
+                                              SessionConfig cfg);
+
+  [[nodiscard]] SearchServerStats stats() const;
+  [[nodiscard]] LibraryCache& cache() noexcept { return core_->cache; }
+  [[nodiscard]] FairScheduler& scheduler() noexcept {
+    return core_->scheduler;
+  }
+  [[nodiscard]] const SearchServerConfig& config() const noexcept {
+    return core_->cfg;
+  }
+
+ private:
+  std::shared_ptr<detail::ServerCore> core_;
+};
+
+}  // namespace oms::serve

@@ -10,6 +10,7 @@
 //                      rescore → emit).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -96,6 +97,37 @@ class BoundedQueue {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: returns false (dropping `item`) when the queue is
+  /// full or closed, without waiting. The reject arm of admission control.
+  bool try_push(T item) {
+    {
+      const std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Bounded-wait push: blocks up to `timeout` for room. Returns false
+  /// (dropping `item`) on timeout or when the queue closes while waiting —
+  /// the deadline arm of admission control, so a back-pressured producer
+  /// can give up instead of stalling its client forever.
+  template <typename Rep, typename Period>
+  bool push_for(T item, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return false;  // timed out, still full
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -201,6 +202,67 @@ TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverythingOnce) {
   q.close();
   for (auto& t : consumers) t.join();
   for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(BoundedQueue, TryPushNeverBlocks) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: rejected, not blocked
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));  // room again
+  q.close();
+  EXPECT_FALSE(q.try_push(4));  // closed: rejected
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, PushForTimesOutWhenFull) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.push_for(2, std::chrono::milliseconds(20)));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(15));
+  EXPECT_EQ(q.size(), 1U);  // the rejected item was dropped, not queued
+}
+
+TEST(BoundedQueue, PushForSucceedsWhenConsumerMakesRoom) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    // Generous deadline: the consumer pops long before it expires.
+    EXPECT_TRUE(q.push_for(2, std::chrono::seconds(30)));
+    pushed.store(true);
+  });
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueue, PushForFailsPromptlyOnCloseRace) {
+  // The closed-queue race: a producer parked in push_for must observe a
+  // concurrent close() and return false well before its deadline, and a
+  // producer that calls push_for after close must fail immediately even
+  // when there is room.
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(q.push_for(2, std::chrono::seconds(30)));
+    returned.store(true);
+  });
+  q.close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_EQ(q.pop(), 1);  // close drains pending items
+  // Room available now, but the queue is closed: fail without waiting.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.push_for(3, std::chrono::seconds(30)));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
 }
 
 TEST(BoundedQueue, MoveOnlyItems) {
