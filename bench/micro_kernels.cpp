@@ -1,18 +1,39 @@
-// Kernel microbenchmarks (google-benchmark): the Hamming-distance kernel,
-// ID-Level encoding, preprocessing, exact top-k search, and the crossbar
-// MVM circuit model. These are the software building blocks whose costs
-// the performance model (bench/fig12_energy) abstracts.
+// Kernel microbenchmarks (google-benchmark): the Hamming-distance kernel —
+// per dispatch tier (scalar / AVX2 / AVX-512-VPOPCNTDQ) — ID-Level
+// encoding, preprocessing, exact top-k search, and the crossbar MVM
+// circuit model. These are the software building blocks whose costs the
+// performance model (bench/fig12_energy) abstracts.
+//
+// Besides the google-benchmark loops, a hand-rolled section measures the
+// contiguous-block Hamming sweep per (dimension × tier), verifies every
+// tier is bit-identical to the scalar reference while timing it, and
+// emits machine-readable BENCH_kernels.json (--kernels-out=...) so the
+// CI artifact trail has per-PR kernel numbers. CI runs only this section
+// (`--benchmark_filter=NONE` skips the gbench loops).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "hd/encoder.hpp"
+#include "hd/kernels.hpp"
 #include "hd/search.hpp"
 #include "ms/preprocess.hpp"
 #include "ms/synthetic.hpp"
 #include "rram/array.hpp"
 #include "util/bitvec.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 namespace {
+
+using oms::hd::RefMatrix;
+using oms::hd::kernels::Tier;
+namespace kernels = oms::hd::kernels;
 
 void BM_XorPopcount(benchmark::State& state) {
   const std::size_t dim = static_cast<std::size_t>(state.range(0));
@@ -26,6 +47,38 @@ void BM_XorPopcount(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_XorPopcount)->Arg(1024)->Arg(8192)->Arg(32768);
+
+// One pair distance through an explicit dispatch tier: range(0) = dim,
+// range(1) = Tier. Unsupported tiers are skipped, not failed, so one
+// static registration list serves every machine.
+void BM_XorPopcountTier(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  const Tier tier = static_cast<Tier>(state.range(1));
+  if (tier > kernels::best_supported()) {
+    state.SkipWithError("tier unsupported on this CPU/build");
+    return;
+  }
+  oms::util::BitVec a(dim);
+  oms::util::BitVec b(dim);
+  a.randomize(1);
+  b.randomize(2);
+  const std::size_t n = a.word_count();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::xor_popcount_tier(
+        tier, a.words().data(), b.words().data(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * 8));
+  state.SetLabel(std::string(kernels::tier_name(tier)));
+}
+BENCHMARK(BM_XorPopcountTier)
+    ->Args({8192, 0})
+    ->Args({8192, 1})
+    ->Args({8192, 2})
+    ->Args({32768, 0})
+    ->Args({32768, 1})
+    ->Args({32768, 2});
 
 void BM_Encode(benchmark::State& state) {
   oms::hd::EncoderConfig cfg;
@@ -118,6 +171,127 @@ void BM_CrossbarMvm(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossbarMvm)->Arg(16)->Arg(64)->Arg(128);
 
+// --- BENCH_kernels.json: per-(dim × tier) contiguous sweep ----------------
+
+struct KernelPoint {
+  std::size_t dim = 0;
+  std::string tier;
+  double ns_per_ref = 0.0;
+  double gib_per_s = 0.0;
+  double speedup_vs_scalar = 1.0;
+  bool identical = true;  ///< Tier counts == scalar reference counts.
+};
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times the full-block Hamming sweep for one tier; best of `reps` passes.
+/// Also checks the produced distances against `expected` (scalar counts).
+KernelPoint measure_sweep(std::size_t dim, Tier tier, const RefMatrix& matrix,
+                          const std::uint64_t* qwords,
+                          const std::vector<std::uint32_t>& expected,
+                          std::size_t reps) {
+  std::vector<std::uint32_t> dist(matrix.count);
+  double best = 1e300;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const double t0 = now_s();
+    kernels::hamming_sweep_tier(tier, qwords, matrix, 0, matrix.count,
+                                dist.data());
+    const double t1 = now_s();
+    benchmark::DoNotOptimize(dist.data());
+    best = std::min(best, t1 - t0);
+  }
+
+  KernelPoint p;
+  p.dim = dim;
+  p.tier = std::string(kernels::tier_name(tier));
+  p.identical = dist == expected;
+  p.ns_per_ref = best * 1e9 / static_cast<double>(matrix.count);
+  const double bytes = static_cast<double>(matrix.count) *
+                       static_cast<double>(matrix.word_count()) * 8.0;
+  p.gib_per_s = bytes / best / (1024.0 * 1024.0 * 1024.0);
+  return p;
+}
+
+int run_kernel_sweeps(const std::string& out_path) {
+  // Row counts per dimension keep each sweep ~1-4 MiB: larger than L2, so
+  // the numbers reflect the streaming sweep the search actually runs, yet
+  // fast enough for CI.
+  struct Shape {
+    std::size_t dim;
+    std::size_t rows;
+  };
+  const Shape shapes[] = {{1024, 8192}, {8192, 2048}, {32768, 512}};
+  const std::size_t reps = 7;
+
+  std::vector<KernelPoint> points;
+  bool all_identical = true;
+  std::printf("\nContiguous Hamming sweep, best of %zu passes "
+              "(best_supported=%s):\n",
+              reps, std::string(kernels::tier_name(kernels::best_supported()))
+                        .c_str());
+  for (const Shape& s : shapes) {
+    const std::size_t wc = (s.dim + 63) / 64;
+    oms::util::SplitMix64 sm(0xBE7C4 + s.dim);
+    std::vector<std::uint64_t> block(wc * s.rows);
+    for (auto& w : block) w = sm.next();
+    std::vector<std::uint64_t> qwords(wc);
+    for (auto& w : qwords) w = sm.next();
+    const RefMatrix matrix{block.data(), wc, s.rows, s.dim};
+
+    // Scalar counts are the shared reference for timing *and* identity.
+    std::vector<std::uint32_t> expected(s.rows);
+    kernels::hamming_sweep_tier(Tier::kScalar, qwords.data(), matrix, 0,
+                                s.rows, expected.data());
+
+    double scalar_ns = 0.0;
+    for (const Tier tier : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512}) {
+      if (tier > kernels::best_supported()) continue;
+      KernelPoint p = measure_sweep(s.dim, tier, matrix, qwords.data(),
+                                    expected, reps);
+      if (tier == Tier::kScalar) scalar_ns = p.ns_per_ref;
+      p.speedup_vs_scalar = scalar_ns > 0.0 ? scalar_ns / p.ns_per_ref : 1.0;
+      all_identical = all_identical && p.identical;
+      std::printf("  D=%-6zu %-7s %9.1f ns/ref  %7.2f GiB/s  %5.2fx%s\n",
+                  p.dim, p.tier.c_str(), p.ns_per_ref, p.gib_per_s,
+                  p.speedup_vs_scalar,
+                  p.identical ? "" : "  !! MISMATCH vs scalar");
+      points.push_back(std::move(p));
+    }
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"kernels\",\n  \"best_supported\": \""
+      << kernels::tier_name(kernels::best_supported())
+      << "\",\n  \"all_identical\": " << (all_identical ? "true" : "false")
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const KernelPoint& p = points[i];
+    out << "    {\"dim\": " << p.dim << ", \"tier\": \"" << p.tier
+        << "\", \"ns_per_ref\": " << p.ns_per_ref
+        << ", \"gib_per_s\": " << p.gib_per_s
+        << ", \"speedup_vs_scalar\": " << p.speedup_vs_scalar
+        << ", \"identical\": " << (p.identical ? "true" : "false") << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;  // a mismatch fails the bench run loudly
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Leftover argv (our flags) goes through the repo's Cli parser.
+  const oms::util::Cli cli(argc, argv);
+  const std::string out_path =
+      cli.get("kernels-out", std::string("BENCH_kernels.json"));
+  return run_kernel_sweeps(out_path);
+}

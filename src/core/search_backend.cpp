@@ -77,12 +77,44 @@ struct BlockCounters {
   }
 };
 
-/// Exact digital Hamming search — hd::top_k_search behind the seam.
+/// Atomic aggregation of the per-call hd::PrefilterCounters the prefiltered
+/// search paths report (concurrent blocks accumulate without locking).
+struct PrefilterAtomicCounters {
+  std::atomic<std::uint64_t> candidates{0};
+  std::atomic<std::uint64_t> scanned{0};
+  std::atomic<std::uint64_t> audited{0};
+  std::atomic<std::uint64_t> matched{0};
+  std::atomic<std::uint64_t> expected{0};
+
+  void add(const hd::PrefilterCounters& c) {
+    candidates.fetch_add(c.window_candidates, std::memory_order_relaxed);
+    scanned.fetch_add(c.scanned, std::memory_order_relaxed);
+    audited.fetch_add(c.audited_queries, std::memory_order_relaxed);
+    matched.fetch_add(c.audit_matched, std::memory_order_relaxed);
+    expected.fetch_add(c.audit_expected, std::memory_order_relaxed);
+  }
+
+  void fill(BackendStats& s) const {
+    s.prefilter_candidates = candidates.load(std::memory_order_relaxed);
+    s.prefilter_scanned = scanned.load(std::memory_order_relaxed);
+    s.prefilter_audited_queries = audited.load(std::memory_order_relaxed);
+    s.prefilter_audit_matched = matched.load(std::memory_order_relaxed);
+    s.prefilter_audit_expected = expected.load(std::memory_order_relaxed);
+  }
+};
+
+/// Exact digital Hamming search — hd::top_k_search behind the seam. When
+/// the references are one contiguous word block (the mmap'd LibraryIndex
+/// layout), every sweep runs over the cached hd::RefMatrix view; the
+/// optional candidate prefilter (opts.prefilter) prunes windows first.
 class IdealHdBackend final : public SearchBackend {
  public:
   IdealHdBackend(std::span<const util::BitVec> references,
-                 std::size_t query_block)
-      : refs_(references), query_block_(query_block) {}
+                 std::size_t query_block, const hd::PrefilterConfig& prefilter)
+      : refs_(references),
+        matrix_(hd::RefMatrix::from_span(references)),
+        query_block_(query_block),
+        prefilter_(prefilter) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "ideal-hd";
@@ -90,7 +122,18 @@ class IdealHdBackend final : public SearchBackend {
 
   [[nodiscard]] std::vector<hd::SearchHit> top_k(
       const util::BitVec& query, std::size_t first, std::size_t last,
-      std::size_t k, std::uint64_t /*stream*/) override {
+      std::size_t k, std::uint64_t stream) override {
+    if (prefilter_.enabled) {
+      hd::PrefilterCounters local;
+      auto hits = hd::top_k_search_prefiltered(
+          query, refs_, first, last, k, prefilter_, stream, &local,
+          matrix_.valid() ? &matrix_ : nullptr);
+      prefilter_counters_.add(local);
+      return hits;
+    }
+    if (matrix_.valid()) {
+      return hd::top_k_search(query, matrix_, first, last, k);
+    }
     return hd::top_k_search(query, refs_, first, last, k);
   }
 
@@ -98,6 +141,17 @@ class IdealHdBackend final : public SearchBackend {
       std::span<const Query> queries, std::size_t k) override {
     auto out = run_blocked(queries, query_block_,
                            [&](std::span<const Query> sub) {
+                             if (prefilter_.enabled) {
+                               hd::PrefilterCounters local;
+                               auto hits = hd::top_k_search_batch_prefiltered(
+                                   sub, refs_, k, prefilter_, &local,
+                                   matrix_.valid() ? &matrix_ : nullptr);
+                               prefilter_counters_.add(local);
+                               return hits;
+                             }
+                             if (matrix_.valid()) {
+                               return hd::top_k_search_batch(sub, matrix_, k);
+                             }
                              return hd::top_k_search_batch(sub, refs_, k);
                            });
     counters_.count(queries.size(), query_block_);
@@ -108,14 +162,20 @@ class IdealHdBackend final : public SearchBackend {
     BackendStats s;
     s.backend = "ideal-hd";
     s.references = refs_.size();
+    s.kernel = hd::kernels::tier_name(hd::kernels::active_tier());
+    s.contiguous_refs = matrix_.valid();
     counters_.fill(s);
+    prefilter_counters_.fill(s);
     return s;
   }
 
  private:
   std::span<const util::BitVec> refs_;
+  hd::RefMatrix matrix_;  ///< Valid ⇔ refs_ is one contiguous word block.
   std::size_t query_block_;
+  hd::PrefilterConfig prefilter_;
   BlockCounters counters_;
+  PrefilterAtomicCounters prefilter_counters_;
 };
 
 /// One in-memory-compute engine (statistical or circuit fidelity).
@@ -244,7 +304,7 @@ BackendRegistry::BackendRegistry() {
   factories_["ideal-hd"] = {[](std::span<const util::BitVec> refs,
                                const BackendOptions& opts) {
                               return std::make_unique<IdealHdBackend>(
-                                  refs, opts.query_block);
+                                  refs, opts.query_block, opts.prefilter);
                             },
                             /*imc_encoding=*/nullptr};
   factories_["rram-statistical"] = {

@@ -38,6 +38,14 @@
 // encoded in-process by core::Pipeline::set_library(spectra), or mapped
 // zero-copy from a persistent index::LibraryIndex (index/library_index.hpp),
 // whose word block backs every backend with no re-encoding on cold start.
+// The exact digital kernel underneath "ideal-hd" dispatches at runtime
+// over scalar / AVX2 / AVX-512-VPOPCNTDQ popcount tiers (hd/kernels.hpp;
+// all bit-identical), sweeping the contiguous word block as an
+// hd::RefMatrix when the span is block-backed (detected at construction;
+// LibraryIndex::ref_matrix() is the same view) — BackendStats::kernel /
+// contiguous_refs report which path a run took. The optional ANN
+// candidate prefilter (BackendOptions::prefilter) prunes each precursor
+// window before the exact sweep; see hd/search.hpp.
 //
 // Multi-tenant serving seam (src/serve/): backends reporting
 // thread_safe() == true may be *shared* across concurrent sessions —
@@ -116,12 +124,49 @@ struct BackendStats {
                                       ///< fan-out path, per block batched.
   std::uint64_t query_blocks = 0;     ///< Blocks served by batched overrides.
   std::uint64_t batched_queries = 0;  ///< Queries inside those blocks.
+  /// Popcount kernel tier the digital sweeps run on ("scalar" | "avx2" |
+  /// "avx512"; hd/kernels.hpp dispatch). Empty for substrates that never
+  /// touch the digital kernel.
+  std::string kernel;
+  /// True when the reference hypervectors form one contiguous word block
+  /// (hd::RefMatrix — the mmap'd index layout), so sweeps bypass
+  /// per-BitVec indirection.
+  bool contiguous_refs = false;
+  /// ANN candidate-prefilter accounting ("ideal-hd" with
+  /// BackendOptions::prefilter enabled; all zero otherwise). Candidates
+  /// are window entries seen by the prefilter stage; scanned are the ones
+  /// exactly swept after pruning; the audit_* counters come from the
+  /// deterministic in-band recall audit (hd::PrefilterConfig).
+  std::uint64_t prefilter_candidates = 0;
+  std::uint64_t prefilter_scanned = 0;
+  std::uint64_t prefilter_audited_queries = 0;
+  std::uint64_t prefilter_audit_matched = 0;
+  std::uint64_t prefilter_audit_expected = 0;
 
   /// Mean queries amortized per batched block (0 before any batched call).
   [[nodiscard]] double queries_per_block() const noexcept {
     return query_blocks == 0 ? 0.0
                              : static_cast<double>(batched_queries) /
                                    static_cast<double>(query_blocks);
+  }
+
+  /// Fraction of window candidates exactly swept: 1.0 with the prefilter
+  /// off (every candidate is scanned), < 1.0 when pruning is active.
+  [[nodiscard]] double scanned_fraction() const noexcept {
+    return prefilter_candidates == 0
+               ? 1.0
+               : static_cast<double>(prefilter_scanned) /
+                     static_cast<double>(prefilter_candidates);
+  }
+
+  /// Audited recall of the prefiltered top-k vs the exact top-k: exactly
+  /// 1.0 when pruning is off (the sweeps are exact by construction), and
+  /// the measured ratio once audit samples exist.
+  [[nodiscard]] double prefilter_recall() const noexcept {
+    return prefilter_audit_expected == 0
+               ? 1.0
+               : static_cast<double>(prefilter_audit_matched) /
+                     static_cast<double>(prefilter_audit_expected);
   }
 };
 
@@ -156,6 +201,12 @@ struct BackendOptions {
   /// util::ThreadPool::global(). Tests inject small pools to pin the
   /// worker count.
   util::ThreadPool* shard_pool = nullptr;
+  /// "ideal-hd" only: opt-in ANN-style candidate prefilter ahead of the
+  /// exact sweep (hd::PrefilterConfig; disabled by default). Approximate
+  /// when enabled — the scanned fraction and audited recall surface in
+  /// BackendStats — so the exactness-dependent equivalence suites must
+  /// leave it off.
+  hd::PrefilterConfig prefilter{};
 };
 
 /// Abstract search backend over an externally owned reference set (the

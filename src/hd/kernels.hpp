@@ -1,0 +1,119 @@
+// SIMD XOR-popcount kernels behind the exact Hamming search, with runtime
+// CPU dispatch. Three tiers share one contract — bit-identical Hamming
+// counts, so swapping tiers can never move a search result:
+//
+//   kScalar  portable std::popcount loop (util::xor_popcount); the
+//            only tier compiled when OMSHD_DISABLE_SIMD is defined or the
+//            target is not x86-64;
+//   kAvx2    256-bit XOR + nibble-LUT (vpshufb) popcount, accumulated with
+//            vpsadbw — no special compile flags needed, the functions carry
+//            target("avx2") attributes and are entered only after a CPUID
+//            check;
+//   kAvx512  512-bit XOR + native vpopcntq (AVX-512-VPOPCNTDQ).
+//
+// The dispatched entry points (xor_popcount, hamming_sweep) read the active
+// tier once per call; best_supported() is CPUID-probed at startup and the
+// OMSHD_KERNEL_TIER env var ("scalar" | "avx2" | "avx512") or
+// set_active_tier() can clamp it down — benches use this to measure every
+// tier, tests to prove bit-identity across all of them.
+//
+// RefMatrix is the contiguous reference-major view the sweeps run over: a
+// raw word pointer + row stride into a hypervector block (the mmap'd
+// index::LibraryIndex word block is laid out exactly like this, 64-byte
+// aligned — the PR 4 alignment choice this layer cashes in). All loads are
+// unaligned-safe, so the 8-byte-aligned in-memory MappedFile fallback goes
+// through the same kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bitvec.hpp"
+
+namespace oms::hd {
+
+/// Contiguous reference-major matrix view: hypervector i occupies words
+/// [words + i*stride, words + i*stride + word_count) with word_count =
+/// ceil(dim/64) <= stride. Non-owning; the block must outlive the view.
+struct RefMatrix {
+  const std::uint64_t* words = nullptr;
+  std::size_t stride = 0;  ///< Words between consecutive rows (>= word_count).
+  std::size_t count = 0;   ///< Rows (hypervectors).
+  std::size_t dim = 0;     ///< Bits per row.
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return words != nullptr;
+  }
+  [[nodiscard]] constexpr std::size_t word_count() const noexcept {
+    return (dim + 63) / 64;
+  }
+  [[nodiscard]] constexpr const std::uint64_t* row(
+      std::size_t i) const noexcept {
+    return words + i * stride;
+  }
+
+  /// Detects whether `refs` is a constant-stride walk over one contiguous
+  /// word block (equal dims, row i at base + i*stride for a uint64-aligned
+  /// stride >= word_count) and returns the matching view; an invalid (null)
+  /// matrix otherwise. The zero-copy BitVec views a LibraryIndex exposes
+  /// always detect; per-BitVec owned storage normally does not (and when a
+  /// heap layout happens to be regular, the resulting view is still
+  /// correct — every row pointer is verified). O(refs.size()) pointer
+  /// checks: cheap next to any sweep, but hoist it out of per-query loops.
+  [[nodiscard]] static RefMatrix from_span(
+      std::span<const util::BitVec> refs) noexcept;
+};
+
+namespace kernels {
+
+/// Dispatch tiers, ordered so a larger value strictly implies the smaller
+/// ones are also runnable on this CPU.
+enum class Tier : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Best tier this binary + CPU can run (compile-time gates × CPUID).
+[[nodiscard]] Tier best_supported() noexcept;
+
+/// Tier the dispatched entry points currently use. Defaults to
+/// best_supported(), clamped by the OMSHD_KERNEL_TIER env var when set.
+[[nodiscard]] Tier active_tier() noexcept;
+
+/// Forces the active tier (clamped to best_supported(); returns the tier
+/// actually installed). For benches and the cross-tier identity tests.
+Tier set_active_tier(Tier tier) noexcept;
+
+[[nodiscard]] std::string_view tier_name(Tier tier) noexcept;
+/// Parses "scalar" | "avx2" | "avx512" (anything else → kScalar).
+[[nodiscard]] Tier tier_from_name(std::string_view name) noexcept;
+
+/// popcount(a ^ b) over n words, through the active tier.
+[[nodiscard]] std::size_t xor_popcount(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t n) noexcept;
+
+/// Same, through an explicit tier (must be <= best_supported()).
+[[nodiscard]] std::size_t xor_popcount_tier(Tier tier, const std::uint64_t* a,
+                                            const std::uint64_t* b,
+                                            std::size_t n) noexcept;
+
+/// Hamming distances of one query against matrix rows [first, last):
+/// out[j] = popcount(query ^ row(first + j)). The reference-major inner
+/// loop of the exact search; rows stream sequentially so the hardware
+/// prefetcher sees one linear walk over the mapped block.
+void hamming_sweep(const std::uint64_t* query, const RefMatrix& refs,
+                   std::size_t first, std::size_t last,
+                   std::uint32_t* out) noexcept;
+
+/// Same, through an explicit tier (must be <= best_supported()).
+void hamming_sweep_tier(Tier tier, const std::uint64_t* query,
+                        const RefMatrix& refs, std::size_t first,
+                        std::size_t last, std::uint32_t* out) noexcept;
+
+/// Rows per cache block for a batched sweep: sized so one chunk of
+/// reference rows (~chunk * row_words * 8 bytes) stays L2-resident while
+/// every query of a block is scored against it.
+[[nodiscard]] std::size_t sweep_chunk_rows(std::size_t row_words) noexcept;
+
+}  // namespace kernels
+}  // namespace oms::hd

@@ -11,6 +11,23 @@
 // reference-major sweep that lets one pass over resident references serve a
 // whole block), and top_k_search_batch (the batched exact kernel built on
 // them).
+//
+// Kernel/dispatch seam: the word-level XOR-popcount work underneath lives
+// in hd/kernels.hpp — runtime-dispatched scalar / AVX2 / AVX-512-VPOPCNTDQ
+// tiers, all bit-identical, plus the contiguous RefMatrix view over a
+// hypervector word block. The RefMatrix overloads below are the fast path
+// (cache-blocked sweeps straight over the mapped index::LibraryIndex
+// block); the span overloads auto-detect a contiguous layout per batch and
+// fall back to per-BitVec indirection (still through the dispatched pair
+// kernel) when the references are individually heap-allocated.
+//
+// ANN candidate prefilter (opt-in, off by default): before the exact sweep
+// of a precursor window, a cheap sampled-word Hamming sketch ranks the
+// window's candidates and only the best keep_fraction are exactly scored —
+// scan *less* instead of just scanning faster. Approximate by design, so
+// it never runs unless explicitly enabled (PrefilterConfig / the backend's
+// BackendOptions::prefilter); PrefilterCounters reports the scanned
+// fraction and a deterministic audit measures recall in-band.
 #pragma once
 
 #include <algorithm>
@@ -18,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "hd/kernels.hpp"
 #include "util/bitvec.hpp"
 
 namespace oms::hd {
@@ -48,6 +66,16 @@ struct SearchHit {
 [[nodiscard]] std::vector<SearchHit> top_k_search(
     const util::BitVec& query, std::span<const util::BitVec> references,
     std::size_t first, std::size_t last, std::size_t k);
+
+/// Same search over a contiguous reference matrix (bit-identical results):
+/// the SIMD sweep runs straight over the word block with no per-BitVec
+/// indirection. Callers holding a block-backed library (index load path)
+/// should build the RefMatrix once and use this overload per query.
+[[nodiscard]] std::vector<SearchHit> top_k_search(const util::BitVec& query,
+                                                  const RefMatrix& references,
+                                                  std::size_t first,
+                                                  std::size_t last,
+                                                  std::size_t k);
 
 /// Convenience single-best search; returns an invalid hit (!hit.valid())
 /// if the candidate range is empty.
@@ -128,9 +156,81 @@ void for_each_query_segment(std::span<const BatchQuery> queries,
 /// Batched exact kernel: searches a whole query block in one
 /// reference-major sweep. result[i] is bit-identical to
 /// top_k_search(*queries[i].hv, references, queries[i].first,
-/// queries[i].last, k).
+/// queries[i].last, k). Detects a contiguous reference layout once per
+/// call (RefMatrix::from_span) and takes the cache-blocked SIMD sweep when
+/// it holds; otherwise the per-BitVec fallback with hoisted per-slot query
+/// pointers.
 [[nodiscard]] std::vector<std::vector<SearchHit>> top_k_search_batch(
     std::span<const BatchQuery> queries,
     std::span<const util::BitVec> references, std::size_t k);
+
+/// Batched exact kernel over a contiguous reference matrix: the segment
+/// sweep is additionally chunked (kernels::sweep_chunk_rows) so a chunk of
+/// reference rows stays cache-resident while every active query of the
+/// block is scored against it. Bit-identical to the span overload.
+[[nodiscard]] std::vector<std::vector<SearchHit>> top_k_search_batch(
+    std::span<const BatchQuery> queries, const RefMatrix& references,
+    std::size_t k);
+
+/// Opt-in ANN-style candidate prefilter ahead of the exact sweep. With
+/// `enabled` false (the default) the prefiltered entry points are exactly
+/// the exact search — recall 1.0 by construction.
+struct PrefilterConfig {
+  bool enabled = false;
+  /// Fraction of each window's candidates shortlisted for the exact sweep
+  /// (>= 1.0 keeps everything, making the search exact again).
+  double keep_fraction = 0.125;
+  /// Windows at or below this candidate count are always swept exactly —
+  /// pruning tiny windows saves nothing and risks the top-k itself.
+  std::size_t min_keep = 64;
+  /// Words of each hypervector sampled (evenly spaced) into the sketch
+  /// score. 16 words = 1024 bits: a 1/8 sketch at the paper's D = 8k.
+  std::size_t sketch_words = 16;
+  /// Fraction of queries (chosen deterministically by stream key) whose
+  /// window is *also* swept exactly to measure recall in-band. Audited
+  /// queries still return the prefiltered result, so results never depend
+  /// on the audit rate; only the counters do.
+  double audit_fraction = 0.0;
+};
+
+/// Work and recall accounting for the prefiltered paths. Plain counters —
+/// callers running concurrently aggregate per-call instances.
+struct PrefilterCounters {
+  std::uint64_t window_candidates = 0;  ///< Candidates inside all windows.
+  std::uint64_t scanned = 0;            ///< Exactly swept after pruning.
+  std::uint64_t audited_queries = 0;
+  std::uint64_t audit_matched = 0;   ///< |prefiltered top-k ∩ exact top-k|.
+  std::uint64_t audit_expected = 0;  ///< Σ |exact top-k| over audits.
+
+  void accumulate(const PrefilterCounters& other) noexcept {
+    window_candidates += other.window_candidates;
+    scanned += other.scanned;
+    audited_queries += other.audited_queries;
+    audit_matched += other.audit_matched;
+    audit_expected += other.audit_expected;
+  }
+};
+
+/// Prefiltered single-query search: sketch-rank the window, exactly sweep
+/// the shortlist. Deterministic (sketch ties break by lower index) but
+/// approximate when pruning is active; bit-identical to top_k_search when
+/// cfg.enabled is false or the shortlist covers the window. `stream` keys
+/// the audit choice only — never the result. `matrix` may point at the
+/// caller's cached contiguous view (null → detect nothing, walk the span).
+[[nodiscard]] std::vector<SearchHit> top_k_search_prefiltered(
+    const util::BitVec& query, std::span<const util::BitVec> references,
+    std::size_t first, std::size_t last, std::size_t k,
+    const PrefilterConfig& cfg, std::uint64_t stream,
+    PrefilterCounters* counters = nullptr, const RefMatrix* matrix = nullptr);
+
+/// Batched prefiltered search: per-query pruning (candidate shortlists are
+/// scattered, so there is no shared reference-major segment sweep to
+/// amortize). result[i] is bit-identical to top_k_search_prefiltered on
+/// queries[i].
+[[nodiscard]] std::vector<std::vector<SearchHit>> top_k_search_batch_prefiltered(
+    std::span<const BatchQuery> queries,
+    std::span<const util::BitVec> references, std::size_t k,
+    const PrefilterConfig& cfg, PrefilterCounters* counters = nullptr,
+    const RefMatrix* matrix = nullptr);
 
 }  // namespace oms::hd

@@ -48,21 +48,6 @@ void BitVec::inject_errors(double ber, Xoshiro256& rng) {
   }
 }
 
-std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
-                         std::size_t n) noexcept {
-  std::size_t total = 0;
-  // Unrolled by four: the compiler vectorizes this into pshufb/popcnt loops.
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    total += std::popcount(a[i + 0] ^ b[i + 0]);
-    total += std::popcount(a[i + 1] ^ b[i + 1]);
-    total += std::popcount(a[i + 2] ^ b[i + 2]);
-    total += std::popcount(a[i + 3] ^ b[i + 3]);
-  }
-  for (; i < n; ++i) total += std::popcount(a[i] ^ b[i]);
-  return total;
-}
-
 std::size_t hamming_distance(const BitVec& a, const BitVec& b) noexcept {
   return xor_popcount(a.words().data(), b.words().data(), a.word_count());
 }

@@ -162,9 +162,25 @@ class ConstBitVec {
 /// Hamming similarity in [0, 1]: fraction of equal components.
 [[nodiscard]] double hamming_similarity(const BitVec& a, const BitVec& b) noexcept;
 
-/// Raw word-level kernel: popcount of XOR over `n` words.
-[[nodiscard]] std::size_t xor_popcount(const std::uint64_t* a,
-                                       const std::uint64_t* b,
-                                       std::size_t n) noexcept;
+/// Raw word-level kernel: popcount of XOR over `n` words. This is the
+/// *portable scalar* kernel (and the reference implementation every other
+/// tier is verified bit-identical against); the Hamming-search hot path
+/// goes through hd/kernels.hpp, which layers runtime-dispatched AVX2 /
+/// AVX-512-VPOPCNTDQ variants on top of it.
+[[nodiscard]] inline std::size_t xor_popcount(const std::uint64_t* a,
+                                              const std::uint64_t* b,
+                                              std::size_t n) noexcept {
+  std::size_t total = 0;
+  // Unrolled by four: the compiler vectorizes this into pshufb/popcnt loops.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    total += std::popcount(a[i + 0] ^ b[i + 0]);
+    total += std::popcount(a[i + 1] ^ b[i + 1]);
+    total += std::popcount(a[i + 2] ^ b[i + 2]);
+    total += std::popcount(a[i + 3] ^ b[i + 3]);
+  }
+  for (; i < n; ++i) total += std::popcount(a[i] ^ b[i]);
+  return total;
+}
 
 }  // namespace oms::util

@@ -1,0 +1,305 @@
+// Bit-identity suite for the SIMD popcount kernels (hd/kernels.hpp): every
+// dispatch tier must produce exactly the scalar reference counts — across
+// dimensions with non-multiple-of-64 tails, over buffers with only the
+// 8-byte alignment the in-memory MappedFile fallback guarantees, and
+// through the full search stack (same hits, same tie-breaks). When the
+// build disables SIMD (OMSHD_DISABLE_SIMD — the CI portable-fallback leg),
+// the suite additionally pins best_supported() to the scalar tier, so the
+// fallback path is genuinely compiled and run.
+#include "hd/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "hd/search.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace oms::hd {
+namespace {
+
+using kernels::Tier;
+
+std::vector<Tier> runnable_tiers() {
+  std::vector<Tier> tiers{Tier::kScalar};
+  if (kernels::best_supported() >= Tier::kAvx2) tiers.push_back(Tier::kAvx2);
+  if (kernels::best_supported() >= Tier::kAvx512) {
+    tiers.push_back(Tier::kAvx512);
+  }
+  return tiers;
+}
+
+/// Restores the ambient dispatch tier on scope exit.
+class TierGuard {
+ public:
+  TierGuard() : saved_(kernels::active_tier()) {}
+  ~TierGuard() { kernels::set_active_tier(saved_); }
+
+ private:
+  Tier saved_;
+};
+
+std::vector<std::uint64_t> random_words(std::size_t n, std::uint64_t seed) {
+  util::SplitMix64 sm(seed);
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) w = sm.next();
+  return words;
+}
+
+/// Word count for `bits`, matching BitVec's layout.
+std::size_t wc(std::size_t bits) { return (bits + 63) / 64; }
+
+TEST(Kernels, TierOrderingAndNames) {
+  EXPECT_EQ(kernels::tier_name(Tier::kScalar), "scalar");
+  EXPECT_EQ(kernels::tier_name(Tier::kAvx2), "avx2");
+  EXPECT_EQ(kernels::tier_name(Tier::kAvx512), "avx512");
+  EXPECT_EQ(kernels::tier_from_name("avx512"), Tier::kAvx512);
+  EXPECT_EQ(kernels::tier_from_name("avx2"), Tier::kAvx2);
+  EXPECT_EQ(kernels::tier_from_name("scalar"), Tier::kScalar);
+  EXPECT_EQ(kernels::tier_from_name("nonsense"), Tier::kScalar);
+}
+
+#ifdef OMSHD_DISABLE_SIMD
+TEST(Kernels, DisabledSimdForcesScalarOnly) {
+  EXPECT_EQ(kernels::best_supported(), Tier::kScalar);
+  EXPECT_EQ(kernels::active_tier(), Tier::kScalar);
+  // Requesting a larger tier clamps back to scalar.
+  EXPECT_EQ(kernels::set_active_tier(Tier::kAvx512), Tier::kScalar);
+}
+#endif
+
+TEST(Kernels, SetActiveTierClampsToSupport) {
+  TierGuard guard;
+  const Tier best = kernels::best_supported();
+  EXPECT_EQ(kernels::set_active_tier(Tier::kAvx512), best >= Tier::kAvx512
+                                                         ? Tier::kAvx512
+                                                         : best);
+  EXPECT_EQ(kernels::set_active_tier(Tier::kScalar), Tier::kScalar);
+  EXPECT_EQ(kernels::active_tier(), Tier::kScalar);
+}
+
+TEST(Kernels, PairIdentityAcrossTiersAndDims) {
+  // Dims chosen to hit every tail class: sub-word, exact word multiples,
+  // one-over, AVX2 (4-word) and AVX-512 (8-word) vector remainders, and
+  // the paper-scale 8k/32k points.
+  const std::size_t dims[] = {1,    63,   64,   65,   127,  128,  191,
+                              256,  320,  448,  512,  520,  1000, 1024,
+                              4096, 8191, 8192, 8256, 32768, 33000};
+  for (const std::size_t dim : dims) {
+    const std::size_t n = wc(dim);
+    const auto a = random_words(n, 0x1111 + dim);
+    const auto b = random_words(n, 0x2222 + dim);
+    const std::size_t expected = util::xor_popcount(a.data(), b.data(), n);
+    for (const Tier tier : runnable_tiers()) {
+      EXPECT_EQ(kernels::xor_popcount_tier(tier, a.data(), b.data(), n),
+                expected)
+          << "dim=" << dim << " tier=" << kernels::tier_name(tier);
+    }
+  }
+}
+
+TEST(Kernels, PairIdentityAgainstBitLevelBruteForce) {
+  for (const std::size_t dim : {1u, 64u, 65u, 250u, 1024u}) {
+    util::BitVec a(dim);
+    util::BitVec b(dim);
+    a.randomize(991 + dim);
+    b.randomize(992 + dim);
+    std::size_t brute = 0;
+    for (std::size_t i = 0; i < dim; ++i) brute += a.get(i) != b.get(i);
+    for (const Tier tier : runnable_tiers()) {
+      EXPECT_EQ(kernels::xor_popcount_tier(tier, a.words().data(),
+                                           b.words().data(), a.word_count()),
+                brute)
+          << "dim=" << dim << " tier=" << kernels::tier_name(tier);
+    }
+  }
+}
+
+TEST(Kernels, UnalignedBuffersMatchScalar) {
+  // The in-memory MappedFile fallback only guarantees 8-byte alignment, so
+  // the SIMD loads must be unaligned-safe. Offset both operands by every
+  // word phase of a 64-byte line (0..7 words) to break 16/32/64-byte
+  // alignment in all combinations.
+  const std::size_t n = wc(8192);
+  const auto base_a = random_words(n + 8, 0xAAA);
+  const auto base_b = random_words(n + 8, 0xBBB);
+  for (std::size_t off_a = 0; off_a < 8; ++off_a) {
+    for (std::size_t off_b : {std::size_t{0}, std::size_t{3}, std::size_t{7}}) {
+      const std::uint64_t* a = base_a.data() + off_a;
+      const std::uint64_t* b = base_b.data() + off_b;
+      const std::size_t expected = util::xor_popcount(a, b, n);
+      for (const Tier tier : runnable_tiers()) {
+        EXPECT_EQ(kernels::xor_popcount_tier(tier, a, b, n), expected)
+            << "off_a=" << off_a << " off_b=" << off_b
+            << " tier=" << kernels::tier_name(tier);
+      }
+    }
+  }
+}
+
+TEST(Kernels, HammingSweepMatchesPairKernelIncludingPaddedStride) {
+  const std::size_t dim = 1000;  // 16 words, non-multiple-of-64 tail
+  const std::size_t n = wc(dim);
+  for (const std::size_t stride : {n, n + 1, n + 5}) {
+    const std::size_t count = 37;
+    auto block = random_words(stride * count, 0xC0FFEE + stride);
+    const auto query = random_words(n, 0xD0D0);
+    const RefMatrix m{block.data(), stride, count, dim};
+
+    std::vector<std::uint32_t> expected(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      expected[i] = static_cast<std::uint32_t>(
+          util::xor_popcount(query.data(), m.row(i), n));
+    }
+    for (const Tier tier : runnable_tiers()) {
+      std::vector<std::uint32_t> out(count, 0xFFFFFFFF);
+      kernels::hamming_sweep_tier(tier, query.data(), m, 0, count, out.data());
+      EXPECT_EQ(out, expected) << "stride=" << stride
+                               << " tier=" << kernels::tier_name(tier);
+      // Sub-range sweep writes only [first, last).
+      std::vector<std::uint32_t> part(10, 0);
+      kernels::hamming_sweep_tier(tier, query.data(), m, 5, 15, part.data());
+      for (std::size_t j = 0; j < 10; ++j) {
+        EXPECT_EQ(part[j], expected[5 + j]);
+      }
+    }
+  }
+}
+
+TEST(Kernels, FromSpanDetectsContiguousBlock) {
+  const std::size_t dim = 512;
+  const std::size_t n = wc(dim);
+  const std::size_t count = 20;
+  const auto block = random_words(n * count, 0xB10C);
+
+  std::vector<util::BitVec> views;
+  for (std::size_t i = 0; i < count; ++i) {
+    views.push_back(util::BitVec::view(block.data() + i * n, dim));
+  }
+  const RefMatrix m = RefMatrix::from_span(views);
+  ASSERT_TRUE(m.valid());
+  EXPECT_EQ(m.words, block.data());
+  EXPECT_EQ(m.stride, n);
+  EXPECT_EQ(m.count, count);
+  EXPECT_EQ(m.dim, dim);
+}
+
+TEST(Kernels, FromSpanDetectsPaddedStride) {
+  const std::size_t dim = 500;
+  const std::size_t n = wc(dim);
+  const std::size_t stride = n + 3;
+  const auto block = random_words(stride * 8, 0xAD0B);
+  std::vector<util::BitVec> views;
+  for (std::size_t i = 0; i < 8; ++i) {
+    views.push_back(util::BitVec::view(block.data() + i * stride, dim));
+  }
+  const RefMatrix m = RefMatrix::from_span(views);
+  ASSERT_TRUE(m.valid());
+  EXPECT_EQ(m.stride, stride);
+}
+
+TEST(Kernels, FromSpanRejectsIrregularLayouts) {
+  const std::size_t dim = 256;
+  const std::size_t n = wc(dim);
+  const auto block = random_words(n * 10, 0x1DE9);
+
+  // Irregular offsets: row 2 breaks the stride implied by rows 0→1.
+  std::vector<util::BitVec> irregular{
+      util::BitVec::view(block.data(), dim),
+      util::BitVec::view(block.data() + n, dim),
+      util::BitVec::view(block.data() + 2 * n + 1, dim),
+  };
+  EXPECT_FALSE(RefMatrix::from_span(irregular).valid());
+
+  // Mixed dimensions are never a matrix.
+  std::vector<util::BitVec> mixed{
+      util::BitVec::view(block.data(), dim),
+      util::BitVec::view(block.data() + n, 128),
+  };
+  EXPECT_FALSE(RefMatrix::from_span(mixed).valid());
+
+  // Descending layout is rejected (stride must advance).
+  std::vector<util::BitVec> descending{
+      util::BitVec::view(block.data() + n, dim),
+      util::BitVec::view(block.data(), dim),
+  };
+  EXPECT_FALSE(RefMatrix::from_span(descending).valid());
+
+  // Empty span → invalid.
+  EXPECT_FALSE(RefMatrix::from_span({}).valid());
+
+  // Single-row span is trivially contiguous.
+  std::vector<util::BitVec> single{util::BitVec::view(block.data(), dim)};
+  EXPECT_TRUE(RefMatrix::from_span(single).valid());
+}
+
+TEST(Kernels, SearchBitIdenticalAcrossAllTiers) {
+  TierGuard guard;
+  const std::size_t dim = 1984;  // 31 words: odd AVX2/AVX-512 remainders
+  const std::size_t n = wc(dim);
+  const std::size_t count = 400;
+  auto block = random_words(n * count, 0x5EED);
+  std::vector<util::BitVec> refs;
+  for (std::size_t i = 0; i < count; ++i) {
+    refs.push_back(util::BitVec::view(block.data() + i * n, dim));
+  }
+  // Duplicate some rows so tie-breaks matter.
+  for (std::size_t i = 50; i < count; i += 50) {
+    std::copy(block.begin(), block.begin() + static_cast<std::ptrdiff_t>(n),
+              block.begin() + static_cast<std::ptrdiff_t>(i * n));
+  }
+  util::BitVec query(dim);
+  query.randomize(0xFACE);
+
+  std::vector<BatchQuery> batch;
+  for (std::size_t i = 0; i < 7; ++i) {
+    batch.push_back(BatchQuery{&query, i * 13, count - i * 17, i});
+  }
+
+  kernels::set_active_tier(Tier::kScalar);
+  const auto single_ref = top_k_search(query, refs, 0, count, 8);
+  const auto batch_ref = top_k_search_batch(batch, refs, 8);
+
+  for (const Tier tier : runnable_tiers()) {
+    kernels::set_active_tier(tier);
+    EXPECT_EQ(top_k_search(query, refs, 0, count, 8), single_ref)
+        << kernels::tier_name(tier);
+    EXPECT_EQ(top_k_search_batch(batch, refs, 8), batch_ref)
+        << kernels::tier_name(tier);
+    // Matrix overloads agree with the span path, tier by tier.
+    const RefMatrix m = RefMatrix::from_span(refs);
+    ASSERT_TRUE(m.valid());
+    EXPECT_EQ(top_k_search(query, m, 0, count, 8), single_ref)
+        << kernels::tier_name(tier);
+    EXPECT_EQ(top_k_search_batch(batch, m, 8), batch_ref)
+        << kernels::tier_name(tier);
+  }
+}
+
+TEST(Kernels, NonContiguousSpanStillMatchesScalarReference) {
+  TierGuard guard;
+  // Owned per-BitVec storage: the fallback (indirect) sweep, still through
+  // the dispatched pair kernel.
+  std::vector<util::BitVec> refs(120);
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    refs[i] = util::BitVec(777);
+    refs[i].randomize(31 + i);
+  }
+  util::BitVec query(777);
+  query.randomize(12345);
+
+  kernels::set_active_tier(Tier::kScalar);
+  const auto expected = top_k_search(query, refs, 0, refs.size(), 5);
+  for (const Tier tier : runnable_tiers()) {
+    kernels::set_active_tier(tier);
+    EXPECT_EQ(top_k_search(query, refs, 0, refs.size(), 5), expected)
+        << kernels::tier_name(tier);
+  }
+}
+
+}  // namespace
+}  // namespace oms::hd

@@ -121,6 +121,18 @@ TEST_P(IndexRoundTrip, LoadPathIsBitIdenticalWithZeroEncodes) {
           << "hypervector " << i;
     }
 
+    // The explicit ref_matrix() accessor and the layout auto-detection over
+    // the exposed views must agree: the word block is one contiguous
+    // reference-major matrix on both the mmap and in-memory paths.
+    const hd::RefMatrix direct = idx->ref_matrix();
+    const hd::RefMatrix detected = hd::RefMatrix::from_span(idx->hypervectors());
+    ASSERT_TRUE(direct.valid());
+    ASSERT_TRUE(detected.valid());
+    EXPECT_EQ(direct.words, detected.words);
+    EXPECT_EQ(direct.stride, detected.stride);
+    EXPECT_EQ(direct.count, detected.count);
+    EXPECT_EQ(direct.dim, detected.dim);
+
     const auto got = from_index.run(workload.queries);
     expect_identical(want, got);
   }
