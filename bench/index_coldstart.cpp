@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -27,8 +28,20 @@
 #include "bench_common.hpp"
 #include "index/index_builder.hpp"
 #include "index/library_index.hpp"
+#include "index/manifest.hpp"
 
 namespace {
+
+/// One timed IndexBuilder::append of a fixed batch onto a segmented
+/// library with `base_refs` already-encoded references. Append cost must
+/// track the batch, not the base — that is the whole point of segments.
+struct AppendMeasurement {
+  std::size_t base_refs = 0;
+  std::size_t batch_refs = 0;
+  double append_s = 0.0;   ///< Wall clock for the append call.
+  double encode_s = 0.0;   ///< Encode share (new spectra only).
+  std::size_t segment_bytes = 0;
+};
 
 struct Measurement {
   std::string backend;
@@ -54,7 +67,9 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 void write_json(const std::string& path,
-                const std::vector<Measurement>& results, std::size_t dim) {
+                const std::vector<Measurement>& results,
+                const std::vector<AppendMeasurement>& appends,
+                std::size_t dim) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"index_coldstart\",\n  \"dim\": " << dim
       << ",\n  \"results\": [\n";
@@ -73,7 +88,23 @@ void write_json(const std::string& path,
         << ", \"reduced_scale\": " << (m.reduced_scale ? "true" : "false")
         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"append\": [\n";
+  for (std::size_t i = 0; i < appends.size(); ++i) {
+    const AppendMeasurement& a = appends[i];
+    out << "    {\"base_references\": " << a.base_refs
+        << ", \"batch_references\": " << a.batch_refs
+        << ", \"append_seconds\": " << a.append_s
+        << ", \"append_encode_seconds\": " << a.encode_s
+        << ", \"segment_bytes\": " << a.segment_bytes << "}"
+        << (i + 1 < appends.size() ? "," : "") << "\n";
+  }
+  // Time appending the SAME batch onto a small vs a large base: near 1.0
+  // means append cost scales with the new spectra, not the library size.
+  const double ratio =
+      appends.size() >= 2 && appends.front().append_s > 0.0
+          ? appends.back().append_s / appends.front().append_s
+          : 0.0;
+  out << "  ],\n  \"append_large_over_small_ratio\": " << ratio << "\n}\n";
 }
 
 }  // namespace
@@ -182,7 +213,64 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", table.str().c_str());
-  write_json(out_path, results, dim);
+
+  // --- segmented append: cost scales with the batch, not the base -------
+  // Append one fixed batch of fresh spectra onto a small and onto a large
+  // segmented library; comparable wall times show the incremental-growth
+  // claim (only the new spectra are encoded; existing segments are
+  // untouched on disk).
+  oms::core::PipelineConfig append_cfg = oms::bench::paper_pipeline_config(dim);
+  append_cfg.backend_name = "ideal-hd";
+  const oms::index::IndexBuilder append_builder(append_cfg);
+
+  const std::size_t batch_n = std::max<std::size_t>(64, n_refs / 8);
+  oms::ms::WorkloadConfig batch_cfg;
+  batch_cfg.reference_count = batch_n;
+  batch_cfg.query_count = 0;
+  batch_cfg.seed = 12;
+  const auto batch = oms::ms::generate_workload(batch_cfg).references;
+
+  std::vector<AppendMeasurement> appends;
+  const std::size_t bases[] = {std::max<std::size_t>(batch_n, n_refs / 4),
+                               n_refs};
+  for (const std::size_t base_n : bases) {
+    const std::string man_path =
+        "/tmp/omshd_coldstart_append_" + std::to_string(base_n) + ".omsman";
+    std::remove(man_path.c_str());
+    const std::vector<oms::ms::Spectrum> base(
+        workload.references.begin(),
+        workload.references.begin() + static_cast<std::ptrdiff_t>(base_n));
+    (void)append_builder.append(base, man_path);  // seeds the manifest
+
+    AppendMeasurement a;
+    a.base_refs = base_n;
+    a.batch_refs = batch_n;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto stats = append_builder.append(batch, man_path);
+    a.append_s = seconds_since(t0);
+    a.encode_s = stats.encode_seconds;
+    a.segment_bytes = stats.file_bytes;
+    appends.push_back(a);
+
+    const auto man = oms::index::Manifest::load(man_path);
+    const auto dir = std::filesystem::path(man_path).parent_path();
+    for (const auto& seg : man.segments) {
+      std::filesystem::remove(dir / seg.name);
+    }
+    std::remove(man_path.c_str());
+
+    std::printf("append %zu spectra onto %zu-ref base: %.3f s "
+                "(encode %.3f s, segment %.2f MB)\n",
+                batch_n, base_n, a.append_s, a.encode_s,
+                static_cast<double>(a.segment_bytes) / 1048576.0);
+  }
+  if (appends.size() == 2 && appends.front().append_s > 0.0) {
+    std::printf("append time large-base / small-base: %.2fx "
+                "(≈1.0 ⇒ cost follows the batch, not the library)\n\n",
+                appends.back().append_s / appends.front().append_s);
+  }
+
+  write_json(out_path, results, appends, dim);
   std::printf("wrote %s\n", out_path.c_str());
   std::printf(
       "Expected shape: load→PSM is well under build→PSM for every backend\n"

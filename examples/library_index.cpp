@@ -1,25 +1,27 @@
-// Tooling for the persistent LibraryIndex artifact: build one from spectra,
-// inspect its sections and fingerprint, or verify its integrity.
-//
-//   library_index build   --out=library.omsx [--mgf=in.mgf] [--peptides=2000]
-//                         [--backend=ideal-hd|rram-statistical|...]
-//                         [--dim=8192] [--threads=0]
-//   library_index inspect --in=library.omsx
-//   library_index verify  --in=library.omsx
+// Tooling for the persistent library artifacts: build a monolithic index,
+// grow a segmented library by appending, compact it back to one segment,
+// inspect sections/fingerprints/manifests, or verify integrity. Run with
+// --help (or no subcommand) for the full usage text.
 //
 // `build` synthesizes a tryptic reference library (or reads --mgf) and
 // streams the single-file index: mass-sorted entries, encoded hypervector
 // word block, precursor-mass axis, preprocess+encoder fingerprint,
-// per-section checksums. `inspect` prints the header, section table, and
-// fingerprint without loading the library. `verify` additionally re-walks
-// every checksum and per-entry invariant, exiting non-zero on corruption —
-// wire it into deployment health checks.
+// per-section checksums. `append` encodes ONLY the given spectra into a
+// fresh immutable segment next to an "OMSXMAN1" manifest (created on the
+// first append), so growing a library costs the new spectra, not a full
+// rebuild. `compact` rewrites all segments into one — byte-identical to a
+// one-shot build, restoring the contiguous SIMD sweep — and `inspect` /
+// `verify` accept either a monolithic index or a manifest (detected by
+// magic). `verify` exits non-zero on corruption — wire it into deployment
+// health checks.
 #include <cstdio>
 #include <exception>
 #include <string>
 
 #include "index/index_builder.hpp"
 #include "index/library_index.hpp"
+#include "index/manifest.hpp"
+#include "index/segmented_library.hpp"
 #include "ms/mgf.hpp"
 #include "ms/synthetic.hpp"
 #include "util/cli.hpp"
@@ -28,6 +30,41 @@
 namespace {
 
 using oms::index::LibraryIndex;
+using oms::index::SegmentedLibrary;
+
+constexpr const char kUsage[] =
+    "usage: library_index <build|append|compact|inspect|verify> [options]\n"
+    "\n"
+    "  build   --out=FILE [--mgf=IN] [--peptides=N] [--backend=NAME]\n"
+    "          [--dim=D] [--threads=N]\n"
+    "      One-shot monolithic index: synthesize N tryptic references\n"
+    "      (or read --mgf) and stream the single-file OMSXIDX1 artifact.\n"
+    "\n"
+    "  append  --manifest=FILE [--mgf=IN] [--peptides=N] [--id-base=K]\n"
+    "          [--data-seed=S] [--backend=NAME] [--dim=D] [--threads=N]\n"
+    "      Encode ONLY the given spectra into a fresh immutable segment\n"
+    "      next to the manifest, then publish the extended manifest\n"
+    "      atomically. The first append creates the manifest. Synthetic\n"
+    "      spectra ids are offset by --id-base so repeated appends stay\n"
+    "      unique; vary --data-seed to append different spectra.\n"
+    "\n"
+    "  compact --manifest=FILE [--backend=NAME] [--dim=D]\n"
+    "      Rewrite all segments into one (no re-encoding; byte-identical\n"
+    "      to a one-shot build of the union) and delete the old segments.\n"
+    "      Search results are identical before and after.\n"
+    "\n"
+    "  inspect --in=FILE\n"
+    "      FILE may be a monolithic index or a manifest (detected by\n"
+    "      magic): prints header, sections or segment list, fingerprint.\n"
+    "\n"
+    "  verify  --in=FILE\n"
+    "      Re-walks every checksum and per-entry invariant of the index\n"
+    "      (or of every segment of a manifest); non-zero exit on\n"
+    "      corruption.\n"
+    "\n"
+    "append/compact must run under the same configuration that built the\n"
+    "library (--backend/--dim shape the fingerprint); a mismatch fails\n"
+    "loudly before anything is written.\n";
 
 void print_fingerprint(const oms::index::IndexFingerprint& fp) {
   std::printf("fingerprint:\n");
@@ -77,53 +114,78 @@ int inspect(const LibraryIndex& idx) {
   return 0;
 }
 
+int inspect_manifest(const std::string& path) {
+  const oms::index::Manifest m = oms::index::Manifest::load(path);
+  std::printf("%s: segmented library manifest, %zu segment(s), "
+              "%llu entries, next-seq=%llu, generation=%016llx\n",
+              path.c_str(), m.segments.size(),
+              static_cast<unsigned long long>(m.total_entries()),
+              static_cast<unsigned long long>(m.next_sequence),
+              static_cast<unsigned long long>(m.combined_hash()));
+  for (const auto& s : m.segments) {
+    std::printf("  %-28s base=%-8llu entries=%-8llu %llu bytes  "
+                "table=%016llx\n",
+                s.name.c_str(), static_cast<unsigned long long>(s.base),
+                static_cast<unsigned long long>(s.entry_count),
+                static_cast<unsigned long long>(s.file_size),
+                static_cast<unsigned long long>(s.table_checksum));
+  }
+  print_fingerprint(m.fingerprint);
+  return 0;
+}
+
+/// Reference spectra for build/append: --mgf, or a synthesized tryptic
+/// set. --id-base offsets synthetic ids so successive appends never
+/// collide; --data-seed varies the spectra themselves.
+std::vector<oms::ms::Spectrum> load_references(const oms::util::Cli& cli) {
+  const std::string mgf = cli.get("mgf", std::string());
+  if (!mgf.empty()) {
+    auto refs = oms::ms::read_mgf_file(mgf);
+    std::printf("read %zu reference spectra from %s\n", refs.size(),
+                mgf.c_str());
+    return refs;
+  }
+  oms::ms::WorkloadConfig data_cfg;
+  data_cfg.reference_count =
+      static_cast<std::size_t>(cli.get("peptides", 2000L));
+  data_cfg.query_count = 0;
+  data_cfg.seed = static_cast<std::uint64_t>(cli.get("data-seed", 7L));
+  auto refs = oms::ms::generate_workload(data_cfg).references;
+  const auto id_base = static_cast<std::uint32_t>(cli.get("id-base", 0L));
+  for (auto& s : refs) s.id += id_base;
+  std::printf("synthesized %zu reference spectra (ids from %u)\n",
+              refs.size(), id_base);
+  return refs;
+}
+
+oms::core::PipelineConfig pipeline_config(const oms::util::Cli& cli) {
+  oms::core::PipelineConfig cfg;
+  cfg.encoder.dim = static_cast<std::uint32_t>(cli.get("dim", 8192L));
+  cfg.encoder.bins = cfg.preprocess.bin_count();
+  cfg.encoder.chunks = cfg.encoder.dim / 32;
+  cfg.backend_name = cli.get("backend", std::string("ideal-hd"));
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string cmd = argc > 1 ? argv[1] : "";
   const oms::util::Cli cli(argc, argv);
-  if (cmd != "build" && cmd != "inspect" && cmd != "verify") {
-    std::fprintf(stderr,
-                 "usage: library_index build --out=FILE [--mgf=IN] "
-                 "[--peptides=N] [--backend=NAME] [--dim=D] [--threads=N]\n"
-                 "       library_index inspect --in=FILE\n"
-                 "       library_index verify  --in=FILE\n");
-    return 2;
+  if (cmd != "build" && cmd != "append" && cmd != "compact" &&
+      cmd != "inspect" && cmd != "verify") {
+    std::fputs(kUsage, cmd == "--help" || cmd == "help" ? stdout : stderr);
+    return cmd == "--help" || cmd == "help" ? 0 : 2;
   }
 
   try {
+    oms::util::ThreadPool::set_global_threads(
+        static_cast<std::size_t>(cli.get("threads", 0L)));
+
     if (cmd == "build") {
       const std::string out = cli.get("out", std::string("library.omsx"));
-      const std::string mgf = cli.get("mgf", std::string());
-      const auto n_peptides =
-          static_cast<std::size_t>(cli.get("peptides", 2000L));
-      oms::util::ThreadPool::set_global_threads(
-          static_cast<std::size_t>(cli.get("threads", 0L)));
-
-      std::vector<oms::ms::Spectrum> references;
-      if (!mgf.empty()) {
-        references = oms::ms::read_mgf_file(mgf);
-        std::printf("read %zu reference spectra from %s\n",
-                    references.size(), mgf.c_str());
-      } else {
-        oms::ms::WorkloadConfig data_cfg;
-        data_cfg.reference_count = n_peptides;
-        data_cfg.query_count = 0;
-        data_cfg.seed = 7;
-        references = oms::ms::generate_workload(data_cfg).references;
-        std::printf("synthesized %zu reference spectra\n",
-                    references.size());
-      }
-
-      oms::core::PipelineConfig cfg;
-      cfg.encoder.dim =
-          static_cast<std::uint32_t>(cli.get("dim", 8192L));
-      cfg.encoder.bins = cfg.preprocess.bin_count();
-      cfg.encoder.chunks = cfg.encoder.dim / 32;
-      cfg.backend_name = cli.get("backend", std::string("ideal-hd"));
-
-      const oms::index::IndexBuilder builder(cfg);
-      const auto stats = builder.build(references, out);
+      const oms::index::IndexBuilder builder(pipeline_config(cli));
+      const auto stats = builder.build(load_references(cli), out);
       std::printf(
           "built %s: %zu entries, %zu bytes\n"
           "encode %.2fs (%.0f spectra/sec), write %.2fs\n",
@@ -133,11 +195,51 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (cmd == "append" || cmd == "compact") {
+      const std::string manifest = cli.get("manifest", std::string());
+      if (manifest.empty()) {
+        std::fprintf(stderr, "error: --manifest=FILE is required\n");
+        return 2;
+      }
+      const oms::index::IndexBuilder builder(pipeline_config(cli));
+      if (cmd == "append") {
+        const auto stats = builder.append(load_references(cli), manifest);
+        std::printf(
+            "appended segment to %s: %zu new entries, %zu bytes\n"
+            "encode %.2fs (%.0f spectra/sec), write %.2fs\n",
+            manifest.c_str(), stats.entries, stats.file_bytes,
+            stats.encode_seconds, stats.spectra_per_sec(),
+            stats.write_seconds);
+      } else {
+        const auto stats = builder.compact(manifest);
+        std::printf(
+            "compacted %s: %zu entries into one segment, %zu bytes "
+            "(open+merge %.2fs, write %.2fs, zero re-encodes)\n",
+            manifest.c_str(), stats.entries, stats.file_bytes,
+            stats.encode_seconds, stats.write_seconds);
+      }
+      return 0;
+    }
+
     const std::string in = cli.get("in", std::string());
     if (in.empty()) {
       std::fprintf(stderr, "error: --in=FILE is required\n");
       return 2;
     }
+
+    if (oms::index::is_manifest_file(in)) {
+      if (cmd == "inspect") return inspect_manifest(in);
+      // verify: open every segment (structure + section checksums +
+      // manifest consistency), then re-walk the deep invariants.
+      const SegmentedLibrary lib = SegmentedLibrary::open(in);
+      for (std::size_t s = 0; s < lib.segment_count(); ++s) {
+        lib.segment(s).verify_deep();
+      }
+      std::printf("%s: OK (%zu segments, %zu entries)\n", in.c_str(),
+                  lib.segment_count(), lib.size());
+      return 0;
+    }
+
     const LibraryIndex idx = LibraryIndex::open(in);
     if (cmd == "inspect") return inspect(idx);
 

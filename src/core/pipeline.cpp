@@ -7,6 +7,7 @@
 #include "hd/errors.hpp"
 #include "index/index_builder.hpp"
 #include "index/library_index.hpp"
+#include "index/segmented_library.hpp"
 #include "util/thread_pool.hpp"
 
 namespace oms::core {
@@ -30,7 +31,9 @@ std::string Pipeline::backend_name() const {
 }
 
 const ms::SpectralLibrary& Pipeline::library() const noexcept {
-  return index_ ? index_->library() : library_;
+  if (index_) return index_->library();
+  if (segmented_) return segmented_->library();
+  return library_;
 }
 
 BackendStats Pipeline::backend_stats() const {
@@ -137,6 +140,7 @@ void Pipeline::set_library(const std::vector<ms::Spectrum>& targets) {
   // All search paths go through the registry — the pipeline never touches
   // a concrete engine type.
   index_.reset();
+  segmented_.reset();
   ref_view_ = ref_hvs_;
   BackendOptions opts = cfg_.backend_options;
   opts.seed = cfg_.seed;
@@ -169,9 +173,43 @@ void Pipeline::set_library(std::shared_ptr<const index::LibraryIndex> index,
   reference_encodes_ = 0;
   library_ = ms::SpectralLibrary();
   ref_hvs_.clear();
+  segmented_.reset();
   index_ = std::move(index);
   ref_view_ = index_->hypervectors();
 
+  adopt_backend(std::move(shared_backend));
+}
+
+void Pipeline::set_library(
+    std::shared_ptr<const index::SegmentedLibrary> segments) {
+  set_library(std::move(segments), nullptr);
+}
+
+void Pipeline::set_library(
+    std::shared_ptr<const index::SegmentedLibrary> segments,
+    std::shared_ptr<SearchBackend> shared_backend) {
+  BackendRegistry::instance().require(backend_name());
+  if (!segments) {
+    throw std::invalid_argument("Pipeline::set_library: null segments");
+  }
+  // Every segment carries the manifest's fingerprint (checked at open),
+  // so validating the manifest's covers them all.
+  oms::index::validate_fingerprint(segments->fingerprint(), cfg_);
+
+  // Adopt the merged view: entries and hypervectors come straight from
+  // the segments' mapped word blocks, in global merged order — the same
+  // zero-re-encoding contract as the single-index path.
+  reference_encodes_ = 0;
+  library_ = ms::SpectralLibrary();
+  ref_hvs_.clear();
+  index_.reset();
+  segmented_ = std::move(segments);
+  ref_view_ = segmented_->hypervectors();
+
+  adopt_backend(std::move(shared_backend));
+}
+
+void Pipeline::adopt_backend(std::shared_ptr<SearchBackend> shared_backend) {
   // Query-side encoding must still go through the IMC model when the
   // backend's trait demands it (the references already did, per the
   // fingerprint).

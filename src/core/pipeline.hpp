@@ -38,6 +38,7 @@
 
 namespace oms::index {
 class LibraryIndex;  // persistent search artifact (index/library_index.hpp)
+class SegmentedLibrary;  // manifest of segments (index/segmented_library.hpp)
 }  // namespace oms::index
 
 namespace oms::core {
@@ -137,6 +138,20 @@ class Pipeline {
   void set_library(std::shared_ptr<const index::LibraryIndex> index,
                    std::shared_ptr<SearchBackend> shared_backend);
 
+  /// Segmented cold-start path: adopts an opened index::SegmentedLibrary
+  /// — N immutable segment artifacts merged into one logical library —
+  /// with the same zero-encode, fingerprint-validated contract as the
+  /// single-index overload. Reference indices follow the segmented
+  /// library's global merged order, so search results are bit-identical
+  /// to the equivalent monolithic artifact (see segmented_library.hpp
+  /// for the tie-order caveat).
+  void set_library(std::shared_ptr<const index::SegmentedLibrary> segments);
+
+  /// Multi-tenant segmented variant (see the shared-backend overload
+  /// above for the sharing contract).
+  void set_library(std::shared_ptr<const index::SegmentedLibrary> segments,
+                   std::shared_ptr<SearchBackend> shared_backend);
+
   /// The pipeline's search backend, shareable with other pipelines over
   /// the same reference set (null before set_library). The donation path
   /// for serve::LibraryCache: the first session builds, the cache keeps.
@@ -174,6 +189,10 @@ class Pipeline {
       const std::vector<ms::BinnedSpectrum>& spectra, std::uint64_t ber_salt);
   /// Query-side IMC encoder when the backend's trait requires it.
   void ensure_imc_encoder();
+  /// Shared tail of the artifact load paths: query-side IMC encoder when
+  /// the trait demands it, then adopt the shared backend (validated) or
+  /// build a private one over ref_view_.
+  void adopt_backend(std::shared_ptr<SearchBackend> shared_backend);
   /// Alias for library() used by the engine internals.
   [[nodiscard]] const ms::SpectralLibrary& lib() const noexcept {
     return library();
@@ -186,6 +205,9 @@ class Pipeline {
   /// Keep-alive for the load path: the mapped artifact must outlive the
   /// backend reading its word block. Non-null ⇔ index-backed library.
   std::shared_ptr<const index::LibraryIndex> index_;
+  /// Keep-alive for the segmented load path; at most one of index_ /
+  /// segmented_ is non-null.
+  std::shared_ptr<const index::SegmentedLibrary> segmented_;
   std::span<const util::BitVec> ref_view_;      ///< Active hypervectors.
   std::size_t reference_encodes_ = 0;
   /// shared_ptr so serve-layer sessions can multiplex one backend over a

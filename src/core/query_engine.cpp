@@ -267,6 +267,12 @@ struct QueryEngine::Impl {
     const std::size_t done =
         seen + resolved_no_psm.load(std::memory_order_relaxed);
     const std::size_t arrived = submitted.load(std::memory_order_acquire);
+    // Trigger precedence (the documented contract of the deprecated
+    // expected_queries field): a closed stream supersedes any promise.
+    // Closing declares the arrived count to BE the total, so a promise
+    // larger than what actually arrived must not keep charging phantom
+    // future decoys — otherwise "promise N, close after M < N" would
+    // strand the tail until drain.
     const std::size_t expected =
         stream_closed ? arrived : std::max(cfg.expected_queries, arrived);
     const std::size_t max_future = expected > done ? expected - done : 0;

@@ -96,6 +96,15 @@ struct QueryEngineConfig {
   /// bound to the queries actually submitted and needs no global count.
   /// The field remains for callers that genuinely know the total and want
   /// releases to start mid-stream rather than at close.
+  ///
+  /// Precedence when both are used: close_stream() WINS outright. Before
+  /// close, the future-arrival bound is max(expected_queries, submitted);
+  /// from the moment the stream is closed the promise is ignored and the
+  /// bound is exactly the submitted count — so a caller that promised N
+  /// but closed after M < N queries releases everything eligible for the
+  /// M that arrived, rather than withholding PSMs against N − M queries
+  /// that can never come (pinned by
+  /// QueryEngine.PromiseThenEarlyCloseReleasesEverything).
   std::size_t expected_queries = 0;
   /// Serving hook: called from engine-internal stage threads each time
   /// queries finish flowing through the pipeline (with the count newly

@@ -82,6 +82,8 @@ struct BlockCounters {
 struct PrefilterAtomicCounters {
   std::atomic<std::uint64_t> candidates{0};
   std::atomic<std::uint64_t> scanned{0};
+  std::atomic<std::uint64_t> pruned{0};
+  std::atomic<std::uint64_t> bypassed{0};
   std::atomic<std::uint64_t> audited{0};
   std::atomic<std::uint64_t> matched{0};
   std::atomic<std::uint64_t> expected{0};
@@ -89,6 +91,8 @@ struct PrefilterAtomicCounters {
   void add(const hd::PrefilterCounters& c) {
     candidates.fetch_add(c.window_candidates, std::memory_order_relaxed);
     scanned.fetch_add(c.scanned, std::memory_order_relaxed);
+    pruned.fetch_add(c.windows_pruned, std::memory_order_relaxed);
+    bypassed.fetch_add(c.windows_bypassed, std::memory_order_relaxed);
     audited.fetch_add(c.audited_queries, std::memory_order_relaxed);
     matched.fetch_add(c.audit_matched, std::memory_order_relaxed);
     expected.fetch_add(c.audit_expected, std::memory_order_relaxed);
@@ -97,6 +101,8 @@ struct PrefilterAtomicCounters {
   void fill(BackendStats& s) const {
     s.prefilter_candidates = candidates.load(std::memory_order_relaxed);
     s.prefilter_scanned = scanned.load(std::memory_order_relaxed);
+    s.prefilter_windows_pruned = pruned.load(std::memory_order_relaxed);
+    s.prefilter_windows_bypassed = bypassed.load(std::memory_order_relaxed);
     s.prefilter_audited_queries = audited.load(std::memory_order_relaxed);
     s.prefilter_audit_matched = matched.load(std::memory_order_relaxed);
     s.prefilter_audit_expected = expected.load(std::memory_order_relaxed);

@@ -139,6 +139,13 @@ struct BackendStats {
   /// deterministic in-band recall audit (hd::PrefilterConfig).
   std::uint64_t prefilter_candidates = 0;
   std::uint64_t prefilter_scanned = 0;
+  /// Auto-disable visibility: windows the sketch pass actually pruned vs
+  /// windows swept exactly despite the prefilter being enabled (under
+  /// PrefilterConfig::min_window, or shortlist >= window). Bypassed
+  /// windows count their candidates as scanned, keeping
+  /// scanned_fraction() honest when small windows dominate.
+  std::uint64_t prefilter_windows_pruned = 0;
+  std::uint64_t prefilter_windows_bypassed = 0;
   std::uint64_t prefilter_audited_queries = 0;
   std::uint64_t prefilter_audit_matched = 0;
   std::uint64_t prefilter_audit_expected = 0;

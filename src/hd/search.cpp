@@ -233,12 +233,14 @@ std::vector<SearchHit> top_k_search_prefiltered(
       cfg.min_keep,
       static_cast<std::size_t>(cfg.keep_fraction * static_cast<double>(window)));
 
-  if (!cfg.enabled || keep_target >= window) {
-    // Pruning off (or nothing to prune): the exact sweep, with the full
-    // window accounted as scanned — recall is 1.0 by construction.
+  if (!cfg.enabled || window < cfg.min_window || keep_target >= window) {
+    // Pruning off, the window too small to be worth a sketch pass, or
+    // nothing to prune: the exact sweep, with the full window accounted
+    // as scanned — recall is 1.0 by construction.
     if (counters != nullptr) {
       counters->window_candidates += window;
       counters->scanned += window;
+      counters->windows_bypassed += 1;
     }
     return exact_top_k(query, rows, first, last, k);
   }
@@ -287,6 +289,7 @@ std::vector<SearchHit> top_k_search_prefiltered(
   if (counters != nullptr) {
     counters->window_candidates += window;
     counters->scanned += keep_target;
+    counters->windows_pruned += 1;
     if (audit_this_query(cfg, stream)) {
       // In-band recall measurement: sweep the full window exactly and
       // count how much of the true top-k the shortlist preserved. The

@@ -183,6 +183,14 @@ struct PrefilterConfig {
   /// Windows at or below this candidate count are always swept exactly —
   /// pruning tiny windows saves nothing and risks the top-k itself.
   std::size_t min_keep = 64;
+  /// Windows with fewer candidates than this are swept exactly even when
+  /// the prefilter is enabled: the per-query sketch pass costs more than
+  /// the batched SIMD sweep saves on small windows, so pruning them is a
+  /// slowdown AND a recall risk. 512 is coherent with the defaults above
+  /// (min_keep 64 = 0.125 × 512 — below it the shortlist could not shrink
+  /// anyway). Bypassed windows are reported via
+  /// PrefilterCounters::windows_bypassed so scanned fractions stay honest.
+  std::size_t min_window = 512;
   /// Words of each hypervector sampled (evenly spaced) into the sketch
   /// score. 16 words = 1024 bits: a 1/8 sketch at the paper's D = 8k.
   std::size_t sketch_words = 16;
@@ -198,6 +206,12 @@ struct PrefilterConfig {
 struct PrefilterCounters {
   std::uint64_t window_candidates = 0;  ///< Candidates inside all windows.
   std::uint64_t scanned = 0;            ///< Exactly swept after pruning.
+  /// Non-empty windows where the sketch pass ran and pruned candidates.
+  std::uint64_t windows_pruned = 0;
+  /// Non-empty windows swept exactly instead: prefilter disabled, window
+  /// under min_window, or shortlist no smaller than the window. Their
+  /// candidates count as scanned, so scanned fractions stay honest.
+  std::uint64_t windows_bypassed = 0;
   std::uint64_t audited_queries = 0;
   std::uint64_t audit_matched = 0;   ///< |prefiltered top-k ∩ exact top-k|.
   std::uint64_t audit_expected = 0;  ///< Σ |exact top-k| over audits.
@@ -205,6 +219,8 @@ struct PrefilterCounters {
   void accumulate(const PrefilterCounters& other) noexcept {
     window_candidates += other.window_candidates;
     scanned += other.scanned;
+    windows_pruned += other.windows_pruned;
+    windows_bypassed += other.windows_bypassed;
     audited_queries += other.audited_queries;
     audit_matched += other.audit_matched;
     audit_expected += other.audit_expected;

@@ -2,10 +2,14 @@
 
 #include <bit>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
+#include "index/manifest.hpp"
+#include "index/segmented_library.hpp"
 #include "index/writer.hpp"
 #include "util/rng.hpp"
 
@@ -48,6 +52,29 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// "<manifest stem>.seg-NNNN.omsx" from the manifest's monotonic sequence
+/// counter — never reused, so compacted-away names cannot collide.
+[[nodiscard]] std::string segment_name(const std::string& manifest_path,
+                                       std::uint64_t sequence) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof suffix, ".seg-%04llu.omsx",
+                static_cast<unsigned long long>(sequence));
+  return std::filesystem::path(manifest_path).stem().string() + suffix;
+}
+
+/// The manifest row pinning a freshly written segment's identity.
+[[nodiscard]] ManifestSegment segment_row(const std::string& name,
+                                          const LibraryIndex& seg,
+                                          std::uint64_t base) {
+  ManifestSegment row;
+  row.name = name;
+  row.entry_count = seg.size();
+  row.base = base;
+  row.file_size = seg.file_size();
+  row.table_checksum = section_table_hash(seg.sections());
+  return row;
 }
 
 }  // namespace
@@ -133,6 +160,27 @@ void validate_fingerprint(const IndexFingerprint& fp,
       "rebuild it or adjust the pipeline to match");
 }
 
+std::uint64_t fingerprint_hash(const IndexFingerprint& fp) noexcept {
+  std::uint64_t x = 0x46494E4745525031ULL;  // "FINGERP1"
+  x = mix_double(x, fp.pre_min_mz);
+  x = mix_double(x, fp.pre_max_mz);
+  x = mix_double(x, fp.pre_bin_width);
+  x = mix_double(x, fp.pre_precursor_window);
+  x = util::hash_combine(x, fp.enc_seed, fp.pipeline_seed);
+  x = mix_double(x, fp.injected_ber);
+  x = util::hash_combine(x, fp.calibration_samples, fp.device_hash);
+  x = util::hash_combine(
+      x, static_cast<std::uint64_t>(
+             std::bit_cast<std::uint32_t>(fp.pre_min_intensity_ratio)));
+  x = util::hash_combine(x, fp.pre_max_peaks, fp.pre_min_peaks);
+  x = util::hash_combine(x, fp.pre_sqrt_intensity, fp.pre_remove_precursor);
+  x = util::hash_combine(x, fp.enc_dim, fp.enc_bins);
+  x = util::hash_combine(x, fp.enc_levels, fp.enc_chunks);
+  x = util::hash_combine(x, fp.enc_id_precision, fp.enc_kind);
+  x = util::hash_combine(x, fp.imc_encoding, fp.add_decoys);
+  return x;
+}
+
 IndexBuilder::IndexBuilder(const core::PipelineConfig& cfg) : cfg_(cfg) {}
 
 BuildStats IndexBuilder::build(const std::vector<ms::Spectrum>& targets,
@@ -164,6 +212,103 @@ BuildStats IndexBuilder::build(const std::vector<ms::Spectrum>& targets,
   stats.write_seconds = seconds_since(t1);
   stats.file_bytes =
       static_cast<std::size_t>(std::filesystem::file_size(path));
+  return stats;
+}
+
+BuildStats IndexBuilder::append(const std::vector<ms::Spectrum>& spectra,
+                                const std::string& manifest_path) const {
+  if (cfg_.injected_ber != 0.0) {
+    throw std::invalid_argument(
+        "IndexBuilder::append: injected_ber draws one batch-sequential "
+        "error realization over the whole reference set, which a "
+        "segment-at-a-time build cannot reproduce — build the library "
+        "monolithically for BER robustness experiments");
+  }
+
+  Manifest manifest;
+  if (std::filesystem::exists(manifest_path)) {
+    manifest = Manifest::load(manifest_path);
+    // An append under a drifted configuration would poison every future
+    // open; fail with the mismatched fields listed.
+    validate_fingerprint(manifest.fingerprint, cfg_);
+  } else {
+    manifest.fingerprint = fingerprint_of(cfg_);
+  }
+
+  // Same trait trick as build(): only the encoding trait of the backend
+  // shapes the stored bytes.
+  core::PipelineConfig build_cfg = cfg_;
+  const std::string backend =
+      cfg_.backend_name.empty() ? "ideal-hd" : cfg_.backend_name;
+  const bool imc = core::BackendRegistry::instance().imc_encoding(
+      backend, cfg_.backend_options);
+  build_cfg.backend_name = imc ? "rram-statistical" : "ideal-hd";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  core::Pipeline pipeline(build_cfg);
+  pipeline.set_library(spectra);
+  BuildStats stats;
+  stats.encode_seconds = seconds_since(t0);
+  stats.targets_in = spectra.size();
+  stats.entries = pipeline.library().size();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::filesystem::path dir =
+      std::filesystem::path(manifest_path).parent_path();
+  const std::string name = segment_name(manifest_path, manifest.next_sequence);
+  const std::string seg_path = (dir / name).string();
+  write_index_file(seg_path, pipeline.library(), pipeline.reference_hvs(),
+                   manifest.fingerprint);
+
+  // Re-open the artifact to pin its on-disk identity in the manifest row,
+  // then publish. A crash between the two leaves an orphan segment file
+  // and an untouched manifest — wasted bytes, never a wrong search.
+  const LibraryIndex seg = LibraryIndex::open(seg_path);
+  manifest.segments.push_back(
+      segment_row(name, seg, manifest.total_entries()));
+  manifest.next_sequence += 1;
+  manifest.save(manifest_path);
+  stats.write_seconds = seconds_since(t1);
+  stats.file_bytes = seg.file_size();
+  return stats;
+}
+
+BuildStats IndexBuilder::compact(const std::string& manifest_path) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const SegmentedLibrary lib = SegmentedLibrary::open(manifest_path);
+  validate_fingerprint(lib.fingerprint(), cfg_);
+
+  BuildStats stats;
+  stats.entries = lib.size();
+  stats.encode_seconds = seconds_since(t0);  // open + merge; zero encodes
+
+  // The merged entries and merged hypervector views stream through the
+  // same deterministic writer a one-shot build() uses, so the compacted
+  // segment is byte-identical to the monolithic artifact.
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::filesystem::path dir =
+      std::filesystem::path(manifest_path).parent_path();
+  const std::string name =
+      segment_name(manifest_path, lib.manifest().next_sequence);
+  const std::string seg_path = (dir / name).string();
+  write_index_file(seg_path, lib.library(), lib.hypervectors(),
+                   lib.fingerprint());
+
+  const LibraryIndex seg = LibraryIndex::open(seg_path);
+  Manifest next;
+  next.fingerprint = lib.fingerprint();
+  next.next_sequence = lib.manifest().next_sequence + 1;
+  next.segments.push_back(segment_row(name, seg, 0));
+  next.save(manifest_path);
+
+  // Old segments go only after the new manifest is durably in place;
+  // a concurrent reader that already opened them keeps its mappings.
+  for (const ManifestSegment& row : lib.manifest().segments) {
+    std::error_code ignored;
+    std::filesystem::remove(dir / row.name, ignored);
+  }
+  stats.write_seconds = seconds_since(t1);
+  stats.file_bytes = seg.file_size();
   return stats;
 }
 

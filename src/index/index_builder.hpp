@@ -36,6 +36,14 @@ namespace oms::index {
 void validate_fingerprint(const IndexFingerprint& fp,
                           const core::PipelineConfig& cfg);
 
+/// Canonical order-sensitive digest of a fingerprint, hashed field by
+/// field — never over the raw struct bytes, so padding (present or added
+/// by a future format revision) can never leak into a cache key. Two
+/// value-equal fingerprints hash equal regardless of how they were
+/// produced (fingerprint_of, a mapped artifact, a manifest).
+[[nodiscard]] std::uint64_t fingerprint_hash(
+    const IndexFingerprint& fp) noexcept;
+
 struct BuildStats {
   std::size_t targets_in = 0;     ///< Target spectra handed to build().
   std::size_t entries = 0;        ///< Library entries written (with decoys).
@@ -67,6 +75,28 @@ class IndexBuilder {
   /// calls). Throws std::logic_error before Pipeline::set_library.
   static BuildStats write_from_pipeline(const core::Pipeline& pipeline,
                                         const std::string& path);
+
+  /// Appends `spectra` to the segmented library whose manifest lives at
+  /// `manifest_path` — preprocessing, decoy-augmenting, and encoding ONLY
+  /// the new spectra into one fresh immutable segment next to the
+  /// manifest, then atomically publishing the extended manifest. Creates
+  /// the manifest when the file does not exist yet, so the first append
+  /// is also how a segmented library is born. Append cost scales with
+  /// `spectra`, not with the library's total size. Throws
+  /// std::invalid_argument when an existing manifest's fingerprint does
+  /// not match this configuration, or when cfg.injected_ber != 0 (the
+  /// BER realization is drawn batch-sequentially over the whole reference
+  /// set and cannot be reproduced segment by segment).
+  BuildStats append(const std::vector<ms::Spectrum>& spectra,
+                    const std::string& manifest_path) const;
+
+  /// Rewrites all of a segmented library's segments into a single fresh
+  /// segment — zero encode calls, byte-identical to a one-shot build()
+  /// of the union (restoring the contiguous-RefMatrix SIMD fast path a
+  /// multi-segment library gives up) — publishes the one-segment
+  /// manifest, then removes the superseded segment files. Search results
+  /// are bit-identical before and after.
+  BuildStats compact(const std::string& manifest_path) const;
 
  private:
   core::PipelineConfig cfg_;

@@ -6,6 +6,7 @@
 
 #include "index/format.hpp"
 #include "index/index_builder.hpp"
+#include "index/manifest.hpp"
 #include "util/rng.hpp"
 
 namespace oms::serve {
@@ -19,7 +20,7 @@ namespace {
 }  // namespace
 
 std::uint64_t fingerprint_hash(const index::IndexFingerprint& fp) noexcept {
-  return index::fnv1a64(&fp, sizeof(fp));
+  return index::fingerprint_hash(fp);
 }
 
 std::uint64_t backend_config_hash(const core::PipelineConfig& cfg) noexcept {
@@ -78,16 +79,48 @@ void LibraryCache::touch(Entry& entry, const Key& key) {
 
 LibraryLease LibraryCache::lease(const std::string& path,
                                  const core::PipelineConfig& pcfg) {
-  const Key key{fingerprint_hash(index::fingerprint_of(pcfg)), path};
+  const std::uint64_t fp_base =
+      index::fingerprint_hash(index::fingerprint_of(pcfg));
   const std::uint64_t bkey = backend_config_hash(pcfg);
+  const bool manifest = index::is_manifest_file(path);
+
+  Key key{fp_base, path};
+  if (manifest) {
+    // Key on the library *generation*: the manifest's combined hash
+    // changes on every append/compaction, so a grown library misses
+    // cleanly onto its new segment list and the stale generation ages
+    // out of the LRU.
+    key.fp_hash = util::hash_combine(
+        fp_base, index::Manifest::load(path).combined_hash());
+  }
 
   const std::lock_guard lock(mutex_);
   auto it = entries_.find(key);
+  std::shared_ptr<const index::LibraryIndex> opened;
+  std::shared_ptr<const index::SegmentedLibrary> opened_seg;
+  if (it == entries_.end()) {
+    // Miss: map and validate before anything is cached, so a drifting or
+    // corrupt artifact can never poison the entry under this key.
+    if (manifest) {
+      opened_seg = std::make_shared<index::SegmentedLibrary>(
+          index::SegmentedLibrary::open(path, cfg_.open));
+      index::validate_fingerprint(opened_seg->fingerprint(), pcfg);
+      // Insert under the generation actually opened — the manifest may
+      // have been rewritten between the key peek and the open.
+      key.fp_hash = util::hash_combine(fp_base, opened_seg->combined_hash());
+      it = entries_.find(key);
+    } else {
+      opened = std::make_shared<index::LibraryIndex>(
+          index::LibraryIndex::open(path, cfg_.open));
+      index::validate_fingerprint(opened->fingerprint(), pcfg);
+    }
+  }
   if (it != entries_.end()) {
     ++stats_.hits;
     touch(it->second, key);
     LibraryLease out;
     out.index = it->second.index;
+    out.segmented = it->second.segmented;
     out.cache_hit = true;
     if (auto bit = it->second.backends.find(bkey);
         bit != it->second.backends.end()) {
@@ -97,17 +130,12 @@ LibraryLease LibraryCache::lease(const std::string& path,
     }
     return out;
   }
-
-  // Miss: map and validate before anything is cached, so a drifting or
-  // corrupt artifact can never poison the entry under this key.
-  auto index = std::make_shared<index::LibraryIndex>(
-      index::LibraryIndex::open(path, cfg_.open));
-  index::validate_fingerprint(index->fingerprint(), pcfg);
   ++stats_.misses;
 
   lru_.push_front(key);
   Entry entry;
-  entry.index = index;
+  entry.index = opened;
+  entry.segmented = opened_seg;
   entry.lru = lru_.begin();
   entries_.emplace(key, std::move(entry));
   while (entries_.size() > cfg_.capacity) {
@@ -122,7 +150,8 @@ LibraryLease LibraryCache::lease(const std::string& path,
   stats_.resident = entries_.size();
 
   LibraryLease out;
-  out.index = std::move(index);
+  out.index = std::move(opened);
+  out.segmented = std::move(opened_seg);
   return out;
 }
 
@@ -130,7 +159,18 @@ void LibraryCache::donate(const std::string& path,
                           const core::PipelineConfig& pcfg,
                           std::shared_ptr<core::SearchBackend> backend) {
   if (!backend || !backend->thread_safe()) return;
-  const Key key{fingerprint_hash(index::fingerprint_of(pcfg)), path};
+  Key key{index::fingerprint_hash(index::fingerprint_of(pcfg)), path};
+  if (index::is_manifest_file(path)) {
+    try {
+      key.fp_hash = util::hash_combine(
+          key.fp_hash, index::Manifest::load(path).combined_hash());
+    } catch (const std::exception&) {
+      return;  // manifest torn or gone — nothing current to donate to
+    }
+  }
+  // A manifest rewritten since the lease yields the new generation's key
+  // here, which misses the old generation's entry below — exactly right:
+  // a backend built over superseded segments must not be shared forward.
   const std::uint64_t bkey = backend_config_hash(pcfg);
 
   const std::lock_guard lock(mutex_);

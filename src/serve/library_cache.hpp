@@ -13,7 +13,12 @@
 //     a search reads — preprocess, encoder, encoding trait, seed — so two
 //     sessions with drifting configs can never share an entry;
 //   * the path disambiguates distinct artifacts built under identical
-//     configuration (two different libraries are two entries).
+//     configuration (two different libraries are two entries);
+//   * for segmented libraries (the path names an "OMSXMAN1" manifest,
+//     index/manifest.hpp) the manifest's combined hash — the identity of
+//     the current segment list — is folded into the key as well, so an
+//     append or compaction changes the key: new sessions miss onto the
+//     fresh generation and the stale one simply ages out of the LRU.
 //
 // lease() returns shared_ptr ownership of both the mapped index and (when
 // available) a search backend already built over its word block. Eviction
@@ -41,6 +46,7 @@
 #include "core/pipeline.hpp"
 #include "core/search_backend.hpp"
 #include "index/library_index.hpp"
+#include "index/segmented_library.hpp"
 
 namespace oms::serve {
 
@@ -62,19 +68,24 @@ struct LibraryCacheStats {
 };
 
 /// What a session holds while serving: shared ownership of the mapped
-/// artifact, plus the shared search backend when a compatible one has been
-/// donated (null → the session's pipeline builds a private backend and
-/// should donate it back).
+/// artifact — exactly one of `index` (monolithic "OMSXIDX1" file) and
+/// `segmented` (manifest of segments) is non-null — plus the shared
+/// search backend when a compatible one has been donated (null → the
+/// session's pipeline builds a private backend and should donate it
+/// back).
 struct LibraryLease {
   std::shared_ptr<const index::LibraryIndex> index;
+  std::shared_ptr<const index::SegmentedLibrary> segmented;
   std::shared_ptr<core::SearchBackend> backend;
   bool cache_hit = false;   ///< Library was already resident.
   bool backend_hit = false; ///< Backend came from the cache too.
 };
 
-/// FNV-1a over the fingerprint's bytes. IndexFingerprint is a packed POD
-/// with no padding (static_asserted in index/format.hpp), so hashing the
-/// raw bytes is well-defined.
+/// Cache-key hash of a fingerprint. Delegates to the canonical
+/// index::fingerprint_hash, which enumerates fields (like
+/// backend_config_hash below) instead of hashing raw struct bytes —
+/// padding, current or introduced by a future format revision, must
+/// never leak into a cache key.
 [[nodiscard]] std::uint64_t fingerprint_hash(
     const index::IndexFingerprint& fp) noexcept;
 
@@ -93,11 +104,14 @@ class LibraryCache {
   LibraryCache& operator=(const LibraryCache&) = delete;
 
   /// Returns a lease for the artifact at `path` as required by `pcfg`.
-  /// Resident → shared mapping (plus backend when one matching
-  /// backend_config_hash(pcfg) was donated). Miss → opens the file,
-  /// validates its fingerprint against pcfg (index::validate_fingerprint;
-  /// throws on drift, nothing is cached), inserts, and evicts the
-  /// least-recently-leased entry beyond capacity. Opens run under the
+  /// `path` may name a monolithic index or a segmented library's
+  /// manifest (detected by magic); manifest leases key on the current
+  /// generation, so a lease taken after an append/compaction never
+  /// returns the stale segment list. Resident → shared mapping (plus
+  /// backend when one matching backend_config_hash(pcfg) was donated).
+  /// Miss → opens the file, validates its fingerprint against pcfg
+  /// (index::validate_fingerprint; throws on drift, nothing is cached),
+  /// inserts, and evicts the least-recently-leased entry beyond capacity. Opens run under the
   /// cache lock: concurrent first-touch of one artifact maps it once, at
   /// the cost of serializing unrelated cold opens (acceptable — opens are
   /// rare and mmap is cheap; revisit with per-key latches if it shows up).
@@ -127,6 +141,7 @@ class LibraryCache {
   };
   struct Entry {
     std::shared_ptr<const index::LibraryIndex> index;
+    std::shared_ptr<const index::SegmentedLibrary> segmented;
     /// backend_config_hash → donated backend. Usually one element; more
     /// when sessions search one artifact through different backend names
     /// that share an encoding trait (e.g. ideal-hd and exact sharded).

@@ -150,8 +150,10 @@ class Session {
   std::unique_ptr<core::Pipeline> pipeline_;
   std::unique_ptr<core::QueryEngine> engine_;
   /// Keep-alive: the leased mapping must outlive engine + pipeline even
-  /// if the cache evicts it mid-session.
+  /// if the cache evicts it mid-session (one of the two is non-null,
+  /// depending on whether the path named an index or a manifest).
   std::shared_ptr<const index::LibraryIndex> index_;
+  std::shared_ptr<const index::SegmentedLibrary> segmented_;
 
   std::mutex quota_mutex_;
   std::condition_variable quota_cv_;

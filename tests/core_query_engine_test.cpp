@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ms/synthetic.hpp"
@@ -262,6 +264,65 @@ TEST(QueryEngine, RollingWithoutExpectedQueriesFlushesEverythingAtDrain) {
   EXPECT_EQ(engine.stats().early_emitted, 0U);
   sort_like_accepted(delivered);
   expect_same_psm_lists(delivered, result.accepted, "no-expected rolling");
+}
+
+TEST(QueryEngine, PromiseThenEarlyCloseReleasesEverything) {
+  // Precedence contract for the deprecated expected_queries promise vs
+  // close_stream(): a caller that promised far more queries than it
+  // submits, then closes, must NOT have PSMs withheld against arrivals
+  // that can never come — close tightens the bound to the submitted
+  // count, the promise is ignored, and every PSM the final filter
+  // accepts is released through on_accept before drain() is even called.
+  const ms::Workload& wl = shared_workload();
+  const std::size_t submitted = wl.queries.size() / 2;
+  const std::span<const ms::Spectrum> queries(wl.queries.data(), submitted);
+
+  Pipeline reference(small_config("ideal-hd"));
+  reference.set_library(wl.references);
+  const PipelineResult sync =
+      reference.run(std::vector<ms::Spectrum>(queries.begin(), queries.end()));
+  ASSERT_GT(sync.accepted.size(), 0U);
+
+  Pipeline streamed(small_config("ideal-hd"));
+  streamed.set_library(wl.references);
+  QueryEngineConfig ecfg;
+  ecfg.block_size = 8;
+  ecfg.stage_threads = 2;
+  ecfg.emit_policy = EmitPolicy::Rolling;
+  ecfg.expected_queries = wl.queries.size() * 10;  // a promise kept badly
+  std::mutex mu;
+  std::vector<Psm> delivered;
+  ecfg.on_accept = [&](const Psm& p) {
+    const std::lock_guard<std::mutex> lock(mu);
+    delivered.push_back(p);
+  };
+  QueryEngine engine(streamed, ecfg);
+  engine.submit_batch(queries);
+  engine.close_stream();
+
+  // With the stream closed the in-flight tail resolves on engine threads;
+  // every finally-accepted PSM must surface through the callback without
+  // drain()'s help. Bounded wait, then assert.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (delivered.size() >= sync.accepted.size()) break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "close_stream() did not release the accepted PSMs";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const PipelineResult result = engine.drain();
+  expect_same_psms(sync, result, "promise-then-close");
+  const std::lock_guard<std::mutex> lock(mu);
+  std::vector<Psm> sorted = delivered;
+  sort_like_accepted(sorted);
+  expect_same_psm_lists(sorted, result.accepted, "promise-then-close");
+  // Everything was an early release; the drain flush had nothing left.
+  EXPECT_EQ(engine.stats().early_emitted, result.accepted.size());
 }
 
 TEST(QueryEngine, StreamingMatchesRunIdealHd) {

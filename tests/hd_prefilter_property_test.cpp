@@ -235,6 +235,92 @@ TEST(PrefilterProperty, BatchMatchesPerQueryAndMatrixMatchesSpan) {
   }
 }
 
+TEST(PrefilterProperty, SmallWindowsAutoDisablePruningByDefault) {
+  // The default min_window turns the prefilter into a no-op on windows
+  // where the sketch pass costs more than the batched sweep saves — the
+  // result must be exact and the bypass must be visible in the counters.
+  const auto refs = make_refs(kRefs, 1900);
+  const auto queries = make_queries(20, 2000);
+
+  PrefilterConfig cfg;
+  cfg.enabled = true;
+  cfg.keep_fraction = 0.125;
+  cfg.min_keep = 4;  // small enough that only min_window forces the bypass
+  ASSERT_EQ(cfg.min_window, 512u);
+
+  constexpr std::size_t kSmall = 300;  // < min_window, > keep_target (37)
+  PrefilterCounters counters;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::size_t first = i * 5;
+    const auto exact =
+        top_k_search(queries[i], refs, first, first + kSmall, kTopK);
+    const auto pre = top_k_search_prefiltered(
+        queries[i], refs, first, first + kSmall, kTopK, cfg, i, &counters);
+    EXPECT_EQ(pre, exact) << "query " << i;
+  }
+  EXPECT_EQ(counters.windows_bypassed, queries.size());
+  EXPECT_EQ(counters.windows_pruned, 0u);
+  // Bypassed candidates count as scanned — the fraction stays honest.
+  EXPECT_EQ(counters.scanned, counters.window_candidates);
+
+  // Dropping the threshold under the window size re-enables pruning on
+  // the very same windows.
+  cfg.min_window = kSmall;
+  PrefilterCounters pruned;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::size_t first = i * 5;
+    (void)top_k_search_prefiltered(queries[i], refs, first, first + kSmall,
+                                   kTopK, cfg, i, &pruned);
+  }
+  EXPECT_EQ(pruned.windows_pruned, queries.size());
+  EXPECT_EQ(pruned.windows_bypassed, 0u);
+  EXPECT_LT(pruned.scanned, pruned.window_candidates);
+}
+
+TEST(PrefilterProperty, BackendStatsSurfaceWindowBypassAndPruneCounts) {
+  // BackendStats must say which windows the prefilter actually touched:
+  // a mixed batch (some windows under min_window, some over) reports both
+  // counters, and an all-small batch reports scanned_fraction exactly 1.0
+  // even though the prefilter is enabled.
+  const auto refs = make_refs(kRefs, 2100);
+  const auto queries = make_queries(24, 2200);
+
+  core::BackendOptions opts;
+  opts.prefilter.enabled = true;
+  opts.prefilter.keep_fraction = 0.125;
+  opts.prefilter.min_keep = 4;
+  const auto backend = core::make_backend("ideal-hd", refs, opts);
+
+  std::vector<core::Query> mixed;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    // Even slots: the full window (600 ≥ min_window → pruned). Odd slots:
+    // a 128-candidate window (< min_window → bypassed, swept exactly).
+    const std::size_t first = i % 2 == 0 ? 0 : (i * 13) % 400;
+    const std::size_t last = i % 2 == 0 ? kRefs : first + 128;
+    mixed.push_back(core::Query{&queries[i], first, last, i});
+  }
+  (void)backend->search_batch(mixed, kTopK);
+
+  const core::BackendStats stats = backend->stats();
+  EXPECT_EQ(stats.prefilter_windows_pruned, queries.size() / 2);
+  EXPECT_EQ(stats.prefilter_windows_bypassed, queries.size() / 2);
+  EXPECT_LT(stats.scanned_fraction(), 1.0);
+
+  const auto small_backend = core::make_backend("ideal-hd", refs, opts);
+  std::vector<core::Query> small;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::size_t first = (i * 13) % 400;
+    small.push_back(core::Query{&queries[i], first, first + 128, i});
+  }
+  (void)small_backend->search_batch(small, kTopK);
+
+  const core::BackendStats small_stats = small_backend->stats();
+  EXPECT_EQ(small_stats.prefilter_windows_pruned, 0u);
+  EXPECT_EQ(small_stats.prefilter_windows_bypassed, queries.size());
+  EXPECT_DOUBLE_EQ(small_stats.scanned_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(small_stats.prefilter_recall(), 1.0);
+}
+
 TEST(PrefilterProperty, BackendDefaultsReportExactSearch) {
   const auto refs = make_refs(kRefs, 1500);
   const auto queries = make_queries(20, 1600);

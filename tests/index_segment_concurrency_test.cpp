@@ -1,0 +1,176 @@
+// Concurrent readers over one shared SegmentedLibrary (runs under the
+// `tsan` ctest label as well as `io`): many pipelines search the same
+// multi-segment mapping at once — including while a compaction rewrites
+// the manifest and deletes the segment files under them — and every
+// thread's result stays bit-identical to the solo run. The segment layer
+// is immutable-after-publish: readers hold mappings, never locks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "index/index_builder.hpp"
+#include "index/manifest.hpp"
+#include "index/segmented_library.hpp"
+#include "ms/synthetic.hpp"
+
+namespace {
+
+using namespace oms;
+
+core::PipelineConfig test_config(const std::string& backend) {
+  core::PipelineConfig cfg;
+  cfg.encoder.dim = 1024;
+  cfg.encoder.bins = cfg.preprocess.bin_count();
+  cfg.encoder.chunks = 32;
+  cfg.backend_name = backend;
+  cfg.rescore_top_k = 4;
+  cfg.seed = 20240715;
+  return cfg;
+}
+
+void expect_identical(const core::PipelineResult& a,
+                      const core::PipelineResult& b, std::size_t thread) {
+  ASSERT_EQ(a.psms.size(), b.psms.size()) << "thread " << thread;
+  for (std::size_t i = 0; i < a.psms.size(); ++i) {
+    EXPECT_EQ(a.psms[i].query_id, b.psms[i].query_id)
+        << "thread " << thread << " psm " << i;
+    EXPECT_EQ(a.psms[i].score, b.psms[i].score)
+        << "thread " << thread << " psm " << i;
+    EXPECT_EQ(a.psms[i].reference_index, b.psms[i].reference_index)
+        << "thread " << thread << " psm " << i;
+  }
+  EXPECT_EQ(a.identification_set(), b.identification_set())
+      << "thread " << thread;
+}
+
+TEST(IndexSegmentConcurrency, SharedMultiSegmentLibraryServesManyReaders) {
+  ms::WorkloadConfig wcfg;
+  wcfg.reference_count = 240;
+  wcfg.query_count = 40;
+  wcfg.seed = 51;
+  const ms::Workload wl = ms::generate_workload(wcfg);
+
+  const auto cfg = test_config("ideal-hd");
+  const std::string man_path =
+      testing::TempDir() + "seg_concurrent.omsman";
+  std::remove(man_path.c_str());
+  const index::IndexBuilder builder(cfg);
+  const std::size_t third = wl.references.size() / 3;
+  for (std::size_t part = 0; part < 3; ++part) {
+    const auto begin =
+        wl.references.begin() + static_cast<std::ptrdiff_t>(part * third);
+    const auto end = part == 2
+                         ? wl.references.end()
+                         : begin + static_cast<std::ptrdiff_t>(third);
+    (void)builder.append(std::vector<ms::Spectrum>(begin, end), man_path);
+  }
+
+  core::Pipeline solo(cfg);
+  solo.set_library(wl.references);
+  const auto want = solo.run(wl.queries);
+  ASSERT_GT(want.psms.size(), 0u);
+
+  // One shared mapping, eight pipelines racing over it.
+  auto segmented = std::make_shared<index::SegmentedLibrary>(
+      index::SegmentedLibrary::open(man_path));
+  ASSERT_EQ(segmented->segment_count(), 3u);
+
+  constexpr std::size_t kReaders = 8;
+  std::vector<core::PipelineResult> got(kReaders);
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      core::Pipeline pipeline(cfg);
+      pipeline.set_library(segmented);
+      // Half the readers race the compaction below mid-flight.
+      got[t] = pipeline.run(wl.queries);
+    });
+  }
+  // Compact while the readers run: the new manifest publishes atomically
+  // and the superseded segment files are unlinked, but every reader holds
+  // its mappings — POSIX keeps the bytes alive until the last unmap.
+  (void)builder.compact(man_path);
+  for (auto& r : readers) r.join();
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    expect_identical(want, got[t], t);
+  }
+
+  // Post-compaction openers see the single-segment generation, with the
+  // same results again.
+  auto compacted = std::make_shared<index::SegmentedLibrary>(
+      index::SegmentedLibrary::open(man_path));
+  EXPECT_EQ(compacted->segment_count(), 1u);
+  core::Pipeline from_compacted(cfg);
+  from_compacted.set_library(compacted);
+  expect_identical(want, from_compacted.run(wl.queries), kReaders);
+
+  const auto man = index::Manifest::load(man_path);
+  const auto dir = std::filesystem::path(man_path).parent_path();
+  for (const auto& seg : man.segments) {
+    std::filesystem::remove(dir / seg.name);
+  }
+  std::remove(man_path.c_str());
+}
+
+TEST(IndexSegmentConcurrency, ConcurrentOpenersShareNothingButTheFiles) {
+  ms::WorkloadConfig wcfg;
+  wcfg.reference_count = 150;
+  wcfg.query_count = 25;
+  wcfg.seed = 52;
+  const ms::Workload wl = ms::generate_workload(wcfg);
+
+  const auto cfg = test_config("rram-statistical");
+  const std::string man_path =
+      testing::TempDir() + "seg_concurrent_open.omsman";
+  std::remove(man_path.c_str());
+  const index::IndexBuilder builder(cfg);
+  const std::size_t half = wl.references.size() / 2;
+  (void)builder.append(
+      std::vector<ms::Spectrum>(wl.references.begin(),
+                                wl.references.begin() +
+                                    static_cast<std::ptrdiff_t>(half)),
+      man_path);
+  (void)builder.append(
+      std::vector<ms::Spectrum>(
+          wl.references.begin() + static_cast<std::ptrdiff_t>(half),
+          wl.references.end()),
+      man_path);
+
+  core::Pipeline solo(cfg);
+  solo.set_library(wl.references);
+  const auto want = solo.run(wl.queries);
+
+  // Each thread opens its own SegmentedLibrary from disk concurrently —
+  // no sharing above the page cache — and must reproduce the solo run.
+  constexpr std::size_t kOpeners = 6;
+  std::vector<core::PipelineResult> got(kOpeners);
+  std::vector<std::thread> openers;
+  for (std::size_t t = 0; t < kOpeners; ++t) {
+    openers.emplace_back([&, t] {
+      auto lib = std::make_shared<index::SegmentedLibrary>(
+          index::SegmentedLibrary::open(man_path));
+      core::Pipeline pipeline(cfg);
+      pipeline.set_library(lib);
+      got[t] = pipeline.run(wl.queries);
+    });
+  }
+  for (auto& o : openers) o.join();
+  for (std::size_t t = 0; t < kOpeners; ++t) {
+    expect_identical(want, got[t], t);
+  }
+
+  const auto man = index::Manifest::load(man_path);
+  const auto dir = std::filesystem::path(man_path).parent_path();
+  for (const auto& seg : man.segments) {
+    std::filesystem::remove(dir / seg.name);
+  }
+  std::remove(man_path.c_str());
+}
+
+}  // namespace

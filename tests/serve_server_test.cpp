@@ -316,6 +316,79 @@ TEST(LibraryCache, EvictionDropsColdEntryButLeaseKeepsItAlive) {
   EXPECT_TRUE(watch.expired());
 }
 
+TEST(LibraryCache, FingerprintHashIsValueBasedAcrossCodePaths) {
+  const auto cfg = serve_config("ideal-hd");
+  const std::string art = build_artifact("exact", cfg);
+
+  // Two code paths to the same fingerprint VALUE: derived from the config
+  // in-process, and round-tripped through the artifact's bytes on disk.
+  const index::IndexFingerprint from_cfg = index::fingerprint_of(cfg);
+  const index::IndexFingerprint from_disk =
+      index::LibraryIndex::open(art).fingerprint();
+  ASSERT_TRUE(from_cfg == from_disk);
+
+  // Regression: the cache key must hash the fields, never the raw struct
+  // bytes — equal fingerprints hash equal regardless of provenance, and
+  // the serve:: shim agrees with the canonical index:: hash it delegates
+  // to (one entry per library, not one per code path).
+  EXPECT_EQ(serve::fingerprint_hash(from_cfg),
+            serve::fingerprint_hash(from_disk));
+  EXPECT_EQ(serve::fingerprint_hash(from_cfg),
+            index::fingerprint_hash(from_cfg));
+
+  // And it is not degenerate: a one-field perturbation moves the hash.
+  index::IndexFingerprint other = from_cfg;
+  other.enc_chunks += 1;
+  EXPECT_NE(serve::fingerprint_hash(other),
+            serve::fingerprint_hash(from_cfg));
+  other = from_cfg;
+  other.injected_ber = 0.001;
+  EXPECT_NE(serve::fingerprint_hash(other),
+            serve::fingerprint_hash(from_cfg));
+}
+
+TEST(LibraryCache, DonateAfterEvictionIsACleanNoOp) {
+  const auto cfg = serve_config("ideal-hd");
+  const std::string art_a = build_artifact("exact", cfg);
+  const std::string art_b = testing::TempDir() + "serve_exact_d.omsx";
+  {
+    core::Pipeline pipeline(cfg);
+    pipeline.set_library(workload_with_seed(8).references);
+    index::IndexBuilder::write_from_pipeline(pipeline, art_b);
+  }
+
+  serve::LibraryCacheConfig ccfg;
+  ccfg.capacity = 1;
+  serve::LibraryCache cache(ccfg);
+
+  // A session leases A and builds its backend, exactly as serve::Session
+  // does; meanwhile B's lease evicts A's cache entry.
+  auto lease_a = cache.lease(art_a, cfg);
+  core::Pipeline pipeline(cfg);
+  pipeline.set_library(lease_a.index);
+  auto lease_b = cache.lease(art_b, cfg);
+  EXPECT_EQ(cache.stats().evictions, 1U);
+
+  // The straggler donation arrives after the eviction: it must neither
+  // resurrect the dead entry nor count as a donation nor disturb B.
+  cache.donate(art_a, cfg, pipeline.shared_backend());
+  EXPECT_EQ(cache.stats().backend_donations, 0U);
+  EXPECT_EQ(cache.resident(), 1U);
+
+  // A fresh lease of A misses cleanly, with no stale backend attached
+  // (it evicts B in turn — capacity is still 1).
+  auto lease_a2 = cache.lease(art_a, cfg);
+  EXPECT_FALSE(lease_a2.cache_hit);
+  EXPECT_FALSE(lease_a2.backend_hit);
+  EXPECT_TRUE(lease_a2.backend == nullptr);
+  EXPECT_EQ(cache.stats().evictions, 2U);
+
+  // The evicted-but-leased mapping stayed fully usable throughout.
+  const auto queries = matched_queries(3);
+  expect_same_psms(solo_run(cfg, art_a, queries), pipeline.run(queries),
+                   "evicted-but-leased pipeline");
+}
+
 TEST(SearchServer, EvictedLibraryStillServesItsOpenSession) {
   const auto cfg = serve_config("ideal-hd");
   const std::string art_a = build_artifact("exact", cfg);
