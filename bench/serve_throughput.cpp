@@ -13,11 +13,16 @@
 // The JSON records the cache-counter deltas per round so the hot-open
 // claim is checkable, not vibes.
 //
+// Every latency/throughput row is sourced from the server's own metrics
+// registry (obs::Snapshot deltas over the round: serve.queries_total,
+// serve.open_seconds, serve.first_psm_seconds) — the bench measures what
+// the STATS verb reports, so the numbers here and the numbers a live
+// operator scrapes are the same instruments.
+//
 // Usage: serve_throughput [--scale=1.0] [--refs=3000] [--queries=240]
 //                         [--dim=2048] [--backend=ideal-hd]
 //                         [--out=BENCH_serve.json]
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -28,6 +33,7 @@
 
 #include "bench_common.hpp"
 #include "index/index_builder.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -36,15 +42,6 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-/// Nearest-rank percentile over a small sample (p in [0,1]).
-double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const auto rank = static_cast<std::size_t>(
-      std::max(0.0, std::ceil(p * static_cast<double>(xs.size())) - 1.0));
-  return xs[std::min(rank, xs.size() - 1)];
 }
 
 struct RoundResult {
@@ -62,41 +59,23 @@ struct RoundResult {
   std::uint64_t backend_donations = 0;
 };
 
-/// Per-tenant first-accepted-PSM stopwatch; on_accept fires from engine
-/// threads, so the first-arrival check must be atomic.
-struct FirstPsm {
-  Clock::time_point start;
-  std::atomic<bool> seen{false};
-  double elapsed_s = 0.0;
-};
-
 RoundResult run_round(oms::serve::SearchServer& server,
                       const std::string& phase, std::size_t n_sessions,
                       const std::string& artifact,
                       const oms::core::PipelineConfig& cfg,
                       const std::vector<oms::ms::Spectrum>& queries) {
-  const oms::serve::LibraryCacheStats before = server.stats().cache;
+  const oms::obs::Snapshot before = server.metrics_snapshot();
 
   std::vector<std::shared_ptr<oms::serve::Session>> sessions;
-  std::vector<std::unique_ptr<FirstPsm>> firsts;
-  std::vector<double> open_s;
   for (std::size_t i = 0; i < n_sessions; ++i) {
-    auto first = std::make_unique<FirstPsm>();
     oms::serve::SessionConfig scfg;
     scfg.pipeline = cfg;
-    scfg.on_accept = [p = first.get()](const oms::core::Psm&) {
-      if (!p->seen.exchange(true)) p->elapsed_s = seconds_since(p->start);
-    };
-    const auto t0 = Clock::now();
     sessions.push_back(server.open(artifact, std::move(scfg)));
-    open_s.push_back(seconds_since(t0));
-    firsts.push_back(std::move(first));
   }
 
   const auto t_round = Clock::now();
   std::vector<std::thread> threads;
   for (std::size_t i = 0; i < n_sessions; ++i) {
-    firsts[i]->start = Clock::now();
     threads.emplace_back([&, i] {
       for (const oms::ms::Spectrum& q : queries) {
         (void)sessions[i]->submit(q);
@@ -107,25 +86,37 @@ RoundResult run_round(oms::serve::SearchServer& server,
   for (auto& th : threads) th.join();
   const double wall = seconds_since(t_round);
 
-  std::vector<double> ttfp;
-  for (const auto& f : firsts) {
-    if (f->seen.load()) ttfp.push_back(f->elapsed_s);
-  }
+  // Everything below comes out of the registry: the same histograms and
+  // counters a live operator reads through the STATS verb, windowed to
+  // this round by the snapshot delta. Cache totals surface as gauges
+  // (set-to-current at scrape), so their round deltas subtract explicitly.
+  const oms::obs::Snapshot after = server.metrics_snapshot();
+  const oms::obs::Snapshot delta = after.since(before);
+  const oms::obs::HistogramSnapshot* ttfp =
+      delta.histogram("serve.first_psm_seconds");
+  const oms::obs::HistogramSnapshot* open_h =
+      delta.histogram("serve.open_seconds");
+  const auto gauge_delta = [&](std::string_view name) {
+    return static_cast<std::uint64_t>(after.gauge(name) - before.gauge(name));
+  };
 
-  const oms::serve::LibraryCacheStats after = server.stats().cache;
   RoundResult r;
   r.sessions = n_sessions;
   r.phase = phase;
   r.wall_s = wall;
-  r.qps = static_cast<double>(n_sessions * queries.size()) / wall;
-  r.ttfp_p50_s = percentile(ttfp, 0.50);
-  r.ttfp_p99_s = percentile(ttfp, 0.99);
-  r.open_p50_s = percentile(open_s, 0.50);
-  r.open_max_s = *std::max_element(open_s.begin(), open_s.end());
-  r.cache_hits = after.hits - before.hits;
-  r.cache_misses = after.misses - before.misses;
-  r.backend_hits = after.backend_hits - before.backend_hits;
-  r.backend_donations = after.backend_donations - before.backend_donations;
+  r.qps = static_cast<double>(delta.counter("serve.queries_total")) / wall;
+  if (ttfp != nullptr) {
+    r.ttfp_p50_s = ttfp->percentile(0.50);
+    r.ttfp_p99_s = ttfp->percentile(0.99);
+  }
+  if (open_h != nullptr) {
+    r.open_p50_s = open_h->percentile(0.50);
+    r.open_max_s = open_h->percentile(1.0);
+  }
+  r.cache_hits = gauge_delta("serve.cache.hits");
+  r.cache_misses = gauge_delta("serve.cache.misses");
+  r.backend_hits = gauge_delta("serve.cache.backend_hits");
+  r.backend_donations = gauge_delta("serve.cache.backend_donations");
   return r;
 }
 

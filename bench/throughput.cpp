@@ -28,15 +28,18 @@
 // measured-counters latency/energy from accel::PerfModel::from_measured.
 //
 // Each (backend, mode) cell reports the fastest of --reps repetitions, so
-// the fan-out/batched comparison is not decided by scheduler noise.
+// the fan-out/batched comparison is not decided by scheduler noise. The
+// repetitions are timed into an obs::MetricsRegistry histogram per cell
+// (min/max are tracked exactly, independent of the bucket ladder), so the
+// bench reports through the same instrument the engine exports live.
 #include <algorithm>
-#include <chrono>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "accel/perf_model.hpp"
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -105,12 +108,24 @@ struct Measurement {
   BackendStats stats;
 };
 
-template <typename Fn>
-double timed(const Fn& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
+/// Runs `fn` once per repetition, timing each pass into the named registry
+/// histogram, and returns the fastest repetition (the histogram's exact
+/// tracked min — bucket resolution never rounds it). `after_first` fires
+/// after the first pass only: counter snapshots want exactly one run's
+/// worth regardless of --reps.
+template <typename Fn, typename After>
+double best_of(oms::obs::MetricsRegistry& reg, const std::string& metric,
+               std::size_t reps, const Fn& fn, const After& after_first) {
+  oms::obs::Histogram& h = reg.histogram(metric);
+  for (std::size_t rep = 0; rep < std::max<std::size_t>(1, reps); ++rep) {
+    {
+      const oms::obs::ScopedTimer timer(h);
+      fn();
+    }
+    if (rep == 0) after_first();
+  }
+  const oms::obs::Snapshot snap = reg.snapshot();
+  return snap.histogram(metric)->min;
 }
 
 void write_json(const std::string& path,
@@ -203,6 +218,7 @@ int main(int argc, char** argv) {
   };
 
   std::vector<Measurement> results;
+  oms::obs::MetricsRegistry reg;
   oms::util::Table table(
       {"backend", "mode", "queries/sec", "phases", "shard entries"});
   for (const Case& c : cases) {
@@ -211,21 +227,15 @@ int main(int argc, char** argv) {
       std::vector<std::vector<oms::hd::SearchHit>> hits;
       const bool batched = std::string(mode) == "batched";
       Measurement m;
-      double secs = 0.0;
-      for (std::size_t rep = 0; rep < std::max<std::size_t>(1, reps); ++rep) {
-        const double rep_secs = timed([&] {
-          hits = batched ? backend->search_batch(*c.batch, k)
-                         : fanout(*backend, *c.batch, k);
-        });
-        if (rep == 0) {
-          secs = rep_secs;
+      const double secs = best_of(
+          reg, std::string("bench.") + c.name + "." + mode + "_seconds", reps,
+          [&] {
+            hits = batched ? backend->search_batch(*c.batch, k)
+                           : fanout(*backend, *c.batch, k);
+          },
           // Snapshot the counters after exactly one pass so the JSON's
           // phases/shard_entries are per-run regardless of --reps.
-          m.stats = backend->stats();
-        } else {
-          secs = std::min(secs, rep_secs);
-        }
-      }
+          [&] { m.stats = backend->stats(); });
 
       m.backend = c.name;
       m.mode = mode;
@@ -264,12 +274,9 @@ int main(int argc, char** argv) {
 
       auto backend = oms::core::make_backend("ideal-hd", refs, popts);
       std::vector<std::vector<oms::hd::SearchHit>> hits;
-      double secs = 0.0;
-      for (std::size_t rep = 0; rep < std::max<std::size_t>(1, reps); ++rep) {
-        const double rep_secs =
-            timed([&] { hits = backend->search_batch(batch, k); });
-        secs = rep == 0 ? rep_secs : std::min(secs, rep_secs);
-      }
+      const double secs = best_of(
+          reg, "bench.prefilter@" + oms::util::Table::fmt(keep, 4) + "_seconds",
+          reps, [&] { hits = backend->search_batch(batch, k); }, [] {});
 
       // Audited pass: one extra run whose stats carry the in-band recall
       // measurement (kept out of the timed configuration).
@@ -361,17 +368,12 @@ int main(int argc, char** argv) {
       intra.parallel_shards = parallel;
       auto backend = oms::core::make_backend("sharded", refs, intra);
       Measurement m;
-      double secs = 0.0;
-      for (std::size_t rep = 0; rep < std::max<std::size_t>(1, reps); ++rep) {
-        const double rep_secs =
-            timed([&] { (void)backend->search_batch(wide_batch, k); });
-        if (rep == 0) {
-          secs = rep_secs;
-          m.stats = backend->stats();
-        } else {
-          secs = std::min(secs, rep_secs);
-        }
-      }
+      const double secs = best_of(
+          reg,
+          std::string("bench.sharded.") +
+              (parallel ? "parallel" : "sequential") + "_seconds",
+          reps, [&] { (void)backend->search_batch(wide_batch, k); },
+          [&] { m.stats = backend->stats(); });
       m.backend = "sharded";
       m.mode = parallel ? "parallel-shards" : "sequential-shards";
       m.references = n_refs;

@@ -9,6 +9,11 @@
 //                        build one with quickstart --index-out=FILE)
 //   --sessions=N         concurrent sessions to open (default 1)
 //   --backend=NAME       forwarded to OPEN (default ideal-hd)
+//   --stats-out=FILE     issue STATS before QUIT, write the JSON snapshot
+//                        to FILE, and cross-check the server's
+//                        serve.queries_total counter against the queries
+//                        this client actually sent (exit non-zero on
+//                        mismatch) — the CI smoke step's accounting gate
 //
 // The client generates the quickstart workload (seed 7, 2000 references,
 // 300 queries), opens N sessions on the same library, interleaves the
@@ -195,6 +200,7 @@ int main(int argc, char** argv) {
   const long port = cli.get("connect", 0L);
   const auto n_sessions = static_cast<std::size_t>(cli.get("sessions", 1L));
   const std::string backend = cli.get("backend", std::string("ideal-hd"));
+  const std::string stats_out = cli.get("stats-out", std::string());
   if (library.empty() || (spawn.empty() && port == 0)) {
     std::fprintf(stderr,
                  "usage: search_client --library=FILE "
@@ -250,6 +256,48 @@ int main(int argc, char** argv) {
         exit_code = 1;
       } else {
         std::fprintf(stderr, "search_client: %s\n", resp.c_str());
+      }
+    }
+    if (!stats_out.empty()) {
+      // Snapshot after every CLOSE so the counters are quiescent, then
+      // hold the server to its own accounting: serve.queries_total must
+      // equal what this client submitted across all sessions.
+      send_line(t.out, "STATS");
+      const std::string resp = reader.await_response();
+      if (resp.rfind("STATS ", 0) != 0) {
+        std::fprintf(stderr, "search_client: STATS failed: %s\n",
+                     resp.c_str());
+        exit_code = 1;
+      } else {
+        const std::string json = resp.substr(6);
+        if (std::FILE* f = std::fopen(stats_out.c_str(), "w")) {
+          std::fprintf(f, "%s\n", json.c_str());
+          std::fclose(f);
+        } else {
+          std::perror("search_client: --stats-out open");
+          exit_code = 1;
+        }
+        const std::string key = "\"serve.queries_total\":";
+        const auto pos = json.find(key);
+        const unsigned long long reported =
+            pos == std::string::npos
+                ? 0ULL
+                : std::strtoull(json.c_str() + pos + key.size(), nullptr, 10);
+        const unsigned long long sent =
+            static_cast<unsigned long long>(workload.queries.size()) *
+            sids.size();
+        if (pos == std::string::npos || reported != sent) {
+          std::fprintf(stderr,
+                       "search_client: STATS accounting mismatch — "
+                       "serve.queries_total=%llu, client sent %llu\n",
+                       reported, sent);
+          exit_code = 1;
+        } else {
+          std::fprintf(stderr,
+                       "search_client: STATS ok (serve.queries_total=%llu, "
+                       "snapshot -> %s)\n",
+                       reported, stats_out.c_str());
+        }
       }
     }
     send_line(t.out, "QUIT");

@@ -26,10 +26,21 @@
 //     ⇠ remaining PSM lines (the Rolling-FDR close flush)
 //     ← CLOSED <session-id> accepted=<n> searched=<n>
 //   STATS
-//     ← STATS sessions=<open>/<total> queries=<n> psms=<n> cache=<h>/<m>
-//             evict=<n> grants=<n>
+//     ← STATS <json>   one-line obs::MetricsRegistry snapshot
+//       (SearchServer::metrics_snapshot().to_json()): serve.* counters
+//       (queries/PSMs, per-session serve.session.<id>.*, admission
+//       rejects/blocks), engine.stage.* latency histograms with
+//       p50/p95/p99, serve.first_psm_seconds / serve.open_seconds,
+//       backend.* gauges, cache + scheduler scrape gauges.
 //   QUIT
 //     ← BYE   (pipe mode: the process exits; tcp: the connection closes)
+//
+// Observability overhead contract: metrics are block-granular (a handful
+// of clock reads per ~64-query block); per-query span tracing is off
+// unless OPEN sets trace=N (trace every Nth query), and while off every
+// engine instrumentation site is a single branch — serve throughput with
+// tracing disabled is held to within noise of the uninstrumented build
+// (bench/serve_throughput.cpp gate).
 //
 // The pipeline configuration behind OPEN is the quickstart operating
 // point (D=8192, 3-bit IDs, ±500 Da, 1% FDR) so a served session's PSM
@@ -167,6 +178,8 @@ class Conversation {
       } else if (key == "timeout_ms") {
         scfg.admit_timeout =
             std::chrono::milliseconds(std::strtol(val.c_str(), nullptr, 10));
+      } else if (key == "trace") {
+        scfg.trace_sample_every = std::strtoull(val.c_str(), nullptr, 10);
       } else {
         reply("ERR unknown OPEN option: " + key);
         return true;
@@ -255,18 +268,11 @@ class Conversation {
   }
 
   bool cmd_stats() {
-    const oms::serve::SearchServerStats st = app_.server.stats();
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "STATS sessions=%zu/%llu queries=%llu psms=%llu "
-                  "cache=%zu/%zu evict=%zu grants=%llu",
-                  st.sessions_open,
-                  static_cast<unsigned long long>(st.sessions_total),
-                  static_cast<unsigned long long>(st.queries_admitted),
-                  static_cast<unsigned long long>(st.psms_streamed),
-                  st.cache.hits, st.cache.misses, st.cache.evictions,
-                  static_cast<unsigned long long>(st.scheduler.grants));
-    reply(buf);
+    // The whole registry as one JSON line: per-stage latency histograms
+    // (p50/p95/p99 precomputed), serve counters (global and per-session),
+    // backend gauges, cache/scheduler scrape — Snapshot::to_json() never
+    // emits a newline, so the line protocol ships it verbatim.
+    reply("STATS " + app_.server.metrics_snapshot().to_json());
     return true;
   }
 
@@ -315,8 +321,49 @@ int run_tcp(App& app, int port) {
 
 }  // namespace
 
+void print_help() {
+  std::puts(
+      "search_server — line-protocol front-end over serve::SearchServer\n"
+      "\n"
+      "  search_server [--mode=pipe|tcp] [--port=7777]\n"
+      "                [--cache-capacity=4] [--max-sessions=64]\n"
+      "\n"
+      "Protocol (one command per line):\n"
+      "  OPEN <library.omsx> [backend=NAME] [fdr=X] [seed=N] [block=N]\n"
+      "       [max_in_flight=N] [admit=block|reject] [timeout_ms=N]\n"
+      "       [trace=N]\n"
+      "    -> OK <session-id> | ERR <message>\n"
+      "  Q <session-id> <query-id> <precursor_mz> <charge> <mz:int,...>\n"
+      "    -> REJECT <sid> <qid> only when admission sheds the query;\n"
+      "       confident PSMs stream asynchronously as\n"
+      "       PSM <sid> <qid> <peptide> <score> <mass-shift>\n"
+      "  CLOSE <session-id>\n"
+      "    -> remaining PSM lines, then CLOSED <sid> accepted=N searched=N\n"
+      "  STATS\n"
+      "    -> STATS <json> — one-line obs::MetricsRegistry snapshot:\n"
+      "       serve.* counters (queries_total, psms_total, per-session\n"
+      "       serve.session.<id>.queries/.psms, admission rejects/blocks),\n"
+      "       engine.stage.* latency histograms with p50/p95/p99,\n"
+      "       serve.first_psm_seconds and serve.open_seconds histograms,\n"
+      "       backend.* gauges, cache hit/miss/eviction/donation and\n"
+      "       scheduler grant/stream gauges.\n"
+      "  QUIT\n"
+      "    -> BYE\n"
+      "\n"
+      "Observability overhead contract:\n"
+      "  Metrics are always on and block-granular (a handful of clock\n"
+      "  reads per ~64-query search block). Per-query span tracing is per\n"
+      "  session and OFF by default; while off, every engine trace site\n"
+      "  is a single branch. OPEN trace=N samples every Nth query of that\n"
+      "  stream (~two clock reads per stage for sampled queries).");
+}
+
 int main(int argc, char** argv) {
   const oms::util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_help();
+    return 0;
+  }
   const std::string mode = cli.get("mode", std::string("pipe"));
 
   oms::serve::SearchServerConfig cfg;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <mutex>
@@ -13,6 +15,8 @@
 #include "accel/imc_encoder.hpp"
 #include "core/streaming_fdr.hpp"
 #include "hd/errors.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace oms::core {
@@ -22,24 +26,41 @@ namespace {
 /// Pipeline has always used for its query encoding stream.
 constexpr std::uint64_t kQuerySalt = 0x51554552ULL;
 
+using Clock = std::chrono::steady_clock;
+
+/// One admitted query plus its admission-queue entry time (stamped only
+/// when observability is on; default-constructed otherwise).
+struct Admitted {
+  ms::Spectrum spectrum;
+  Clock::time_point enqueued{};
+};
+
 /// One unit of work flowing through the stages. The hypervectors live on
 /// the heap, so Query::hv pointers into `hvs` stay valid as the block
 /// moves between queues.
 struct Block {
   std::vector<ms::BinnedSpectrum> spectra;  ///< Prepped queries.
   std::vector<std::size_t> index;           ///< Global query index per entry.
+  std::vector<std::uint64_t> span_keys;     ///< Tracer keys, aligned to spectra.
   std::vector<util::BitVec> hvs;            ///< Encoded, aligned to spectra.
   std::vector<Query> searches;              ///< Interpretation requests.
   /// (local slot, interpreted precursor mass) per search request.
   std::vector<std::pair<std::size_t, double>> interp;
   std::vector<std::vector<hd::SearchHit>> hits;  ///< Aligned to searches.
+  Clock::time_point stamp{};  ///< Last queue-entry time (obs only).
 };
 
 /// A finished PSM tagged with its global query index for final ordering.
 struct Emitted {
   std::size_t index = 0;
+  std::uint64_t span_key = 0;
   Psm psm;
 };
+
+[[nodiscard]] double seconds_between(Clock::time_point a,
+                                     Clock::time_point b) noexcept {
+  return std::chrono::duration<double>(b - a).count();
+}
 
 }  // namespace
 
@@ -69,6 +90,12 @@ struct QueryEngine::Impl {
       } else {
         rolling = std::make_unique<StreamingFdr>();
       }
+    }
+    if (cfg.metrics != nullptr) {
+      obs = std::make_unique<Obs>(*cfg.metrics);
+      const BackendStats s = pipeline.backend_->stats();
+      obs->be_name.set(s.backend);
+      obs->be_kernel.set(s.kernel);
     }
     if (imc_encode && !pipeline.imc_encoder_) {
       // set_library builds the encoder whenever the trait holds, so this
@@ -109,17 +136,51 @@ struct QueryEngine::Impl {
 
   void preprocess_loop() {
     Block current;
-    while (auto spectrum = admission.pop()) {
+    // Tracer span keys are admission sequence numbers assigned here, in
+    // the single-threaded preprocess stage — the same admission ordering
+    // the determinism contract keys on, but covering preprocess-dropped
+    // queries too (which never get a `searched` index).
+    std::uint64_t admit_seq = 0;
+    while (auto admitted = admission.pop()) {
       if (failed.load(std::memory_order_acquire)) continue;
+      const std::uint64_t key = admit_seq++;
+      const bool traced = cfg.tracer != nullptr && cfg.tracer->sampled(key);
+      Clock::time_point t0{};
+      if (obs || traced) {
+        t0 = Clock::now();
+        const double wait = seconds_between(admitted->enqueued, t0);
+        if (obs) obs->admission_wait_s.observe(wait);
+        if (traced) cfg.tracer->record(key, obs::Stage::kAdmit, wait);
+      }
       ms::BinnedSpectrum binned;
-      if (!ms::preprocess(*spectrum, pipeline.cfg_.preprocess, binned)) {
+      const bool kept =
+          ms::preprocess(admitted->spectrum, pipeline.cfg_.preprocess, binned);
+      if (obs || traced) {
+        const double prep = seconds_between(t0, Clock::now());
+        if (obs) obs->preprocess_s.observe(prep);
+        if (traced) cfg.tracer->record(key, obs::Stage::kPreprocess, prep);
+      }
+      if (!kept) {
         // Quality-filtered, same as preprocess_all. The query can no
         // longer produce a PSM, which tightens the rolling bound.
-        resolved_no_psm.fetch_add(1, std::memory_order_relaxed);
+        dropped_preprocess.fetch_add(1, std::memory_order_relaxed);
+        if (obs) obs->dropped_preprocess.add(1);
+        if (traced) {
+          cfg.tracer->complete(key, obs::SpanOutcome::kDroppedPreprocess);
+        }
         note_resolved(1);
         continue;
       }
-      current.index.push_back(searched++);
+      const std::size_t index = searched++;
+      if (obs) {
+        const std::lock_guard<std::mutex> lock(admit_time_mutex);
+        if (admit_time_by_index.size() <= index) {
+          admit_time_by_index.resize(index + 1);
+        }
+        admit_time_by_index[index] = admitted->enqueued;
+      }
+      current.index.push_back(index);
+      current.span_keys.push_back(key);
       current.spectra.push_back(std::move(binned));
       if (current.spectra.size() >= cfg.block_size) flush(current);
     }
@@ -129,7 +190,10 @@ struct QueryEngine::Impl {
 
   void flush(Block& current) {
     ++blocks;
+    if (obs) obs->blocks.add(1);
+    if (timing_on()) current.stamp = Clock::now();
     to_encode.push(std::move(current));
+    if (obs) obs->encode_depth.set(static_cast<double>(to_encode.size()));
     current = Block{};
   }
 
@@ -137,9 +201,27 @@ struct QueryEngine::Impl {
     while (auto block = to_encode.pop()) {
       if (!failed.load(std::memory_order_acquire)) {
         try {
+          Clock::time_point t0{};
+          if (timing_on()) {
+            t0 = Clock::now();
+            const double wait = seconds_between(block->stamp, t0);
+            if (obs) obs->queue_wait_s.observe(wait);
+            if (tracing_on()) {
+              trace_block(*block, obs::Stage::kQueueWait, wait);
+            }
+          }
           encode_block(*block);
           build_searches(*block);
+          if (timing_on()) {
+            const double enc = seconds_between(t0, Clock::now());
+            if (obs) obs->encode_s.observe(enc);
+            if (tracing_on()) trace_block(*block, obs::Stage::kEncode, enc);
+            block->stamp = Clock::now();
+          }
           to_search.push(std::move(*block));
+          if (obs) {
+            obs->search_depth.set(static_cast<double>(to_search.size()));
+          }
         } catch (...) {
           fail(std::current_exception());
         }
@@ -156,8 +238,26 @@ struct QueryEngine::Impl {
     while (auto block = to_search.pop()) {
       if (!failed.load(std::memory_order_acquire)) {
         try {
+          Clock::time_point t0{};
+          double inner_s = 0.0;
+          if (timing_on()) {
+            t0 = Clock::now();
+            const double wait = seconds_between(block->stamp, t0);
+            if (obs) obs->queue_wait_s.observe(wait);
+            if (tracing_on()) {
+              trace_block(*block, obs::Stage::kQueueWait, wait);
+            }
+          }
           const auto run_block = [&] {
-            block->hits = pipeline.backend_->search_batch(block->searches, k);
+            if (timing_on()) {
+              const Clock::time_point s0 = Clock::now();
+              block->hits =
+                  pipeline.backend_->search_batch(block->searches, k);
+              inner_s = seconds_between(s0, Clock::now());
+            } else {
+              block->hits =
+                  pipeline.backend_->search_batch(block->searches, k);
+            }
           };
           // The gate (serve::FairScheduler) only decides *when* the block
           // runs; keyed noise keeps the results schedule-independent.
@@ -166,7 +266,27 @@ struct QueryEngine::Impl {
           } else {
             run_block();
           }
+          if (timing_on()) {
+            // Outer minus inner separates the time waiting on the gate
+            // (cross-tenant scheduling) from the backend search itself;
+            // for the tracer the gate wait folds into queue-wait.
+            const double gate_wait = std::max(
+                0.0, seconds_between(t0, Clock::now()) - inner_s);
+            if (obs) {
+              obs->search_s.observe(inner_s);
+              obs->gate_wait_s.observe(gate_wait);
+            }
+            if (tracing_on()) {
+              trace_block(*block, obs::Stage::kSearch, inner_s);
+              trace_block(*block, obs::Stage::kQueueWait, gate_wait);
+            }
+            block->stamp = Clock::now();
+          }
+          if (obs) scrape_backend();
           to_rescore.push(std::move(*block));
+          if (obs) {
+            obs->rescore_depth.set(static_cast<double>(to_rescore.size()));
+          }
         } catch (...) {
           fail(std::current_exception());
         }
@@ -181,9 +301,41 @@ struct QueryEngine::Impl {
     while (auto block = to_rescore.pop()) {
       if (!failed.load(std::memory_order_acquire)) {
         try {
+          Clock::time_point t0{};
+          if (timing_on()) {
+            t0 = Clock::now();
+            const double wait = seconds_between(block->stamp, t0);
+            if (obs) obs->queue_wait_s.observe(wait);
+            if (tracing_on()) {
+              trace_block(*block, obs::Stage::kQueueWait, wait);
+            }
+          }
           const std::size_t in_block = block->spectra.size();
           std::vector<Emitted> emitted_block = rescore_block(*block);
+          if (timing_on()) {
+            const double rs = seconds_between(t0, Clock::now());
+            if (obs) obs->rescore_s.observe(rs);
+            if (tracing_on()) trace_block(*block, obs::Stage::kRescore, rs);
+          }
+          if (tracing_on() && emitted_block.size() != block->span_keys.size()) {
+            // Empty-window slots never reach the emit stage: close their
+            // spans here, after the block's last record. Emitted entries
+            // preserve slot order, so the non-emitted keys fall out of a
+            // two-pointer walk.
+            std::size_t j = 0;
+            for (const std::uint64_t key : block->span_keys) {
+              if (j < emitted_block.size() &&
+                  emitted_block[j].span_key == key) {
+                ++j;
+              } else {
+                cfg.tracer->complete(key, obs::SpanOutcome::kEmptyWindow);
+              }
+            }
+          }
           if (!emitted_block.empty()) to_emit.push(std::move(emitted_block));
+          if (obs) {
+            obs->emit_depth.set(static_cast<double>(to_emit.size()));
+          }
           // Every query in the block is now resolved — either its PSM is
           // en route to emission or it had no candidate window.
           note_resolved(in_block);
@@ -211,6 +363,17 @@ struct QueryEngine::Impl {
     while (auto emitted_block = to_emit.pop()) {
       if (!failed.load(std::memory_order_acquire)) {
         try {
+          Clock::time_point t0{};
+          std::vector<std::uint64_t> span_keys;
+          if (timing_on()) {
+            t0 = Clock::now();
+            if (tracing_on()) {
+              span_keys.reserve(emitted_block->size());
+              for (const Emitted& e : *emitted_block) {
+                span_keys.push_back(e.span_key);
+              }
+            }
+          }
           if (rolling || rolling_grouped) {
             for (const Emitted& e : *emitted_block) {
               if (rolling_grouped) {
@@ -220,10 +383,22 @@ struct QueryEngine::Impl {
               }
             }
           }
+          if (obs) obs->psms_emitted.add(emitted_block->size());
           emitted.insert(emitted.end(),
                          std::make_move_iterator(emitted_block->begin()),
                          std::make_move_iterator(emitted_block->end()));
           roll_emit();
+          if (timing_on()) {
+            const double es = seconds_between(t0, Clock::now());
+            if (obs) obs->emit_s.observe(es);
+            for (const std::uint64_t key : span_keys) {
+              cfg.tracer->record(key, obs::Stage::kEmit, es);
+              // The emission decision ran: the span chain is complete
+              // (the FDR verdict — early release vs drain — is a
+              // stream-level property, not a per-query stage).
+              cfg.tracer->complete(key, obs::SpanOutcome::kEmitted);
+            }
+          }
         } catch (...) {
           fail(std::current_exception());
         }
@@ -265,7 +440,8 @@ struct QueryEngine::Impl {
     const std::size_t seen =
         rolling_grouped ? rolling_grouped->size() : rolling->size();
     const std::size_t done =
-        seen + resolved_no_psm.load(std::memory_order_relaxed);
+        seen + dropped_preprocess.load(std::memory_order_relaxed) +
+        empty_window.load(std::memory_order_relaxed);
     const std::size_t arrived = submitted.load(std::memory_order_acquire);
     // Trigger precedence (the documented contract of the deprecated
     // expected_queries field): a closed stream supersedes any promise.
@@ -284,6 +460,10 @@ struct QueryEngine::Impl {
       if (released.size() <= r.tag) released.resize(r.tag + 1, false);
       released[r.tag] = true;
       ++early_emitted;
+      if (obs) {
+        obs->early_released.add(1);
+        observe_emit_latency(r.tag);
+      }
       if (cfg.on_accept) cfg.on_accept(r.psm);
     }
   }
@@ -398,8 +578,12 @@ struct QueryEngine::Impl {
     out.reserve(n);
     for (std::size_t slot = 0; slot < n; ++slot) {
       if (hits[slot].empty()) {
-        // No candidate in any mass window: resolved without a PSM.
-        resolved_no_psm.fetch_add(1, std::memory_order_relaxed);
+        // No candidate in any mass window: resolved without a PSM. The
+        // span completes in rescore_loop, after the block's kRescore
+        // record — completing here and recording after would silently
+        // reopen the span.
+        empty_window.fetch_add(1, std::memory_order_relaxed);
+        if (obs) obs->empty_window.add(1);
         continue;
       }
       const ms::BinnedSpectrum& q = block.spectra[slot];
@@ -426,6 +610,7 @@ struct QueryEngine::Impl {
       const ms::BinnedSpectrum& ref = pipeline.lib()[best.reference_index];
       Emitted e;
       e.index = block.index[slot];
+      e.span_key = block.span_keys[slot];
       e.psm.query_id = q.id;
       e.psm.peptide = ref.peptide;
       e.psm.score = best_score;
@@ -473,7 +658,119 @@ struct QueryEngine::Impl {
   const QueryEngineConfig cfg;
   const bool imc_encode;
 
-  util::BoundedQueue<ms::Spectrum> admission;
+  // --- observability ------------------------------------------------------
+  // Metric handles resolved once at construction so the stage loops never
+  // touch the registry mutex. Null when QueryEngineConfig::metrics is null
+  // — every instrumentation site is then a single `if (obs)` branch.
+  struct Obs {
+    explicit Obs(obs::MetricsRegistry& r)
+        : submitted(r.counter("engine.queries_submitted")),
+          dropped_preprocess(r.counter("engine.queries_dropped_preprocess")),
+          empty_window(r.counter("engine.queries_empty_window")),
+          psms_emitted(r.counter("engine.psms_emitted")),
+          early_released(r.counter("engine.psms_early_released")),
+          blocks(r.counter("engine.blocks")),
+          admission_wait_s(r.histogram("engine.stage.admission_wait_seconds")),
+          preprocess_s(r.histogram("engine.stage.preprocess_seconds")),
+          encode_s(r.histogram("engine.stage.encode_seconds")),
+          queue_wait_s(r.histogram("engine.stage.queue_wait_seconds")),
+          search_s(r.histogram("engine.stage.search_seconds")),
+          gate_wait_s(r.histogram("engine.stage.gate_wait_seconds")),
+          rescore_s(r.histogram("engine.stage.rescore_seconds")),
+          emit_s(r.histogram("engine.stage.emit_seconds")),
+          emit_latency_s(r.histogram("engine.emit_latency_seconds")),
+          encode_depth(r.gauge("engine.queue.encode_depth")),
+          search_depth(r.gauge("engine.queue.search_depth")),
+          rescore_depth(r.gauge("engine.queue.rescore_depth")),
+          emit_depth(r.gauge("engine.queue.emit_depth")),
+          be_phases(r.gauge("backend.phases_executed")),
+          be_shard_entries(r.gauge("backend.shard_entries")),
+          be_query_blocks(r.gauge("backend.query_blocks")),
+          be_batched_queries(r.gauge("backend.batched_queries")),
+          be_scanned_fraction(r.gauge("backend.scanned_fraction")),
+          be_prefilter_recall(r.gauge("backend.prefilter_recall")),
+          be_name(r.info("backend.name")),
+          be_kernel(r.info("backend.kernel")) {}
+    obs::Counter& submitted;
+    obs::Counter& dropped_preprocess;
+    obs::Counter& empty_window;
+    obs::Counter& psms_emitted;
+    obs::Counter& early_released;
+    obs::Counter& blocks;
+    obs::Histogram& admission_wait_s;
+    obs::Histogram& preprocess_s;
+    obs::Histogram& encode_s;
+    obs::Histogram& queue_wait_s;
+    obs::Histogram& search_s;
+    obs::Histogram& gate_wait_s;
+    obs::Histogram& rescore_s;
+    obs::Histogram& emit_s;
+    obs::Histogram& emit_latency_s;
+    obs::Gauge& encode_depth;
+    obs::Gauge& search_depth;
+    obs::Gauge& rescore_depth;
+    obs::Gauge& emit_depth;
+    obs::Gauge& be_phases;
+    obs::Gauge& be_shard_entries;
+    obs::Gauge& be_query_blocks;
+    obs::Gauge& be_batched_queries;
+    obs::Gauge& be_scanned_fraction;
+    obs::Gauge& be_prefilter_recall;
+    obs::Info& be_name;
+    obs::Info& be_kernel;
+  };
+  std::unique_ptr<Obs> obs;
+
+  /// True when any timing instrumentation is live (metrics or sampling
+  /// tracer); gates every clock read so the uninstrumented path stays
+  /// clock-free.
+  [[nodiscard]] bool timing_on() const noexcept {
+    return obs != nullptr || tracing_on();
+  }
+  [[nodiscard]] bool tracing_on() const noexcept {
+    return cfg.tracer != nullptr && cfg.tracer->enabled();
+  }
+  /// Adds `s` to `stage` of every sampled span in the block (record()
+  /// filters unsampled keys; a cheap modulo per key).
+  void trace_block(const Block& b, obs::Stage stage, double s) const {
+    for (const std::uint64_t key : b.span_keys) {
+      cfg.tracer->record(key, stage, s);
+    }
+  }
+  /// Latest full backend snapshot → `backend.*` gauges. Set, not
+  /// accumulated: the backend's counters are already monotonic process
+  /// totals, and per-block deltas would overlap under concurrent blocks
+  /// or a backend shared across sessions (BackendStats::operator+= is for
+  /// stage-serial composition — see the regression test).
+  void scrape_backend() const {
+    const BackendStats s = pipeline.backend_->stats();
+    obs->be_phases.set(static_cast<double>(s.phases_executed));
+    obs->be_shard_entries.set(static_cast<double>(s.shard_entries));
+    obs->be_query_blocks.set(static_cast<double>(s.query_blocks));
+    obs->be_batched_queries.set(static_cast<double>(s.batched_queries));
+    obs->be_scanned_fraction.set(s.scanned_fraction());
+    obs->be_prefilter_recall.set(s.prefilter_recall());
+  }
+
+  /// Admission-entry time by searched index, for the Rolling-path
+  /// emission-latency histogram (admission → release). Written by the
+  /// preprocess thread, read by the emission/drain threads; only
+  /// populated when metrics are on.
+  std::mutex admit_time_mutex;
+  std::vector<Clock::time_point> admit_time_by_index;
+
+  void observe_emit_latency(std::size_t index) {
+    Clock::time_point t{};
+    {
+      const std::lock_guard<std::mutex> lock(admit_time_mutex);
+      if (index < admit_time_by_index.size()) t = admit_time_by_index[index];
+    }
+    if (t != Clock::time_point{}) {
+      obs->emit_latency_s.observe(seconds_between(t, Clock::now()));
+    }
+  }
+
+  util::BoundedQueue<Admitted> admission;
   util::BoundedQueue<Block> to_encode;
   util::BoundedQueue<Block> to_search;
   util::BoundedQueue<Block> to_rescore;
@@ -499,10 +796,14 @@ struct QueryEngine::Impl {
   /// Producer (caller) thread writes; the emission thread reads it for
   /// the rolling future-arrival bound, hence atomic.
   std::atomic<std::size_t> submitted{0};
-  /// Queries that finished without producing a PSM (preprocess-filtered or
-  /// empty candidate windows); written by preprocess/rescore workers, read
-  /// by the emission thread to tighten the rolling bound.
-  std::atomic<std::size_t> resolved_no_psm{0};
+  /// Queries that finished without producing a PSM, split by cause so no
+  /// query silently vanishes from the per-run view: quality-filtered at
+  /// preprocessing vs searched-but-empty candidate windows. Written by
+  /// preprocess/rescore workers, read by the emission thread to tighten
+  /// the rolling bound and by drain() for the drop-accounting identity
+  /// submitted == emitted + dropped_preprocess + empty_window.
+  std::atomic<std::size_t> dropped_preprocess{0};
+  std::atomic<std::size_t> empty_window{0};
   /// All resolved queries (with or without a PSM) — outstanding() feeds
   /// the serving layer's in-flight accounting.
   std::atomic<std::size_t> resolved{0};
@@ -535,9 +836,12 @@ void QueryEngine::submit(ms::Spectrum&& query) {
     throw std::logic_error("QueryEngine::submit: stream closed");
   }
   impl_->submitted.fetch_add(1, std::memory_order_acq_rel);
+  if (impl_->obs) impl_->obs->submitted.add(1);
   // push() only fails when a stage failure closed the queue; drain()
   // reports the stored exception.
-  (void)impl_->admission.push(std::move(query));
+  (void)impl_->admission.push(
+      Admitted{std::move(query), impl_->timing_on() ? Clock::now()
+                                                    : Clock::time_point{}});
 }
 
 void QueryEngine::submit_batch(std::span<const ms::Spectrum> queries) {
@@ -555,7 +859,13 @@ bool QueryEngine::try_submit(ms::Spectrum&& query) {
   // over-count the future mid-admission, never under-count; undo on
   // rejection — over-counting merely delays a release.
   impl_->submitted.fetch_add(1, std::memory_order_acq_rel);
-  if (impl_->admission.try_push(std::move(query))) return true;
+  if (impl_->admission.try_push(
+          Admitted{std::move(query), impl_->timing_on()
+                                         ? Clock::now()
+                                         : Clock::time_point{}})) {
+    if (impl_->obs) impl_->obs->submitted.add(1);
+    return true;
+  }
   impl_->submitted.fetch_sub(1, std::memory_order_acq_rel);
   return false;
 }
@@ -569,7 +879,14 @@ bool QueryEngine::submit_for(ms::Spectrum&& query,
     throw std::logic_error("QueryEngine::submit_for: stream closed");
   }
   impl_->submitted.fetch_add(1, std::memory_order_acq_rel);
-  if (impl_->admission.push_for(std::move(query), timeout)) return true;
+  if (impl_->admission.push_for(
+          Admitted{std::move(query), impl_->timing_on()
+                                         ? Clock::now()
+                                         : Clock::time_point{}},
+          timeout)) {
+    if (impl_->obs) impl_->obs->submitted.add(1);
+    return true;
+  }
   impl_->submitted.fetch_sub(1, std::memory_order_acq_rel);
   return false;
 }
@@ -608,6 +925,15 @@ PipelineResult QueryEngine::drain() {
     if (impl_->error) std::rethrow_exception(impl_->error);
   }
 
+  // Drop accounting is exact on the non-failed path: every admitted query
+  // either produced a PSM, was quality-filtered at preprocessing, or had
+  // no candidate in any precursor window. Tested against both emit
+  // policies; a violation means a stage lost a query silently.
+  assert(impl_->submitted.load(std::memory_order_acquire) ==
+         impl_->emitted.size() +
+             impl_->dropped_preprocess.load(std::memory_order_acquire) +
+             impl_->empty_window.load(std::memory_order_acquire));
+
   PipelineResult result;
   result.queries_in = impl_->submitted.load(std::memory_order_acquire);
   result.queries_searched = impl_->searched;
@@ -645,7 +971,10 @@ PipelineResult QueryEngine::drain() {
       const std::size_t admission = impl_->emitted[i].index;
       const bool was_released = admission < impl_->released.size() &&
                                 impl_->released[admission];
-      if (mask[i] && !was_released) impl_->cfg.on_accept(result.psms[i]);
+      if (mask[i] && !was_released) {
+        if (impl_->obs) impl_->observe_emit_latency(admission);
+        impl_->cfg.on_accept(result.psms[i]);
+      }
     }
   }
   return result;
@@ -659,6 +988,10 @@ QueryEngineStats QueryEngine::stats() const {
   s.block_size = impl_->cfg.block_size;
   s.stage_threads = impl_->cfg.stage_threads;
   s.early_emitted = impl_->early_emitted;
+  s.emitted = impl_->emitted.size();
+  s.dropped_preprocess =
+      impl_->dropped_preprocess.load(std::memory_order_acquire);
+  s.empty_window = impl_->empty_window.load(std::memory_order_acquire);
   return s;
 }
 

@@ -49,6 +49,11 @@
 
 #include "core/pipeline.hpp"
 
+namespace oms::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace oms::obs
+
 namespace oms::core {
 
 /// When the emission stage releases accepted PSMs.
@@ -122,9 +127,33 @@ struct QueryEngineConfig {
   /// scheduling knob: per-query keyed noise makes results independent of
   /// block execution order.
   std::function<void(const std::function<void()>&)> search_gate;
+  /// Observability sink (see obs/metrics.hpp). When set, the engine
+  /// records `engine.*` counters (submitted / dropped_preprocess /
+  /// empty_window / psms_emitted / blocks), per-stage latency histograms
+  /// (`engine.stage.*_seconds`, block-granular for the block stages),
+  /// bounded-queue depth gauges (`engine.queue.*_depth`), per-PSM
+  /// emission-latency (`engine.emit_latency_seconds`, admission → release),
+  /// and scrapes the backend's BackendStats into `backend.*` gauges after
+  /// each searched block (set, not accumulated — the backend's counters
+  /// are already monotonic totals, and concurrent blocks would make
+  /// deltas overlap). nullptr ⇒ zero instrumentation cost. The registry
+  /// must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Per-query span tracer (see obs/trace.hpp). When set and enabled
+  /// (sample_every > 0), sampled queries — keyed on the admission index
+  /// the determinism contract already assigns — get per-stage wall-time
+  /// spans through admit → preprocess → encode → queue-wait → search →
+  /// rescore → emit; gate waits fold into queue-wait. Every admitted
+  /// query completes exactly one span (Emitted, EmptyWindow, or
+  /// DroppedPreprocess) under either emit policy. nullptr or disabled ⇒
+  /// a single branch per stage. Must outlive the engine.
+  obs::Tracer* tracer = nullptr;
 };
 
-/// Accounting for one streaming run; valid after drain().
+/// Accounting for one streaming run; valid after drain(). The drop
+/// accounting is exact on the non-failed path:
+///   submitted == emitted + dropped_preprocess + empty_window
+/// (asserted in drain) — no query vanishes from the per-run view.
 struct QueryEngineStats {
   std::size_t submitted = 0;      ///< Spectra handed to submit*().
   std::size_t searched = 0;       ///< Survived preprocessing.
@@ -132,6 +161,9 @@ struct QueryEngineStats {
   std::size_t block_size = 0;     ///< Effective B.
   std::size_t stage_threads = 0;  ///< Effective workers per stage.
   std::size_t early_emitted = 0;  ///< PSMs released before drain (Rolling).
+  std::size_t emitted = 0;        ///< Queries that produced a PSM (pre-FDR).
+  std::size_t dropped_preprocess = 0;  ///< Quality-filtered before encoding.
+  std::size_t empty_window = 0;   ///< Searched; no candidate in any window.
 };
 
 class QueryEngine {

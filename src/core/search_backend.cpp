@@ -12,6 +12,53 @@
 
 namespace oms::core {
 
+BackendStats& BackendStats::operator+=(const BackendStats& other) {
+  if (backend.empty()) backend = other.backend;
+  if (references == 0) references = other.references;
+  if (shards <= 1) shards = other.shards;
+  if (phase_sigma == 0.0) phase_sigma = other.phase_sigma;
+  if (gain == 1.0) gain = other.gain;
+  if (kernel.empty()) kernel = other.kernel;
+  contiguous_refs = contiguous_refs || other.contiguous_refs;
+  phases_executed += other.phases_executed;
+  shard_entries += other.shard_entries;
+  query_blocks += other.query_blocks;
+  batched_queries += other.batched_queries;
+  prefilter_candidates += other.prefilter_candidates;
+  prefilter_scanned += other.prefilter_scanned;
+  prefilter_windows_pruned += other.prefilter_windows_pruned;
+  prefilter_windows_bypassed += other.prefilter_windows_bypassed;
+  prefilter_audited_queries += other.prefilter_audited_queries;
+  prefilter_audit_matched += other.prefilter_audit_matched;
+  prefilter_audit_expected += other.prefilter_audit_expected;
+  return *this;
+}
+
+BackendStats BackendStats::since(const BackendStats& before) const {
+  const auto delta = [](std::uint64_t now, std::uint64_t then) {
+    return now >= then ? now - then : 0;
+  };
+  BackendStats d = *this;
+  d.phases_executed = delta(phases_executed, before.phases_executed);
+  d.shard_entries = delta(shard_entries, before.shard_entries);
+  d.query_blocks = delta(query_blocks, before.query_blocks);
+  d.batched_queries = delta(batched_queries, before.batched_queries);
+  d.prefilter_candidates =
+      delta(prefilter_candidates, before.prefilter_candidates);
+  d.prefilter_scanned = delta(prefilter_scanned, before.prefilter_scanned);
+  d.prefilter_windows_pruned =
+      delta(prefilter_windows_pruned, before.prefilter_windows_pruned);
+  d.prefilter_windows_bypassed =
+      delta(prefilter_windows_bypassed, before.prefilter_windows_bypassed);
+  d.prefilter_audited_queries =
+      delta(prefilter_audited_queries, before.prefilter_audited_queries);
+  d.prefilter_audit_matched =
+      delta(prefilter_audit_matched, before.prefilter_audit_matched);
+  d.prefilter_audit_expected =
+      delta(prefilter_audit_expected, before.prefilter_audit_expected);
+  return d;
+}
+
 std::vector<std::vector<hd::SearchHit>> SearchBackend::search_batch(
     std::span<const Query> queries, std::size_t k) {
   std::vector<std::vector<hd::SearchHit>> out(queries.size());

@@ -13,6 +13,15 @@
 //                       snapshot can be fed straight into
 //                       accel::PerfModel::from_measured to turn a real run
 //                       into latency/energy numbers (accel/perf_model.hpp).
+//                       Snapshots compose: operator+= / merge() accumulate
+//                       the counters, since() takes exact windowed deltas.
+//                       Observability seam: core::QueryEngine scrapes the
+//                       latest snapshot into `backend.*` gauges of an
+//                       obs::MetricsRegistry after every searched block
+//                       (obs/metrics.hpp), which is how a live server's
+//                       STATS verb sees phases/shard-entries/scanned
+//                       fraction without any backend code knowing about
+//                       metrics.
 //   * SearchBackend   — the interface: `top_k` for one query, `search_batch`
 //                       for many (default fans out over the global thread
 //                       pool; backends may override with a genuinely batched
@@ -175,6 +184,27 @@ struct BackendStats {
                : static_cast<double>(prefilter_audit_matched) /
                      static_cast<double>(prefilter_audit_expected);
   }
+
+  /// Accumulates `other`'s exact counters into this (phases, shard
+  /// entries, blocks, batched queries, prefilter_*). Identity fields —
+  /// backend name, references, shards, sigma, gain, kernel,
+  /// contiguous_refs — are adopted from `other` when this snapshot is
+  /// still default-constructed, and kept otherwise. Because the counters
+  /// are exact and scheduling-independent, stage-serial per-window deltas
+  /// (see since()) compose back to the synchronous run's totals — the
+  /// contract obs-fed bench accounting and the streaming-vs-synchronous
+  /// regression test rely on.
+  BackendStats& operator+=(const BackendStats& other);
+
+  /// Named form of operator+=, for call sites that read better with a
+  /// verb (aggregating per-shard or per-round snapshots).
+  BackendStats& merge(const BackendStats& other) { return *this += other; }
+
+  /// Counter-wise delta (this − before, clamped at zero): the exact work
+  /// a window of execution performed, given a snapshot taken at its start
+  /// on the same backend instance. Identity fields keep this snapshot's
+  /// values.
+  [[nodiscard]] BackendStats since(const BackendStats& before) const;
 };
 
 /// Options consumed by the built-in backend factories. Unknown/irrelevant

@@ -1,0 +1,60 @@
+#include "obs/trace.hpp"
+
+#include <utility>
+
+namespace oms::obs {
+
+std::string_view stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kAdmit: return "admit";
+    case Stage::kPreprocess: return "preprocess";
+    case Stage::kEncode: return "encode";
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kSearch: return "search";
+    case Stage::kRescore: return "rescore";
+    case Stage::kEmit: return "emit";
+    case Stage::kStageCount_: break;
+  }
+  return "unknown";
+}
+
+void Tracer::record(std::uint64_t key, Stage stage, double seconds) {
+  if (!sampled(key) || stage == Stage::kStageCount_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Span& span = open_[key];
+  span.key = key;
+  span.stage_seconds[static_cast<std::size_t>(stage)] += seconds;
+}
+
+void Tracer::complete(std::uint64_t key, SpanOutcome outcome) {
+  if (!sampled(key)) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = open_.find(key);
+  // Only an open span can complete: a key completed twice keeps its first
+  // outcome, and a key never recorded has no span to close. This is what
+  // keeps completed_total() == admitted exactly (every engine site
+  // records at least kAdmit before any completion path).
+  if (it == open_.end()) return;
+  it->second.outcome = outcome;
+  ring_.push_back(std::move(it->second));
+  open_.erase(it);
+  ++completed_total_;
+  while (ring_.size() > cfg_.capacity) ring_.pop_front();
+}
+
+std::vector<Span> Tracer::completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Span>(ring_.begin(), ring_.end());
+}
+
+std::size_t Tracer::open_spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return open_.size();
+}
+
+std::uint64_t Tracer::completed_total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completed_total_;
+}
+
+}  // namespace oms::obs

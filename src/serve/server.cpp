@@ -23,6 +23,7 @@ std::shared_ptr<Session> SearchServer::open(const std::string& library_path,
     ++core_->sessions_total;
   }
   try {
+    const obs::ScopedTimer timer(core_->open_seconds);
     return std::shared_ptr<Session>(
         new Session(core_, library_path, std::move(cfg)));
   } catch (...) {
@@ -40,12 +41,37 @@ SearchServerStats SearchServer::stats() const {
     out.sessions_open = core_->sessions_open;
     out.sessions_total = core_->sessions_total;
   }
-  out.queries_admitted =
-      core_->queries_admitted.load(std::memory_order_relaxed);
-  out.psms_streamed = core_->psms_streamed.load(std::memory_order_relaxed);
+  out.queries_admitted = core_->queries_total.value();
+  out.psms_streamed = core_->psms_total.value();
   out.cache = core_->cache.stats();
   out.scheduler = core_->scheduler.stats();
   return out;
+}
+
+obs::Snapshot SearchServer::metrics_snapshot() const {
+  obs::MetricsRegistry& m = core_->metrics;
+  {
+    const std::lock_guard lock(core_->mutex);
+    m.gauge("serve.sessions_open")
+        .set(static_cast<double>(core_->sessions_open));
+    m.gauge("serve.sessions_total")
+        .set(static_cast<double>(core_->sessions_total));
+  }
+  const LibraryCacheStats c = core_->cache.stats();
+  m.gauge("serve.cache.hits").set(static_cast<double>(c.hits));
+  m.gauge("serve.cache.misses").set(static_cast<double>(c.misses));
+  m.gauge("serve.cache.evictions").set(static_cast<double>(c.evictions));
+  m.gauge("serve.cache.resident").set(static_cast<double>(c.resident));
+  m.gauge("serve.cache.backend_hits")
+      .set(static_cast<double>(c.backend_hits));
+  m.gauge("serve.cache.backend_donations")
+      .set(static_cast<double>(c.backend_donations));
+  const SchedulerStats s = core_->scheduler.stats();
+  m.gauge("serve.scheduler.grants").set(static_cast<double>(s.grants));
+  m.gauge("serve.scheduler.streams").set(static_cast<double>(s.streams));
+  m.gauge("serve.scheduler.running").set(static_cast<double>(s.running));
+  m.gauge("serve.scheduler.waiting").set(static_cast<double>(s.waiting));
+  return m.snapshot();
 }
 
 }  // namespace oms::serve

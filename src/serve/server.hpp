@@ -24,13 +24,13 @@
 // session and explicit rejection at the door, never unbounded buffering.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "serve/library_cache.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
@@ -57,20 +57,36 @@ struct SearchServerStats {
 
 namespace detail {
 /// State shared by the server handle and every session it opened.
+/// Cross-session accounting lives in the obs::MetricsRegistry — the one
+/// accounting path the STATS verb, SearchServerStats, and the serve bench
+/// all read — with handles resolved once here so sessions never touch the
+/// registry mutex on the query path.
 struct ServerCore {
   explicit ServerCore(const SearchServerConfig& config)
       : cfg(config), cache(config.cache),
-        scheduler(config.max_concurrent_blocks) {}
+        scheduler(config.max_concurrent_blocks),
+        queries_total(metrics.counter("serve.queries_total")),
+        psms_total(metrics.counter("serve.psms_total")),
+        admission_rejected(metrics.counter("serve.admission.rejected")),
+        admission_blocked(metrics.counter("serve.admission.blocked")),
+        open_seconds(metrics.histogram("serve.open_seconds")),
+        first_psm_seconds(metrics.histogram("serve.first_psm_seconds")) {}
 
   const SearchServerConfig cfg;
   LibraryCache cache;
   FairScheduler scheduler;
+  obs::MetricsRegistry metrics;
+
+  obs::Counter& queries_total;       ///< Admitted, across all sessions.
+  obs::Counter& psms_total;          ///< on_accept deliveries.
+  obs::Counter& admission_rejected;  ///< Submissions refused (Reject).
+  obs::Counter& admission_blocked;   ///< Submissions that waited for quota.
+  obs::Histogram& open_seconds;      ///< SearchServer::open latency.
+  obs::Histogram& first_psm_seconds; ///< Session open → first accepted PSM.
 
   std::mutex mutex;  ///< Guards the session counts.
   std::size_t sessions_open = 0;
   std::uint64_t sessions_total = 0;
-  std::atomic<std::uint64_t> queries_admitted{0};
-  std::atomic<std::uint64_t> psms_streamed{0};
 };
 }  // namespace detail
 
@@ -91,6 +107,19 @@ class SearchServer {
                                               SessionConfig cfg);
 
   [[nodiscard]] SearchServerStats stats() const;
+
+  /// The server's live metrics registry: every session's engine feeds
+  /// `engine.*` / `backend.*` into it, the serve layer its `serve.*`
+  /// counters and histograms (see obs/metrics.hpp).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept {
+    return core_->metrics;
+  }
+  /// Point-in-time snapshot with the scrape-time gauges refreshed first
+  /// (session counts, LibraryCache hit/miss/eviction/donation,
+  /// FairScheduler grants/streams/running/waiting) — what the line
+  /// protocol's STATS verb serializes via Snapshot::to_json().
+  [[nodiscard]] obs::Snapshot metrics_snapshot() const;
+
   [[nodiscard]] LibraryCache& cache() noexcept { return core_->cache; }
   [[nodiscard]] FairScheduler& scheduler() noexcept {
     return core_->scheduler;

@@ -25,7 +25,8 @@ Session::Session(std::shared_ptr<detail::ServerCore> core,
                  std::string library_path, SessionConfig cfg)
     : core_(std::move(core)),
       library_path_(std::move(library_path)),
-      cfg_(std::move(cfg)) {
+      cfg_(std::move(cfg)),
+      opened_at_(std::chrono::steady_clock::now()) {
   if (cfg_.max_in_flight == 0) {
     throw std::invalid_argument("Session: max_in_flight must be >= 1");
   }
@@ -59,19 +60,40 @@ Session::Session(std::shared_ptr<detail::ServerCore> core,
   ecfg.emit_policy = core::EmitPolicy::Rolling;
   ecfg.on_accept = [this](const core::Psm& psm) {
     streamed_.fetch_add(1, std::memory_order_relaxed);
-    core_->psms_streamed.fetch_add(1, std::memory_order_relaxed);
+    core_->psms_total.add(1);
+    if (session_psms_ != nullptr) session_psms_->add(1);
+    if (!first_psm_seen_.exchange(true, std::memory_order_relaxed)) {
+      core_->first_psm_seconds.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        opened_at_)
+              .count());
+    }
     if (cfg_.on_accept) cfg_.on_accept(psm);
   };
   ecfg.on_query_resolved = [this](std::size_t n) { release_quota(n); };
   ecfg.search_gate = [this](const std::function<void()>& fn) {
     core_->scheduler.run(id_, fn);
   };
+  ecfg.metrics = &core_->metrics;
+  if (cfg_.trace_sample_every != 0) {
+    tracer_ = std::make_unique<obs::Tracer>(obs::TracerConfig{
+        cfg_.trace_capacity, cfg_.trace_sample_every});
+    ecfg.tracer = tracer_.get();
+  }
   engine_ = std::make_unique<core::QueryEngine>(*pipeline_, ecfg);
 
   // Last: everything that could throw is behind us, so the stream cannot
   // leak out of the rotation. id_ is only read when a search block runs,
   // which requires a submit, which requires this constructor to return.
   id_ = core_->scheduler.register_stream();
+  try {
+    const std::string prefix = "serve.session." + std::to_string(id_);
+    session_queries_ = &core_->metrics.counter(prefix + ".queries");
+    session_psms_ = &core_->metrics.counter(prefix + ".psms");
+  } catch (...) {
+    core_->scheduler.unregister_stream(id_);
+    throw;
+  }
 }
 
 Session::~Session() {
@@ -101,6 +123,7 @@ bool Session::acquire_quota() {
   }
   if (cfg_.admit == AdmitPolicy::Reject) {
     if (cfg_.admit_timeout.count() <= 0) return false;
+    core_->admission_blocked.add(1);
     (void)quota_cv_.wait_for(lock, cfg_.admit_timeout, [&] {
       return quota_used_ < cfg_.max_in_flight || engine_->failed();
     });
@@ -111,6 +134,7 @@ bool Session::acquire_quota() {
   // Block: waiting is open-ended, but a stage failure stops resolutions
   // (and thus notifications) for good — poll it on a coarse tick so a
   // blocked producer escapes instead of hanging.
+  core_->admission_blocked.add(1);
   while (true) {
     (void)quota_cv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
       return quota_used_ < cfg_.max_in_flight;
@@ -138,6 +162,7 @@ bool Session::submit(ms::Spectrum query) {
   if (engine_->failed()) return false;
   if (!acquire_quota()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    core_->admission_rejected.add(1);
     return false;
   }
   bool admitted = false;
@@ -156,10 +181,12 @@ bool Session::submit(ms::Spectrum query) {
   if (!admitted) {
     release_quota(1);
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    core_->admission_rejected.add(1);
     return false;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  core_->queries_admitted.fetch_add(1, std::memory_order_relaxed);
+  core_->queries_total.add(1);
+  if (session_queries_ != nullptr) session_queries_->add(1);
   return true;
 }
 

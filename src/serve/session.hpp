@@ -37,6 +37,8 @@
 
 #include "core/pipeline.hpp"
 #include "core/query_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oms::serve {
 
@@ -76,6 +78,14 @@ struct SessionConfig {
   /// thread-safe. Sees exactly close().accepted, each PSM once. Null →
   /// results only at close().
   std::function<void(const core::Psm&)> on_accept;
+  /// Per-query stage tracing for this stream (obs/trace.hpp): trace every
+  /// Nth admitted query through the engine's stages, spans readable via
+  /// Session::tracer(). 0 (default) disables tracing — the engine's hot
+  /// path then costs one branch per stage (the overhead contract the
+  /// serve bench's qps gate holds the layer to).
+  std::uint64_t trace_sample_every = 0;
+  /// Completed-span ring capacity when tracing is on.
+  std::size_t trace_capacity = 1024;
 };
 
 struct SessionStats {
@@ -123,6 +133,10 @@ class Session {
     return engine_->outstanding();
   }
   [[nodiscard]] SessionStats stats() const;
+  /// This stream's span tracer; null unless trace_sample_every > 0.
+  [[nodiscard]] const obs::Tracer* tracer() const noexcept {
+    return tracer_.get();
+  }
   [[nodiscard]] const core::PipelineConfig& config() const noexcept {
     return pipeline_->config();
   }
@@ -148,6 +162,7 @@ class Session {
   std::uint64_t id_ = 0;
 
   std::unique_ptr<core::Pipeline> pipeline_;
+  std::unique_ptr<obs::Tracer> tracer_;  ///< Before engine_: outlives it.
   std::unique_ptr<core::QueryEngine> engine_;
   /// Keep-alive: the leased mapping must outlive engine + pipeline even
   /// if the cache evicts it mid-session (one of the two is non-null,
@@ -166,6 +181,15 @@ class Session {
   std::atomic<std::uint64_t> streamed_{0};
   bool cache_hit_ = false;
   bool backend_shared_ = false;
+
+  /// Per-session registry counters (serve.session.<id>.queries/.psms),
+  /// resolved right after the scheduler assigns id_ — the first submit
+  /// (and hence the first on_accept) cannot precede constructor return.
+  obs::Counter* session_queries_ = nullptr;
+  obs::Counter* session_psms_ = nullptr;
+  /// First-accepted-PSM latency base (session open time).
+  std::chrono::steady_clock::time_point opened_at_{};
+  std::atomic<bool> first_psm_seen_{false};
 };
 
 }  // namespace oms::serve

@@ -312,5 +312,153 @@ TEST(Pipeline, EmptyBackendNameDefaultsToIdealHd) {
   EXPECT_EQ(Pipeline(cfg).backend_name(), "sharded");
 }
 
+// --- BackendStats composition (the obs seam) ------------------------------
+
+TEST(BackendStatsComposition, MergeAccumulatesCountersAndAdoptsIdentity) {
+  BackendStats a;
+  a.backend = "ideal-hd";
+  a.references = 100;
+  a.shards = 4;
+  a.phases_executed = 10;
+  a.phase_sigma = 0.5;
+  a.gain = 0.9;
+  a.shard_entries = 3;
+  a.query_blocks = 2;
+  a.batched_queries = 7;
+  a.kernel = "avx2";
+  a.contiguous_refs = true;
+  a.prefilter_candidates = 20;
+  a.prefilter_scanned = 5;
+
+  BackendStats merged;
+  merged += a;
+  merged += a;
+  // Counters accumulate; identity fields are adopted once, not doubled.
+  EXPECT_EQ(merged.backend, "ideal-hd");
+  EXPECT_EQ(merged.references, 100U);
+  EXPECT_EQ(merged.shards, 4U);
+  EXPECT_EQ(merged.phases_executed, 20U);
+  EXPECT_EQ(merged.shard_entries, 6U);
+  EXPECT_EQ(merged.query_blocks, 4U);
+  EXPECT_EQ(merged.batched_queries, 14U);
+  EXPECT_EQ(merged.prefilter_candidates, 40U);
+  EXPECT_EQ(merged.prefilter_scanned, 10U);
+  EXPECT_EQ(merged.kernel, "avx2");
+  EXPECT_TRUE(merged.contiguous_refs);
+  EXPECT_DOUBLE_EQ(merged.phase_sigma, 0.5);
+  EXPECT_DOUBLE_EQ(merged.gain, 0.9);
+
+  BackendStats via_merge;
+  via_merge.merge(a);  // named alias of +=
+  EXPECT_EQ(via_merge.phases_executed, 10U);
+}
+
+TEST(BackendStatsComposition, SinceClampsCountersAndKeepsIdentity) {
+  BackendStats before;
+  before.phases_executed = 5;
+  before.shard_entries = 9;
+  BackendStats after;
+  after.backend = "sharded";
+  after.shards = 8;
+  after.phases_executed = 12;
+  after.shard_entries = 4;  // counter regressed (fresh backend): clamp to 0
+  const BackendStats d = after.since(before);
+  EXPECT_EQ(d.phases_executed, 7U);
+  EXPECT_EQ(d.shard_entries, 0U);
+  EXPECT_EQ(d.backend, "sharded");
+  EXPECT_EQ(d.shards, 8U);
+}
+
+/// The composition law the engine's obs scrape relies on: a streaming
+/// consumer that snapshots stats at chunk boundaries and merges the
+/// since() deltas must arrive at exactly the counters of one synchronous
+/// run over the whole batch — for every registered backend, prefilter
+/// accounting included.
+TEST(BackendStatsComposition, ChunkedDeltasMergeToSynchronousCounters) {
+  BackendOptions sharded_opts = small_options();
+  sharded_opts.max_refs_per_shard = 64;
+  BackendOptions prefilter_opts = small_options();
+  prefilter_opts.prefilter.enabled = true;
+  prefilter_opts.prefilter.keep_fraction = 0.25;
+  prefilter_opts.prefilter.min_keep = 8;
+  prefilter_opts.prefilter.audit_fraction = 1.0;
+
+  struct Case {
+    const char* name;
+    BackendOptions opts;
+    std::size_t n_refs;
+    std::size_t dim;
+    std::size_t n_queries;
+    std::size_t chunk;  ///< Multiple of query_block: blocks split alike.
+  };
+  Case cases[] = {
+      {"ideal-hd", small_options(), 256, 512, 48, 16},
+      {"ideal-hd", prefilter_opts, 256, 512, 48, 16},
+      {"rram-statistical", small_options(), 256, 512, 48, 16},
+      {"sharded", sharded_opts, 256, 512, 48, 16},
+      // The circuit model walks every analog phase: keep it tiny.
+      {"rram-circuit", small_options(), 48, 256, 6, 2},
+  };
+  for (Case& c : cases) {
+    c.opts.query_block = c.chunk / 2;
+    const auto refs = random_refs(c.n_refs, c.dim, 21);
+    std::vector<util::BitVec> query_hvs(c.n_queries);
+    std::vector<Query> batch(c.n_queries);
+    for (std::size_t i = 0; i < c.n_queries; ++i) {
+      query_hvs[i] = util::BitVec(c.dim);
+      query_hvs[i].randomize(5000 + i);
+      batch[i] = Query{&query_hvs[i], i % 5, c.n_refs - (i % 3), i};
+    }
+    const std::string what =
+        std::string(c.name) + (c.opts.prefilter.enabled ? "+prefilter" : "");
+
+    // Both sides window from their post-construction baseline so any
+    // calibration work at construction cancels out of the comparison.
+    auto sync_backend = make_backend(c.name, refs, c.opts);
+    const BackendStats sync_base = sync_backend->stats();
+    (void)sync_backend->search_batch(batch, 4);
+    const BackendStats sync = sync_backend->stats().since(sync_base);
+
+    auto chunked_backend = make_backend(c.name, refs, c.opts);
+    BackendStats merged;
+    BackendStats prev = chunked_backend->stats();
+    for (std::size_t lo = 0; lo < batch.size(); lo += c.chunk) {
+      const std::size_t hi = std::min(batch.size(), lo + c.chunk);
+      (void)chunked_backend->search_batch(
+          std::vector<Query>(batch.begin() + static_cast<std::ptrdiff_t>(lo),
+                             batch.begin() + static_cast<std::ptrdiff_t>(hi)),
+          4);
+      const BackendStats now = chunked_backend->stats();
+      merged += now.since(prev);
+      prev = now;
+    }
+
+    EXPECT_EQ(merged.phases_executed, sync.phases_executed) << what;
+    EXPECT_EQ(merged.shard_entries, sync.shard_entries) << what;
+    EXPECT_EQ(merged.query_blocks, sync.query_blocks) << what;
+    EXPECT_EQ(merged.batched_queries, sync.batched_queries) << what;
+    EXPECT_EQ(merged.prefilter_candidates, sync.prefilter_candidates) << what;
+    EXPECT_EQ(merged.prefilter_scanned, sync.prefilter_scanned) << what;
+    EXPECT_EQ(merged.prefilter_windows_pruned, sync.prefilter_windows_pruned)
+        << what;
+    EXPECT_EQ(merged.prefilter_windows_bypassed,
+              sync.prefilter_windows_bypassed)
+        << what;
+    EXPECT_EQ(merged.prefilter_audited_queries, sync.prefilter_audited_queries)
+        << what;
+    EXPECT_EQ(merged.prefilter_audit_matched, sync.prefilter_audit_matched)
+        << what;
+    EXPECT_EQ(merged.prefilter_audit_expected, sync.prefilter_audit_expected)
+        << what;
+    EXPECT_EQ(merged.backend, sync.backend) << what;
+    EXPECT_EQ(merged.references, sync.references) << what;
+    EXPECT_EQ(merged.shards, sync.shards) << what;
+    EXPECT_EQ(merged.kernel, sync.kernel) << what;
+    EXPECT_EQ(merged.contiguous_refs, sync.contiguous_refs) << what;
+    EXPECT_DOUBLE_EQ(merged.phase_sigma, sync.phase_sigma) << what;
+    EXPECT_DOUBLE_EQ(merged.gain, sync.gain) << what;
+  }
+}
+
 }  // namespace
 }  // namespace oms::core

@@ -628,4 +628,75 @@ TEST(SearchServer, MaxSessionsIsEnforcedAndReleasedOnClose) {
   EXPECT_EQ(server.stats().sessions_open, 0U);
 }
 
+// The observability contract of the serve layer: metrics_snapshot() (the
+// STATS verb's payload) carries per-session query/PSM counts, cache and
+// scheduler gauges, and the engine's stage histograms — and the numbers
+// agree with the results the sessions actually returned.
+TEST(SearchServerObs, MetricsSnapshotCarriesServeAndEngineInstruments) {
+  const core::PipelineConfig cfg = serve_config("ideal-hd");
+  const std::string art = build_artifact("obs", cfg);
+  serve::SearchServer server((serve::SearchServerConfig()));
+  serve::SessionConfig scfg;
+  scfg.pipeline = cfg;
+  scfg.trace_sample_every = 1;  // trace every query on both streams
+
+  auto s1 = server.open(art, scfg);
+  auto s2 = server.open(art, scfg);
+  const std::uint64_t id1 = s1->id();
+  const std::uint64_t id2 = s2->id();
+  const auto q1 = matched_queries(0);
+  const auto q2 = matched_queries(1);
+  for (const auto& q : q1) ASSERT_TRUE(s1->submit(q));
+  for (const auto& q : q2) ASSERT_TRUE(s2->submit(q));
+
+  // Per-session tracer: every admitted query completed exactly one span.
+  ASSERT_NE(s1->tracer(), nullptr);
+  const core::PipelineResult r1 = s1->close();
+  const core::PipelineResult r2 = s2->close();
+  EXPECT_EQ(s1->tracer()->completed_total(), q1.size());
+  EXPECT_EQ(s1->tracer()->open_spans(), 0U);
+  ASSERT_FALSE(r1.accepted.empty());
+  ASSERT_FALSE(r2.accepted.empty());
+
+  const obs::Snapshot snap = server.metrics_snapshot();
+  EXPECT_EQ(snap.counter("serve.queries_total"), q1.size() + q2.size());
+  EXPECT_EQ(snap.counter("serve.psms_total"),
+            r1.accepted.size() + r2.accepted.size());
+  EXPECT_EQ(snap.counter("serve.admission.rejected"), 0U);
+  EXPECT_EQ(
+      snap.counter("serve.session." + std::to_string(id1) + ".queries"),
+      q1.size());
+  EXPECT_EQ(
+      snap.counter("serve.session." + std::to_string(id2) + ".queries"),
+      q2.size());
+  EXPECT_EQ(snap.counter("serve.session." + std::to_string(id1) + ".psms"),
+            r1.accepted.size());
+
+  EXPECT_EQ(snap.gauge("serve.sessions_total"), 2.0);
+  EXPECT_EQ(snap.gauge("serve.sessions_open"), 0.0);
+  EXPECT_GE(snap.gauge("serve.cache.misses"), 1.0);  // first open
+  EXPECT_GE(snap.gauge("serve.cache.hits"), 1.0);    // second open
+  EXPECT_GT(snap.gauge("serve.scheduler.grants"), 0.0);
+
+  const obs::HistogramSnapshot* open_h = snap.histogram("serve.open_seconds");
+  ASSERT_NE(open_h, nullptr);
+  EXPECT_EQ(open_h->count, 2U);
+  // Both streams accepted PSMs, so both observed a first-PSM latency.
+  const obs::HistogramSnapshot* first_psm =
+      snap.histogram("serve.first_psm_seconds");
+  ASSERT_NE(first_psm, nullptr);
+  EXPECT_EQ(first_psm->count, 2U);
+  const obs::HistogramSnapshot* search =
+      snap.histogram("engine.stage.search_seconds");
+  ASSERT_NE(search, nullptr);
+  EXPECT_GT(search->count, 0U);
+  EXPECT_LE(search->percentile(0.50), search->percentile(0.99));
+
+  // The STATS verb ships exactly this snapshot as one JSON line.
+  const std::string json = snap.to_json();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"serve.queries_total\":"), std::string::npos);
+  EXPECT_NE(json.find("\"engine.stage.search_seconds\":"), std::string::npos);
+}
+
 }  // namespace
