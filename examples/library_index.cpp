@@ -131,6 +131,31 @@ int inspect_manifest(const std::string& path) {
                 static_cast<unsigned long long>(s.table_checksum));
   }
   print_fingerprint(m.fingerprint);
+
+  // The merged mass order interleaves segments, so the sweep layer sees a
+  // piecewise view (hd::RefView) rather than one contiguous block. Show
+  // how fragmented it actually is — many short extents is the signal that
+  // a compaction would restore the contiguous fast path.
+  const SegmentedLibrary lib = SegmentedLibrary::open(path);
+  const oms::hd::RefView& view = lib.ref_view();
+  std::printf("piecewise view: %zu extent(s) over %zu rows (%s; mean run "
+              "%.1f rows)\n",
+              view.extent_count(), view.count(),
+              view.contiguous() ? "contiguous" : "fragmented",
+              view.extent_count() == 0
+                  ? 0.0
+                  : static_cast<double>(view.count()) /
+                        static_cast<double>(view.extent_count()));
+  constexpr std::size_t kMaxRows = 20;
+  const auto extents = view.extents();
+  for (std::size_t e = 0; e < extents.size() && e < kMaxRows; ++e) {
+    std::printf("  extent %-4zu base=%-8zu rows=%-8zu segment=%u\n", e,
+                extents[e].base, extents[e].rows,
+                lib.locate(extents[e].base).segment);
+  }
+  if (extents.size() > kMaxRows) {
+    std::printf("  ... +%zu more extent(s)\n", extents.size() - kMaxRows);
+  }
   return 0;
 }
 

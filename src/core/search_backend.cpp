@@ -19,6 +19,7 @@ BackendStats& BackendStats::operator+=(const BackendStats& other) {
   if (phase_sigma == 0.0) phase_sigma = other.phase_sigma;
   if (gain == 1.0) gain = other.gain;
   if (kernel.empty()) kernel = other.kernel;
+  if (extent_count == 0) extent_count = other.extent_count;
   contiguous_refs = contiguous_refs || other.contiguous_refs;
   phases_executed += other.phases_executed;
   shard_entries += other.shard_entries;
@@ -156,16 +157,19 @@ struct PrefilterAtomicCounters {
   }
 };
 
-/// Exact digital Hamming search — hd::top_k_search behind the seam. When
-/// the references are one contiguous word block (the mmap'd LibraryIndex
-/// layout), every sweep runs over the cached hd::RefMatrix view; the
-/// optional candidate prefilter (opts.prefilter) prunes windows first.
+/// Exact digital Hamming search — hd::top_k_search behind the seam. At
+/// construction the references are coalesced into a piecewise hd::RefView
+/// (one extent for the mmap'd monolithic LibraryIndex layout, a few per
+/// segmented library, one per row for scattered heap BitVecs); every
+/// sweep — per-query, batched, prefiltered — runs over that view with
+/// global indices. The optional candidate prefilter (opts.prefilter)
+/// prunes windows first.
 class IdealHdBackend final : public SearchBackend {
  public:
   IdealHdBackend(std::span<const util::BitVec> references,
                  std::size_t query_block, const hd::PrefilterConfig& prefilter)
       : refs_(references),
-        matrix_(hd::RefMatrix::from_span(references)),
+        view_(hd::RefView::from_span(references)),
         query_block_(query_block),
         prefilter_(prefilter) {}
 
@@ -180,12 +184,12 @@ class IdealHdBackend final : public SearchBackend {
       hd::PrefilterCounters local;
       auto hits = hd::top_k_search_prefiltered(
           query, refs_, first, last, k, prefilter_, stream, &local,
-          matrix_.valid() ? &matrix_ : nullptr);
+          view_.valid() ? &view_ : nullptr);
       prefilter_counters_.add(local);
       return hits;
     }
-    if (matrix_.valid()) {
-      return hd::top_k_search(query, matrix_, first, last, k);
+    if (view_.valid()) {
+      return hd::top_k_search(query, view_, first, last, k);
     }
     return hd::top_k_search(query, refs_, first, last, k);
   }
@@ -198,12 +202,12 @@ class IdealHdBackend final : public SearchBackend {
                                hd::PrefilterCounters local;
                                auto hits = hd::top_k_search_batch_prefiltered(
                                    sub, refs_, k, prefilter_, &local,
-                                   matrix_.valid() ? &matrix_ : nullptr);
+                                   view_.valid() ? &view_ : nullptr);
                                prefilter_counters_.add(local);
                                return hits;
                              }
-                             if (matrix_.valid()) {
-                               return hd::top_k_search_batch(sub, matrix_, k);
+                             if (view_.valid()) {
+                               return hd::top_k_search_batch(sub, view_, k);
                              }
                              return hd::top_k_search_batch(sub, refs_, k);
                            });
@@ -216,7 +220,8 @@ class IdealHdBackend final : public SearchBackend {
     s.backend = "ideal-hd";
     s.references = refs_.size();
     s.kernel = hd::kernels::tier_name(hd::kernels::active_tier());
-    s.contiguous_refs = matrix_.valid();
+    s.contiguous_refs = view_.valid() && view_.contiguous();
+    s.extent_count = view_.extent_count();
     counters_.fill(s);
     prefilter_counters_.fill(s);
     return s;
@@ -224,7 +229,7 @@ class IdealHdBackend final : public SearchBackend {
 
  private:
   std::span<const util::BitVec> refs_;
-  hd::RefMatrix matrix_;  ///< Valid ⇔ refs_ is one contiguous word block.
+  hd::RefView view_;  ///< Piecewise layout of refs_; invalid ⇔ mixed dims.
   std::size_t query_block_;
   hd::PrefilterConfig prefilter_;
   BlockCounters counters_;

@@ -45,16 +45,24 @@
 //
 // Reference libraries reach a backend as a span of util::BitVec — either
 // encoded in-process by core::Pipeline::set_library(spectra), or mapped
-// zero-copy from a persistent index::LibraryIndex (index/library_index.hpp),
-// whose word block backs every backend with no re-encoding on cold start.
-// The exact digital kernel underneath "ideal-hd" dispatches at runtime
-// over scalar / AVX2 / AVX-512-VPOPCNTDQ popcount tiers (hd/kernels.hpp;
-// all bit-identical), sweeping the contiguous word block as an
-// hd::RefMatrix when the span is block-backed (detected at construction;
-// LibraryIndex::ref_matrix() is the same view) — BackendStats::kernel /
-// contiguous_refs report which path a run took. The optional ANN
-// candidate prefilter (BackendOptions::prefilter) prunes each precursor
-// window before the exact sweep; see hd/search.hpp.
+// zero-copy from a persistent index::LibraryIndex (index/library_index.hpp)
+// or multi-segment index::SegmentedLibrary, whose word blocks back every
+// backend with no re-encoding on cold start. The exact digital kernel
+// underneath "ideal-hd" dispatches at runtime over scalar / AVX2 /
+// AVX-512-VPOPCNTDQ popcount tiers (hd/kernels.hpp; all bit-identical),
+// sweeping the references through the piecewise hd::RefView seam: at
+// construction the span is coalesced into maximal contiguous extents
+// (RefView::from_span — a mapped monolithic block is one extent,
+// LibraryIndex::ref_matrix() the same view; a segmented library one
+// extent per run of same-segment rows), and every sweep — per-query,
+// batched, prefiltered — runs per extent with global reference indices.
+// BackendStats::kernel / contiguous_refs / extent_count report which
+// layout a run swept. The optional ANN candidate prefilter
+// (BackendOptions::prefilter) prunes each precursor window before the
+// exact sweep; see hd/search.hpp. In the serve layer, serve::Maintainer
+// (serve/maintainer.hpp) watches segmented manifests and compacts them in
+// the background, so fragmented views trend back to one extent without
+// any request-path work.
 //
 // Multi-tenant serving seam (src/serve/): backends reporting
 // thread_safe() == true may be *shared* across concurrent sessions —
@@ -137,10 +145,16 @@ struct BackendStats {
   /// "avx512"; hd/kernels.hpp dispatch). Empty for substrates that never
   /// touch the digital kernel.
   std::string kernel;
-  /// True when the reference hypervectors form one contiguous word block
-  /// (hd::RefMatrix — the mmap'd index layout), so sweeps bypass
-  /// per-BitVec indirection.
+  /// True when the reference hypervectors form ONE contiguous word block
+  /// (hd::RefMatrix — the mmap'd monolithic index layout). A segmented
+  /// library reports false here but still sweeps through the piecewise
+  /// hd::RefView; extent_count below says how fragmented that view is.
   bool contiguous_refs = false;
+  /// Contiguous extents of the piecewise reference view the digital
+  /// sweeps run over (hd::RefView): 1 = monolithic (contiguous_refs),
+  /// >1 = segmented/fragmented but still block-swept, 0 = no piecewise
+  /// view (per-BitVec fallback, or a substrate that never builds one).
+  std::size_t extent_count = 0;
   /// ANN candidate-prefilter accounting ("ideal-hd" with
   /// BackendOptions::prefilter enabled; all zero otherwise). Candidates
   /// are window entries seen by the prefilter stage; scanned are the ones

@@ -36,6 +36,72 @@ RefMatrix RefMatrix::from_span(std::span<const util::BitVec> refs) noexcept {
   return RefMatrix{base, stride, refs.size(), dim};
 }
 
+std::size_t RefView::extent_index(std::size_t i) const noexcept {
+  // Last extent whose base <= i; extents partition [0, count_), so a
+  // valid view always has extents_[0].base == 0 and the -1 is safe.
+  const auto it = std::upper_bound(
+      extents_.begin(), extents_.end(), i,
+      [](std::size_t g, const RefExtent& e) { return g < e.base; });
+  return static_cast<std::size_t>(it - extents_.begin()) - 1;
+}
+
+const std::uint64_t* RefView::row(std::size_t i) const noexcept {
+  const RefExtent& e = extents_[extent_index(i)];
+  return e.words + (i - e.base) * e.stride;
+}
+
+RefMatrix RefView::matrix() const noexcept {
+  if (!contiguous()) return {};
+  return RefMatrix{extents_.front().words, extents_.front().stride, count_,
+                   dim_};
+}
+
+RefView RefView::from_span(std::span<const util::BitVec> refs) {
+  RefView view;
+  if (refs.empty()) return view;
+  const std::size_t dim = refs.front().size();
+  if (dim == 0) return view;
+  const std::size_t wc = (dim + 63) / 64;
+
+  std::size_t i = 0;
+  while (i < refs.size()) {
+    if (refs[i].size() != dim) return {};  // mixed dims: no piecewise view
+    const std::uint64_t* base = refs[i].words().data();
+    std::size_t rows = 1;
+    std::size_t stride = wc;
+    if (i + 1 < refs.size() && refs[i + 1].size() == dim) {
+      // Integer pointer math, as in RefMatrix::from_span: consecutive rows
+      // need not come from one array object. A second row only extends the
+      // run for a positive uint64-aligned stride >= word_count; every
+      // further row is verified at base + j*stride before joining.
+      const auto b0 = reinterpret_cast<std::uintptr_t>(base);
+      const auto b1 = reinterpret_cast<std::uintptr_t>(refs[i + 1].words().data());
+      if (b1 > b0 && (b1 - b0) % sizeof(std::uint64_t) == 0 &&
+          (b1 - b0) / sizeof(std::uint64_t) >= wc) {
+        stride = (b1 - b0) / sizeof(std::uint64_t);
+        while (i + rows < refs.size() && refs[i + rows].size() == dim &&
+               refs[i + rows].words().data() == base + rows * stride) {
+          ++rows;
+        }
+      }
+    }
+    view.extents_.push_back(RefExtent{base, stride, rows, i});
+    i += rows;
+  }
+  view.count_ = refs.size();
+  view.dim_ = dim;
+  return view;
+}
+
+RefView RefView::from_matrix(const RefMatrix& m) {
+  RefView view;
+  if (!m.valid() || m.count == 0) return view;
+  view.extents_.push_back(RefExtent{m.words, m.stride, m.count, 0});
+  view.count_ = m.count;
+  view.dim_ = m.dim;
+  return view;
+}
+
 namespace kernels {
 
 namespace {
@@ -244,6 +310,28 @@ void hamming_sweep_tier(Tier tier, const std::uint64_t* query,
 }
 
 void hamming_sweep(const std::uint64_t* query, const RefMatrix& refs,
+                   std::size_t first, std::size_t last,
+                   std::uint32_t* out) noexcept {
+  hamming_sweep_tier(active_tier(), query, refs, first, last, out);
+}
+
+void hamming_sweep_tier(Tier tier, const std::uint64_t* query,
+                        const RefView& refs, std::size_t first,
+                        std::size_t last, std::uint32_t* out) noexcept {
+  if (first >= last) return;
+  const std::span<const RefExtent> extents = refs.extents();
+  for (std::size_t e = refs.extent_index(first); e < extents.size(); ++e) {
+    const RefExtent& ext = extents[e];
+    if (ext.base >= last) break;
+    const std::size_t lo = std::max(first, ext.base);
+    const std::size_t hi = std::min(last, ext.base + ext.rows);
+    const RefMatrix m{ext.words, ext.stride, ext.rows, refs.dim()};
+    hamming_sweep_tier(tier, query, m, lo - ext.base, hi - ext.base,
+                       out + (lo - first));
+  }
+}
+
+void hamming_sweep(const std::uint64_t* query, const RefView& refs,
                    std::size_t first, std::size_t last,
                    std::uint32_t* out) noexcept {
   hamming_sweep_tier(active_tier(), query, refs, first, last, out);

@@ -23,12 +23,22 @@
 // aligned — the PR 4 alignment choice this layer cashes in). All loads are
 // unaligned-safe, so the 8-byte-aligned in-memory MappedFile fallback goes
 // through the same kernels.
+//
+// RefView generalizes that to a *piecewise* layout: an ordered list of
+// contiguous (words, stride, rows, base-index) extents partitioning the
+// global reference index space [0, count). A one-extent view IS a
+// RefMatrix, so the monolithic fast path is the degenerate case of the
+// piecewise sweep rather than a parallel code path; a multi-segment
+// index::SegmentedLibrary — whose merged order interleaves disjoint
+// mapped blocks — exposes itself as a many-extent view and keeps the
+// SIMD sweeps instead of dropping to per-BitVec indirection.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "util/bitvec.hpp"
 
@@ -64,6 +74,68 @@ struct RefMatrix {
   /// checks: cheap next to any sweep, but hoist it out of per-query loops.
   [[nodiscard]] static RefMatrix from_span(
       std::span<const util::BitVec> refs) noexcept;
+};
+
+/// One contiguous run of a piecewise reference view: global rows
+/// [base, base + rows) live at words + j*stride for j in [0, rows).
+struct RefExtent {
+  const std::uint64_t* words = nullptr;
+  std::size_t stride = 0;  ///< Words between consecutive rows.
+  std::size_t rows = 0;    ///< Rows in this run.
+  std::size_t base = 0;    ///< Global index of the first row.
+};
+
+/// Piecewise reference-major view: an ordered list of contiguous extents
+/// partitioning the global index space [0, count()), all sharing one dim.
+/// The sweeps and search kernels iterate extents with global reference
+/// indices, so results (and the index-keyed noise of simulated backends)
+/// are bit-identical to a monolithic RefMatrix over the same rows.
+/// Non-owning; the underlying blocks must outlive the view.
+class RefView {
+ public:
+  RefView() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return !extents_.empty(); }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return (dim_ + 63) / 64;
+  }
+  [[nodiscard]] std::size_t extent_count() const noexcept {
+    return extents_.size();
+  }
+  /// True when the whole view is one extent — today's RefMatrix layout.
+  [[nodiscard]] bool contiguous() const noexcept {
+    return extents_.size() == 1;
+  }
+  [[nodiscard]] std::span<const RefExtent> extents() const noexcept {
+    return extents_;
+  }
+
+  /// Index of the extent containing global row `i` (binary search; the
+  /// sweeps iterate extents directly — keep this out of per-row loops).
+  [[nodiscard]] std::size_t extent_index(std::size_t i) const noexcept;
+
+  /// Row pointer by global index (extent_index + offset arithmetic).
+  [[nodiscard]] const std::uint64_t* row(std::size_t i) const noexcept;
+
+  /// The equivalent RefMatrix when contiguous(); invalid otherwise.
+  [[nodiscard]] RefMatrix matrix() const noexcept;
+
+  /// Greedily coalesces `refs` into maximal constant-stride runs: block-
+  /// backed spans (LibraryIndex, one SegmentedLibrary segment) become one
+  /// extent per underlying block, individually heap-allocated BitVecs
+  /// degenerate to single-row extents (still correct — every row pointer
+  /// is taken verbatim). Invalid on an empty span or mixed dims.
+  [[nodiscard]] static RefView from_span(std::span<const util::BitVec> refs);
+
+  /// Wraps a valid RefMatrix as the degenerate one-extent view.
+  [[nodiscard]] static RefView from_matrix(const RefMatrix& m);
+
+ private:
+  std::vector<RefExtent> extents_;
+  std::size_t count_ = 0;
+  std::size_t dim_ = 0;
 };
 
 namespace kernels {
@@ -108,6 +180,21 @@ void hamming_sweep(const std::uint64_t* query, const RefMatrix& refs,
 /// Same, through an explicit tier (must be <= best_supported()).
 void hamming_sweep_tier(Tier tier, const std::uint64_t* query,
                         const RefMatrix& refs, std::size_t first,
+                        std::size_t last, std::uint32_t* out) noexcept;
+
+/// Piecewise sweep: Hamming distances of one query against view rows
+/// [first, last) in *global* index order, out[j] for row first + j. Runs
+/// the contiguous sweep per overlapping extent, so a one-extent view is
+/// exactly the RefMatrix sweep.
+void hamming_sweep(const std::uint64_t* query, const RefView& refs,
+                   std::size_t first, std::size_t last,
+                   std::uint32_t* out) noexcept;
+
+/// Same, through an explicit tier (must be <= best_supported()). The tier
+/// is resolved once by the caller, not per extent — batched callers hoist
+/// the atomic dispatch load out of their sweep loops with this.
+void hamming_sweep_tier(Tier tier, const std::uint64_t* query,
+                        const RefView& refs, std::size_t first,
                         std::size_t last, std::uint32_t* out) noexcept;
 
 /// Rows per cache block for a batched sweep: sized so one chunk of

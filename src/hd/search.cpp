@@ -29,6 +29,48 @@ class DistanceBuffer {
   std::vector<std::uint32_t> buf_;
 };
 
+/// Calls fn(extent, local_first, local_last) for every extent of `view`
+/// overlapping global range [first, last), ascending — the per-extent
+/// decomposition every piecewise kernel shares. Binary-searches the first
+/// overlapping extent, then walks forward.
+template <typename Fn>
+void for_each_extent_range(const RefView& view, std::size_t first,
+                           std::size_t last, Fn&& fn) {
+  if (first >= last) return;
+  const std::span<const RefExtent> extents = view.extents();
+  for (std::size_t e = view.extent_index(first); e < extents.size(); ++e) {
+    const RefExtent& ext = extents[e];
+    if (ext.base >= last) break;
+    const std::size_t lo = std::max(first, ext.base);
+    const std::size_t hi = std::min(last, ext.base + ext.rows);
+    if (lo < hi) fn(ext, lo - ext.base, hi - ext.base);
+  }
+}
+
+/// Chunked sweep of one query over extent rows [lfirst, llast), inserting
+/// hits with *global* indices. The shared core of the per-query RefMatrix
+/// and RefView searches (no allocation beyond the caller's scratch).
+/// `ref_dim` sizes the word sweep, `query_dim` the dot/similarity scale —
+/// always equal in practice, kept separate to match the historical paths
+/// exactly.
+void sweep_extent_into_top_k(kernels::Tier tier, const std::uint64_t* qwords,
+                             std::size_t query_dim, std::size_t ref_dim,
+                             const RefExtent& ext, std::size_t lfirst,
+                             std::size_t llast, std::size_t k,
+                             std::vector<SearchHit>& hits,
+                             DistanceBuffer& scratch) {
+  const RefMatrix m{ext.words, ext.stride, ext.rows, ref_dim};
+  const std::size_t chunk = kernels::sweep_chunk_rows(ext.stride);
+  std::uint32_t* dist = scratch.ensure(std::min(chunk, llast - lfirst));
+  for (std::size_t c0 = lfirst; c0 < llast; c0 += chunk) {
+    const std::size_t c1 = std::min(llast, c0 + chunk);
+    kernels::hamming_sweep_tier(tier, qwords, m, c0, c1, dist);
+    for (std::size_t j = 0; j < c1 - c0; ++j) {
+      insert_top_k(hits, make_hit(ext.base + c0 + j, dist[j], query_dim), k);
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<SearchHit> top_k_search(const util::BitVec& query,
@@ -59,19 +101,38 @@ std::vector<SearchHit> top_k_search(const util::BitVec& query,
   std::vector<SearchHit> hits;
   if (k == 0 || first >= last) return hits;
   last = std::min(last, references.count);
+  if (first >= last) return hits;
 
-  const std::size_t dim = query.size();
-  const std::uint64_t* qwords = query.words().data();
-  const std::size_t chunk = kernels::sweep_chunk_rows(references.stride);
+  // The degenerate one-extent case of the piecewise sweep (no RefView
+  // allocation: the extent lives on the stack).
+  const RefExtent whole{references.words, references.stride, references.count,
+                        0};
   DistanceBuffer scratch;
-  std::uint32_t* dist = scratch.ensure(std::min(chunk, last - first));
-  for (std::size_t c0 = first; c0 < last; c0 += chunk) {
-    const std::size_t c1 = std::min(last, c0 + chunk);
-    kernels::hamming_sweep(qwords, references, c0, c1, dist);
-    for (std::size_t j = 0; j < c1 - c0; ++j) {
-      insert_top_k(hits, make_hit(c0 + j, dist[j], dim), k);
-    }
-  }
+  sweep_extent_into_top_k(kernels::active_tier(), query.words().data(),
+                          query.size(), references.dim, whole, first, last, k,
+                          hits, scratch);
+  return hits;
+}
+
+std::vector<SearchHit> top_k_search(const util::BitVec& query,
+                                    const RefView& references,
+                                    std::size_t first, std::size_t last,
+                                    std::size_t k) {
+  std::vector<SearchHit> hits;
+  if (k == 0 || !references.valid()) return hits;
+  last = std::min(last, references.count());
+  if (first >= last) return hits;
+
+  const kernels::Tier tier = kernels::active_tier();
+  const std::uint64_t* qwords = query.words().data();
+  const std::size_t query_dim = query.size();
+  DistanceBuffer scratch;
+  for_each_extent_range(
+      references, first, last,
+      [&](const RefExtent& ext, std::size_t lfirst, std::size_t llast) {
+        sweep_extent_into_top_k(tier, qwords, query_dim, references.dim(),
+                                ext, lfirst, llast, k, hits, scratch);
+      });
   return hits;
 }
 
@@ -111,36 +172,58 @@ struct SlotQueries {
 }  // namespace
 
 std::vector<std::vector<SearchHit>> top_k_search_batch(
-    std::span<const BatchQuery> queries, const RefMatrix& references,
+    std::span<const BatchQuery> queries, const RefView& references,
     std::size_t k) {
   std::vector<std::vector<SearchHit>> out(queries.size());
-  if (k == 0 || queries.empty()) return out;
+  if (k == 0 || queries.empty() || !references.valid()) return out;
 
-  const auto clipped = clip_queries(queries, references.count);
+  const auto clipped = clip_queries(queries, references.count());
   const SlotQueries slots(clipped);
-  const std::size_t chunk = kernels::sweep_chunk_rows(references.stride);
+  const kernels::Tier tier = kernels::active_tier();
+  const std::size_t ref_dim = references.dim();
   DistanceBuffer scratch;
 
   for_each_query_segment(
       clipped, [&](std::size_t lo, std::size_t hi,
                    std::span<const std::size_t> active) {
-        // Chunk the segment so one run of reference rows stays resident
-        // while every active query is scored against it — the cache-level
+        // Decompose the segment into its overlapping extents, then chunk
+        // each extent so one run of reference rows stays resident while
+        // every active query is scored against it — the cache-level
         // analogue of the crossbar's program-once-serve-the-block phase.
-        std::uint32_t* dist = scratch.ensure(std::min(chunk, hi - lo));
-        for (std::size_t c0 = lo; c0 < hi; c0 += chunk) {
-          const std::size_t c1 = std::min(hi, c0 + chunk);
-          for (const std::size_t slot : active) {
-            kernels::hamming_sweep(slots.words[slot], references, c0, c1,
-                                   dist);
-            const std::size_t dim = slots.dims[slot];
-            for (std::size_t j = 0; j < c1 - c0; ++j) {
-              insert_top_k(out[slot], make_hit(c0 + j, dist[j], dim), k);
-            }
-          }
-        }
+        // Extents ascend and chunks ascend within them, so every query
+        // still sees its candidates in ascending global order (the
+        // insert_top_k tie-break contract).
+        for_each_extent_range(
+            references, lo, hi,
+            [&](const RefExtent& ext, std::size_t lfirst,
+                std::size_t llast) {
+              const RefMatrix m{ext.words, ext.stride, ext.rows, ref_dim};
+              const std::size_t chunk = kernels::sweep_chunk_rows(ext.stride);
+              std::uint32_t* dist =
+                  scratch.ensure(std::min(chunk, llast - lfirst));
+              for (std::size_t c0 = lfirst; c0 < llast; c0 += chunk) {
+                const std::size_t c1 = std::min(llast, c0 + chunk);
+                for (const std::size_t slot : active) {
+                  kernels::hamming_sweep_tier(tier, slots.words[slot], m, c0,
+                                              c1, dist);
+                  const std::size_t dim = slots.dims[slot];
+                  for (std::size_t j = 0; j < c1 - c0; ++j) {
+                    insert_top_k(out[slot],
+                                 make_hit(ext.base + c0 + j, dist[j], dim), k);
+                  }
+                }
+              }
+            });
       });
   return out;
+}
+
+std::vector<std::vector<SearchHit>> top_k_search_batch(
+    std::span<const BatchQuery> queries, const RefMatrix& references,
+    std::size_t k) {
+  // The monolithic fast path is the one-extent special case of the
+  // piecewise kernel (one small allocation per block call).
+  return top_k_search_batch(queries, RefView::from_matrix(references), k);
 }
 
 std::vector<std::vector<SearchHit>> top_k_search_batch(
@@ -182,13 +265,22 @@ SearchHit best_match(const util::BitVec& query,
 
 namespace {
 
-/// Uniform row access over either a contiguous matrix or a plain span.
+/// Uniform row access over either a piecewise view or a plain span. Both
+/// prefilter passes (the sketch scan and the shortlist sweep) visit rows
+/// in ascending global order, so the extent cursor advances amortized
+/// O(1) instead of binary-searching per row.
 struct RowSource {
   std::span<const util::BitVec> refs;
-  const RefMatrix* matrix = nullptr;
+  const RefView* view = nullptr;
+  mutable std::size_t cursor = 0;  ///< Extent hint for ascending access.
 
   [[nodiscard]] const std::uint64_t* row(std::size_t i) const noexcept {
-    return matrix ? matrix->row(i) : refs[i].words().data();
+    if (view == nullptr) return refs[i].words().data();
+    const std::span<const RefExtent> extents = view->extents();
+    if (i < extents[cursor].base) cursor = view->extent_index(i);
+    while (i >= extents[cursor].base + extents[cursor].rows) ++cursor;
+    const RefExtent& e = extents[cursor];
+    return e.words + (i - e.base) * e.stride;
   }
 };
 
@@ -208,8 +300,8 @@ bool audit_this_query(const PrefilterConfig& cfg,
 std::vector<SearchHit> exact_top_k(const util::BitVec& query,
                                    const RowSource& rows, std::size_t first,
                                    std::size_t last, std::size_t k) {
-  if (rows.matrix != nullptr) {
-    return top_k_search(query, *rows.matrix, first, last, k);
+  if (rows.view != nullptr) {
+    return top_k_search(query, *rows.view, first, last, k);
   }
   return top_k_search(query, rows.refs, first, last, k);
 }
@@ -220,14 +312,15 @@ std::vector<SearchHit> top_k_search_prefiltered(
     const util::BitVec& query, std::span<const util::BitVec> references,
     std::size_t first, std::size_t last, std::size_t k,
     const PrefilterConfig& cfg, std::uint64_t stream,
-    PrefilterCounters* counters, const RefMatrix* matrix) {
+    PrefilterCounters* counters, const RefView* view) {
+  if (view != nullptr && !view->valid()) view = nullptr;
   const std::size_t n_refs =
-      matrix != nullptr ? matrix->count : references.size();
+      view != nullptr ? view->count() : references.size();
   last = std::min(last, n_refs);
   first = std::min(first, last);
   if (k == 0 || first >= last) return {};
 
-  const RowSource rows{references, matrix};
+  const RowSource rows{references, view};
   const std::size_t window = last - first;
   const std::size_t keep_target = std::max<std::size_t>(
       cfg.min_keep,
@@ -315,12 +408,12 @@ std::vector<std::vector<SearchHit>> top_k_search_batch_prefiltered(
     std::span<const BatchQuery> queries,
     std::span<const util::BitVec> references, std::size_t k,
     const PrefilterConfig& cfg, PrefilterCounters* counters,
-    const RefMatrix* matrix) {
+    const RefView* view) {
   std::vector<std::vector<SearchHit>> out(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const BatchQuery& q = queries[i];
     out[i] = top_k_search_prefiltered(*q.hv, references, q.first, q.last, k,
-                                      cfg, q.stream, counters, matrix);
+                                      cfg, q.stream, counters, view);
   }
   return out;
 }

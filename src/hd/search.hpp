@@ -15,11 +15,16 @@
 // Kernel/dispatch seam: the word-level XOR-popcount work underneath lives
 // in hd/kernels.hpp — runtime-dispatched scalar / AVX2 / AVX-512-VPOPCNTDQ
 // tiers, all bit-identical, plus the contiguous RefMatrix view over a
-// hypervector word block. The RefMatrix overloads below are the fast path
-// (cache-blocked sweeps straight over the mapped index::LibraryIndex
-// block); the span overloads auto-detect a contiguous layout per batch and
-// fall back to per-BitVec indirection (still through the dispatched pair
-// kernel) when the references are individually heap-allocated.
+// hypervector word block and the piecewise RefView (an ordered list of
+// contiguous extents with global indices). The RefView overloads below
+// are the fast path: cache-blocked sweeps per extent, so both a mapped
+// monolithic index::LibraryIndex (one extent) and a multi-segment
+// index::SegmentedLibrary (one extent per run of same-segment rows) go
+// through the same kernel; the RefMatrix overloads are the degenerate
+// one-extent case. The span overloads auto-detect a contiguous layout per
+// batch and fall back to per-BitVec indirection (still through the
+// dispatched pair kernel) when the references are individually
+// heap-allocated.
 //
 // ANN candidate prefilter (opt-in, off by default): before the exact sweep
 // of a precursor window, a cheap sampled-word Hamming sketch ranks the
@@ -73,6 +78,18 @@ struct SearchHit {
 /// should build the RefMatrix once and use this overload per query.
 [[nodiscard]] std::vector<SearchHit> top_k_search(const util::BitVec& query,
                                                   const RefMatrix& references,
+                                                  std::size_t first,
+                                                  std::size_t last,
+                                                  std::size_t k);
+
+/// Same search over a piecewise view (bit-identical results): the chunked
+/// SIMD sweep runs per extent with global reference indices, visiting
+/// candidates in ascending global order. A one-extent view takes exactly
+/// the RefMatrix path; a multi-segment SegmentedLibrary's view keeps the
+/// block sweep across its mapped segments instead of falling back to
+/// per-BitVec indirection.
+[[nodiscard]] std::vector<SearchHit> top_k_search(const util::BitVec& query,
+                                                  const RefView& references,
                                                   std::size_t first,
                                                   std::size_t last,
                                                   std::size_t k);
@@ -164,10 +181,18 @@ void for_each_query_segment(std::span<const BatchQuery> queries,
     std::span<const BatchQuery> queries,
     std::span<const util::BitVec> references, std::size_t k);
 
-/// Batched exact kernel over a contiguous reference matrix: the segment
-/// sweep is additionally chunked (kernels::sweep_chunk_rows) so a chunk of
-/// reference rows stays cache-resident while every active query of the
-/// block is scored against it. Bit-identical to the span overload.
+/// Batched exact kernel over a piecewise reference view: the segment
+/// sweep runs per extent and is additionally chunked
+/// (kernels::sweep_chunk_rows) so a chunk of reference rows stays
+/// cache-resident while every active query of the block is scored against
+/// it. Bit-identical to the span overload; the kernel tier is resolved
+/// once per call.
+[[nodiscard]] std::vector<std::vector<SearchHit>> top_k_search_batch(
+    std::span<const BatchQuery> queries, const RefView& references,
+    std::size_t k);
+
+/// Batched exact kernel over a contiguous reference matrix — the
+/// degenerate one-extent case of the piecewise kernel above.
 [[nodiscard]] std::vector<std::vector<SearchHit>> top_k_search_batch(
     std::span<const BatchQuery> queries, const RefMatrix& references,
     std::size_t k);
@@ -231,13 +256,15 @@ struct PrefilterCounters {
 /// the shortlist. Deterministic (sketch ties break by lower index) but
 /// approximate when pruning is active; bit-identical to top_k_search when
 /// cfg.enabled is false or the shortlist covers the window. `stream` keys
-/// the audit choice only — never the result. `matrix` may point at the
-/// caller's cached contiguous view (null → detect nothing, walk the span).
+/// the audit choice only — never the result. `view` may point at the
+/// caller's cached piecewise view (null → detect nothing, walk the span);
+/// the sketch pass and the shortlist sweep both visit rows in ascending
+/// global order, walking the view's extents with an amortized-O(1) cursor.
 [[nodiscard]] std::vector<SearchHit> top_k_search_prefiltered(
     const util::BitVec& query, std::span<const util::BitVec> references,
     std::size_t first, std::size_t last, std::size_t k,
     const PrefilterConfig& cfg, std::uint64_t stream,
-    PrefilterCounters* counters = nullptr, const RefMatrix* matrix = nullptr);
+    PrefilterCounters* counters = nullptr, const RefView* view = nullptr);
 
 /// Batched prefiltered search: per-query pruning (candidate shortlists are
 /// scattered, so there is no shared reference-major segment sweep to
@@ -247,6 +274,6 @@ struct PrefilterCounters {
     std::span<const BatchQuery> queries,
     std::span<const util::BitVec> references, std::size_t k,
     const PrefilterConfig& cfg, PrefilterCounters* counters = nullptr,
-    const RefMatrix* matrix = nullptr);
+    const RefView* view = nullptr);
 
 }  // namespace oms::hd

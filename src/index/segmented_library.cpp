@@ -84,6 +84,12 @@ SegmentedLibrary SegmentedLibrary::open(const std::string& path,
   // Already mass-sorted, so the constructor's stable sort is a no-op and
   // the merge order (including tie order) survives verbatim.
   lib.library_ = ms::SpectralLibrary(std::move(merged));
+
+  // Piecewise layout of the merged order: maximal runs of same-segment
+  // rows coalesce into one extent each (a one-segment library is exactly
+  // one extent). The extents point into the mapped blocks, so the view
+  // survives moves of this object.
+  lib.ref_view_ = hd::RefView::from_span(lib.hv_views_);
   return lib;
 }
 

@@ -18,9 +18,13 @@
 // through the one-shot writer) canonicalizes such ties.
 //
 // The mapped word blocks of different segments are disjoint allocations,
-// so a multi-segment library is searched through the per-vector kernel
-// path rather than the contiguous RefMatrix SIMD sweep; offline
-// compaction (IndexBuilder::compact) restores the fast path.
+// so a multi-segment library is never ONE contiguous RefMatrix — but the
+// merged order decomposes into runs of same-segment rows, each a
+// contiguous slice of one mapped block. ref_view() exposes exactly that
+// piecewise layout as an hd::RefView (built once at open), so the SIMD
+// sweeps keep running block-wise across segment boundaries instead of
+// dropping to per-vector kernels; compaction (IndexBuilder::compact)
+// collapses the view back to a single extent.
 //
 // Segments are immutable and the manifest swaps atomically, so a
 // SegmentedLibrary is safe to share across any number of concurrent
@@ -35,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "hd/kernels.hpp"
 #include "index/library_index.hpp"
 #include "index/manifest.hpp"
 #include "ms/library.hpp"
@@ -84,6 +89,16 @@ class SegmentedLibrary {
     return hv_views_;
   }
 
+  /// Piecewise reference view over the same rows: one contiguous extent
+  /// per maximal run of same-segment rows in the merged order (a
+  /// one-segment library is a single extent — the RefMatrix layout).
+  /// Built once at open; valid as long as this object lives, and stable
+  /// across moves (extents point into the mapped blocks, which never
+  /// relocate).
+  [[nodiscard]] const hd::RefView& ref_view() const noexcept {
+    return ref_view_;
+  }
+
   [[nodiscard]] std::span<const double> mass_axis() const noexcept {
     return mass_axis_;
   }
@@ -115,6 +130,7 @@ class SegmentedLibrary {
   Manifest manifest_;
   std::vector<LibraryIndex> segments_;
   std::vector<util::BitVec> hv_views_;  ///< Global order; view copies.
+  hd::RefView ref_view_;                ///< Piecewise layout of hv_views_.
   std::vector<double> mass_axis_;       ///< Owned merged axis.
   std::vector<Location> locations_;     ///< Global index → segment slot.
   ms::SpectralLibrary library_;         ///< Merged, materialized.

@@ -1,0 +1,166 @@
+#include "serve/maintainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "index/index_builder.hpp"
+#include "index/manifest.hpp"
+#include "serve/library_cache.hpp"
+
+namespace oms::serve {
+
+Maintainer::Maintainer(const MaintainerConfig& cfg, LibraryCache& cache,
+                       obs::MetricsRegistry& metrics)
+    : cfg_(cfg),
+      cache_(cache),
+      // Registered (and thus present in every snapshot, at zero) from the
+      // moment the server exists — dashboards and the CI smoke can assert
+      // on the names before the first manifest is ever watched.
+      sweeps_(metrics.counter("serve.maintainer.sweeps")),
+      compactions_(metrics.counter("serve.maintainer.compactions")),
+      segments_merged_(metrics.counter("serve.maintainer.segments_merged")),
+      errors_(metrics.counter("serve.maintainer.errors")),
+      watched_gauge_(metrics.gauge("serve.maintainer.watched")),
+      generation_age_(
+          metrics.gauge("serve.maintainer.generation_age_seconds")) {}
+
+Maintainer::~Maintainer() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Maintainer::watch(const std::string& manifest_path,
+                       const core::PipelineConfig& pcfg) {
+  const std::lock_guard lock(mutex_);
+  const auto [it, inserted] = watched_.try_emplace(manifest_path);
+  if (inserted) {
+    it->second.pcfg = pcfg;
+    it->second.generation_since = std::chrono::steady_clock::now();
+  }
+  watched_gauge_.set(static_cast<double>(watched_.size()));
+  if (cfg_.interval.count() > 0 && !thread_.joinable() && !stop_) {
+    thread_ = std::thread([this] { loop(); });
+  }
+}
+
+void Maintainer::loop() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, cfg_.interval, [this] { return stop_; })) break;
+    lock.unlock();
+    (void)run_once();
+    lock.lock();
+  }
+}
+
+bool Maintainer::sweep_one(const std::string& path, Watched& w) {
+  index::Manifest manifest = index::Manifest::load(path);
+  const auto now = std::chrono::steady_clock::now();
+  const std::uint64_t hash = manifest.combined_hash();
+  if (hash != w.last_hash) {
+    // Someone (an append, a compaction, another process) produced a new
+    // generation since the last sweep — restart the age clock.
+    w.last_hash = hash;
+    w.generation_since = now;
+  }
+
+  const std::size_t segments = manifest.segments.size();
+  if (segments < 2) return false;
+  bool trip = segments > cfg_.max_segments;
+  if (!trip && cfg_.small_segment_fraction > 0.0) {
+    std::uint64_t total = 0;
+    std::uint64_t smallest = std::numeric_limits<std::uint64_t>::max();
+    for (const index::ManifestSegment& row : manifest.segments) {
+      total += row.entry_count;
+      smallest = std::min(smallest, row.entry_count);
+    }
+    trip = total > 0 &&
+           static_cast<double>(smallest) <=
+               cfg_.small_segment_fraction * static_cast<double>(total);
+  }
+  if (!trip) return false;
+
+  // Off-request-path compaction: rewrites the segments into one (search
+  // results bit-identical — IndexBuilder::compact's contract), publishes
+  // the one-segment manifest atomically, and unlinks the superseded
+  // segment files. Open sessions keep serving their old generation:
+  // their leased mappings pin the unlinked bytes.
+  (void)index::IndexBuilder(w.pcfg).compact(path);
+  compactions_.add(1);
+  segments_merged_.add(segments);
+
+  // Publish through the cache: leases key on the manifest's combined
+  // hash, so pre-warming here means the tenant's next stream (sessions
+  // are one stream each) starts hot on the compacted generation instead
+  // of paying the open on its first query.
+  (void)cache_.lease(path, w.pcfg);
+  w.last_hash = index::Manifest::load(path).combined_hash();
+  w.generation_since = std::chrono::steady_clock::now();
+  return true;
+}
+
+std::size_t Maintainer::run_once() {
+  // One sweep at a time: the daemon tick and an explicit test/tool call
+  // must not compact the same manifest concurrently. watch()/stats() stay
+  // responsive — they take mutex_, which is never held across a sweep.
+  const std::lock_guard sweep_lock(sweep_mutex_);
+  sweeps_.add(1);
+
+  std::vector<std::pair<std::string, Watched>> work;
+  {
+    const std::lock_guard lock(mutex_);
+    work.reserve(watched_.size());
+    for (const auto& [path, w] : watched_) work.emplace_back(path, w);
+  }
+
+  std::size_t compacted = 0;
+  for (auto& [path, w] : work) {
+    try {
+      if (sweep_one(path, w)) ++compacted;
+    } catch (...) {
+      // A vanished manifest, fingerprint drift, or I/O failure on one
+      // library must not stop maintenance of the others.
+      errors_.add(1);
+      continue;
+    }
+    const std::lock_guard lock(mutex_);
+    const auto it = watched_.find(path);
+    if (it != watched_.end()) {
+      it->second.last_hash = w.last_hash;
+      it->second.generation_since = w.generation_since;
+    }
+  }
+  return compacted;
+}
+
+MaintainerStats Maintainer::stats() const {
+  MaintainerStats out;
+  out.sweeps = sweeps_.value();
+  out.compactions = compactions_.value();
+  out.segments_merged = segments_merged_.value();
+  out.errors = errors_.value();
+  const std::lock_guard lock(mutex_);
+  out.watched = watched_.size();
+  return out;
+}
+
+void Maintainer::refresh_gauges() {
+  const auto now = std::chrono::steady_clock::now();
+  double oldest = 0.0;
+  const std::lock_guard lock(mutex_);
+  for (const auto& [path, w] : watched_) {
+    oldest = std::max(
+        oldest,
+        std::chrono::duration<double>(now - w.generation_since).count());
+  }
+  watched_gauge_.set(static_cast<double>(watched_.size()));
+  generation_age_.set(oldest);
+}
+
+}  // namespace oms::serve

@@ -1,0 +1,133 @@
+// serve::Maintainer — background compaction daemon for segmented
+// libraries, owned by SearchServer.
+//
+// Growable libraries (index/index_builder.hpp append) trade search-time
+// layout for append cost: every append adds a segment, and a fragmented
+// segment list means a fragmented hd::RefView (more extents per sweep)
+// and more merge work at open. Nothing on the request path should pay to
+// fix that — so the server hands every manifest-backed library a session
+// opens to this daemon, which watches two fragmentation thresholds
+// (segment count, smallest-segment fraction) and runs
+// IndexBuilder::compact OFF the request path when one trips.
+//
+// Publication is the LibraryCache's generation keying: compaction
+// atomically swaps the manifest, the Maintainer immediately pre-warms the
+// cache with a lease of the new generation, and the tenant's next stream
+// (sessions are one stream each — the stream boundary is close/open)
+// leases the compacted single-segment library. Open sessions keep their
+// leased mappings: segments are immutable, POSIX keeps unlinked mapped
+// bytes alive, and the old generation simply ages out of the LRU — so PSM
+// streams are bit-identical before, during, and after a live compaction
+// (the serve isolation keystone, raced under tsan by
+// tests/index_segment_concurrency_test.cpp).
+//
+// Observability: counters serve.maintainer.sweeps / .compactions /
+// .segments_merged / .errors and gauges serve.maintainer.watched /
+// .generation_age_seconds, registered at construction so they appear in
+// every STATS snapshot (CI asserts their presence on the serve smoke).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+
+namespace oms::serve {
+
+class LibraryCache;
+
+struct MaintainerConfig {
+  /// Background sweep interval. 0 → no thread: maintenance runs only via
+  /// explicit run_once() calls (deterministic tests, external schedulers).
+  std::chrono::milliseconds interval{2000};
+  /// Compact a watched manifest once it holds MORE than this many
+  /// segments, regardless of their sizes.
+  std::size_t max_segments = 8;
+  /// ... or once its smallest segment holds at most this fraction of the
+  /// total entries (small appends fragment the view fastest). Only
+  /// considered for >= 2 segments; <= 0 disables the fraction trigger.
+  double small_segment_fraction = 0.25;
+};
+
+/// Point-in-time accounting (exact counters; see the obs names above).
+struct MaintainerStats {
+  std::uint64_t sweeps = 0;       ///< run_once passes (manual + daemon).
+  std::uint64_t compactions = 0;  ///< Compactions completed.
+  std::uint64_t segments_merged = 0;  ///< Segments consumed by them.
+  std::uint64_t errors = 0;       ///< Per-manifest sweep failures.
+  std::size_t watched = 0;        ///< Manifests currently watched.
+};
+
+class Maintainer {
+ public:
+  /// `cache` and `metrics` must outlive the Maintainer — detail::
+  /// ServerCore declares it last so the daemon thread joins before they
+  /// are destroyed.
+  Maintainer(const MaintainerConfig& cfg, LibraryCache& cache,
+             obs::MetricsRegistry& metrics);
+  ~Maintainer();
+
+  Maintainer(const Maintainer&) = delete;
+  Maintainer& operator=(const Maintainer&) = delete;
+
+  /// Registers a manifest for threshold watching (idempotent per path;
+  /// the first registration's pipeline config is kept — all sessions on
+  /// one artifact share a fingerprint, so any of their configs can drive
+  /// the compaction). Starts the daemon thread on first watch when
+  /// cfg.interval > 0. SearchServer::open calls this for every
+  /// manifest-backed library a session opens.
+  void watch(const std::string& manifest_path,
+             const core::PipelineConfig& pcfg);
+
+  /// One synchronous maintenance sweep over every watched manifest:
+  /// loads each manifest, compacts it when a threshold trips, pre-warms
+  /// the cache with the new generation. Returns the number of compactions
+  /// run. The daemon thread calls exactly this; tests call it directly
+  /// for determinism. Safe to race with open sessions and with itself.
+  std::size_t run_once();
+
+  [[nodiscard]] MaintainerStats stats() const;
+
+  /// Refreshes the scrape-time gauges (watched count, oldest generation
+  /// age). SearchServer::metrics_snapshot calls this before snapshotting.
+  void refresh_gauges();
+
+ private:
+  struct Watched {
+    core::PipelineConfig pcfg;
+    std::uint64_t last_hash = 0;  ///< combined_hash at the last sweep.
+    std::chrono::steady_clock::time_point generation_since;
+  };
+
+  void loop();
+  /// Sweeps one manifest; returns true when it was compacted.
+  bool sweep_one(const std::string& path, Watched& w);
+
+  const MaintainerConfig cfg_;
+  LibraryCache& cache_;
+
+  obs::Counter& sweeps_;
+  obs::Counter& compactions_;
+  obs::Counter& segments_merged_;
+  obs::Counter& errors_;
+  obs::Gauge& watched_gauge_;
+  obs::Gauge& generation_age_;
+
+  mutable std::mutex mutex_;  ///< Guards watched_ and thread start/stop.
+  std::mutex sweep_mutex_;    ///< Serializes run_once (never nested in
+                              ///< mutex_; compactions are slow and must
+                              ///< not block watch()/stats()).
+  std::condition_variable cv_;
+  std::map<std::string, Watched> watched_;
+  bool stop_ = false;
+  std::thread thread_;  ///< Daemon; started lazily on first watch().
+};
+
+}  // namespace oms::serve

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "index/manifest.hpp"
+
 namespace oms::serve {
 
 SearchServer::SearchServer(const SearchServerConfig& cfg)
@@ -24,8 +26,16 @@ std::shared_ptr<Session> SearchServer::open(const std::string& library_path,
   }
   try {
     const obs::ScopedTimer timer(core_->open_seconds);
-    return std::shared_ptr<Session>(
+    const core::PipelineConfig pcfg = cfg.pipeline;
+    std::shared_ptr<Session> session(
         new Session(core_, library_path, std::move(cfg)));
+    // Hand every manifest-backed (growable, thus fragmentable) library to
+    // the Maintainer. After the session leased its generation: a
+    // compaction can never swap the artifact out from under an open().
+    if (index::is_manifest_file(library_path)) {
+      core_->maintainer.watch(library_path, pcfg);
+    }
+    return session;
   } catch (...) {
     const std::lock_guard lock(core_->mutex);
     --core_->sessions_open;
@@ -71,6 +81,7 @@ obs::Snapshot SearchServer::metrics_snapshot() const {
   m.gauge("serve.scheduler.streams").set(static_cast<double>(s.streams));
   m.gauge("serve.scheduler.running").set(static_cast<double>(s.running));
   m.gauge("serve.scheduler.waiting").set(static_cast<double>(s.waiting));
+  core_->maintainer.refresh_gauges();
   return m.snapshot();
 }
 

@@ -32,6 +32,7 @@
 
 #include "obs/metrics.hpp"
 #include "serve/library_cache.hpp"
+#include "serve/maintainer.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
 
@@ -44,6 +45,11 @@ struct SearchServerConfig {
   /// Search blocks on the substrate at once, across all sessions
   /// (FairScheduler slots). 0 → the global thread pool's worker count.
   std::size_t max_concurrent_blocks = 0;
+  /// Background compaction of segmented libraries (serve/maintainer.hpp):
+  /// every manifest a session opens is watched, and fragmented ones are
+  /// compacted off the request path. interval 0 disables the daemon
+  /// thread (run_once() stays available via maintainer()).
+  MaintainerConfig maintainer{};
 };
 
 struct SearchServerStats {
@@ -70,7 +76,8 @@ struct ServerCore {
         admission_rejected(metrics.counter("serve.admission.rejected")),
         admission_blocked(metrics.counter("serve.admission.blocked")),
         open_seconds(metrics.histogram("serve.open_seconds")),
-        first_psm_seconds(metrics.histogram("serve.first_psm_seconds")) {}
+        first_psm_seconds(metrics.histogram("serve.first_psm_seconds")),
+        maintainer(config.maintainer, cache, metrics) {}
 
   const SearchServerConfig cfg;
   LibraryCache cache;
@@ -87,6 +94,10 @@ struct ServerCore {
   std::mutex mutex;  ///< Guards the session counts.
   std::size_t sessions_open = 0;
   std::uint64_t sessions_total = 0;
+
+  /// Declared LAST on purpose: constructed after (and destroyed before)
+  /// the cache and registry its daemon thread touches.
+  Maintainer maintainer;
 };
 }  // namespace detail
 
@@ -121,6 +132,11 @@ class SearchServer {
   [[nodiscard]] obs::Snapshot metrics_snapshot() const;
 
   [[nodiscard]] LibraryCache& cache() noexcept { return core_->cache; }
+  /// The background compaction daemon (serve/maintainer.hpp); exposed so
+  /// tools and tests can run_once() deterministically or read its stats.
+  [[nodiscard]] Maintainer& maintainer() noexcept {
+    return core_->maintainer;
+  }
   [[nodiscard]] FairScheduler& scheduler() noexcept {
     return core_->scheduler;
   }

@@ -37,6 +37,7 @@
 
 #include "core/pipeline.hpp"
 #include "core/query_engine.hpp"
+#include "index/segmented_library.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -142,6 +143,14 @@ class Session {
   }
   [[nodiscard]] const std::string& library_path() const noexcept {
     return library_path_;
+  }
+  /// Generation identity of the leased library: the manifest's
+  /// combined_hash for a segmented library, 0 for a monolithic index.
+  /// A session keeps its generation for its whole stream (the leased
+  /// mapping stays alive even if the Maintainer compacts underneath);
+  /// the tenant's next stream leases the current generation.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return segmented_ ? segmented_->combined_hash() : 0;
   }
 
  private:

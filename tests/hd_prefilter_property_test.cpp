@@ -214,7 +214,8 @@ TEST(PrefilterProperty, BatchMatchesPerQueryAndMatrixMatchesSpan) {
   EXPECT_EQ(batch_counters.audited_queries, single_counters.audited_queries);
   EXPECT_EQ(batch_counters.audit_matched, single_counters.audit_matched);
 
-  // Same queries over the contiguous-matrix fast path: bit-identical hits.
+  // Same queries over the piecewise-view fast path: bit-identical hits,
+  // both as one contiguous extent and split mid-block into two.
   std::vector<std::uint64_t> block(kRefs * (kDim / 64));
   for (std::size_t i = 0; i < kRefs; ++i) {
     const auto words = refs[i].words();
@@ -224,12 +225,38 @@ TEST(PrefilterProperty, BatchMatchesPerQueryAndMatrixMatchesSpan) {
   for (std::size_t i = 0; i < kRefs; ++i) {
     views.push_back(util::BitVec::view(block.data() + i * (kDim / 64), kDim));
   }
-  const RefMatrix matrix = RefMatrix::from_span(views);
-  ASSERT_TRUE(matrix.valid());
+  const RefView view = RefView::from_span(views);
+  ASSERT_TRUE(view.valid());
+  ASSERT_TRUE(view.contiguous());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     EXPECT_EQ(top_k_search_prefiltered(*batch[i].hv, views, batch[i].first,
                                        batch[i].last, kTopK, cfg,
-                                       batch[i].stream, nullptr, &matrix),
+                                       batch[i].stream, nullptr, &view),
+              batched[i])
+        << "slot " << i;
+  }
+  // Two-extent copy of the same rows (fresh blocks, split at kRefs/2 — the
+  // layout a two-segment library's interleave-free tail produces).
+  std::vector<std::uint64_t> half_a(block.begin(),
+                                    block.begin() + (kRefs / 2) * (kDim / 64));
+  std::vector<std::uint64_t> half_b(block.begin() + (kRefs / 2) * (kDim / 64),
+                                    block.end());
+  std::vector<util::BitVec> split_views;
+  for (std::size_t i = 0; i < kRefs / 2; ++i) {
+    split_views.push_back(
+        util::BitVec::view(half_a.data() + i * (kDim / 64), kDim));
+  }
+  for (std::size_t i = 0; i < kRefs - kRefs / 2; ++i) {
+    split_views.push_back(
+        util::BitVec::view(half_b.data() + i * (kDim / 64), kDim));
+  }
+  const RefView split = RefView::from_span(split_views);
+  ASSERT_TRUE(split.valid());
+  ASSERT_EQ(split.extent_count(), 2u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(top_k_search_prefiltered(*batch[i].hv, split_views,
+                                       batch[i].first, batch[i].last, kTopK,
+                                       cfg, batch[i].stream, nullptr, &split),
               batched[i])
         << "slot " << i;
   }

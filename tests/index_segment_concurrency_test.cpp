@@ -6,6 +6,7 @@
 // is immutable-after-publish: readers hold mappings, never locks.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "index/manifest.hpp"
 #include "index/segmented_library.hpp"
 #include "ms/synthetic.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -109,6 +111,116 @@ TEST(IndexSegmentConcurrency, SharedMultiSegmentLibraryServesManyReaders) {
   core::Pipeline from_compacted(cfg);
   from_compacted.set_library(compacted);
   expect_identical(want, from_compacted.run(wl.queries), kReaders);
+
+  const auto man = index::Manifest::load(man_path);
+  const auto dir = std::filesystem::path(man_path).parent_path();
+  for (const auto& seg : man.segments) {
+    std::filesystem::remove(dir / seg.name);
+  }
+  std::remove(man_path.c_str());
+}
+
+// The serve-layer isolation keystone under a LIVE background compaction:
+// open sessions stream queries while the server's Maintainer compacts the
+// watched manifest underneath them. Every open session's PSM stream must
+// stay bit-identical to the solo run (their leased mappings pin the old
+// generation), and the tenant's NEXT stream must lease the compacted
+// single-segment generation — with identical results again.
+TEST(IndexSegmentConcurrency, MaintainerLiveCompactionPreservesOpenStreams) {
+  ms::WorkloadConfig wcfg;
+  wcfg.reference_count = 210;
+  wcfg.query_count = 30;
+  wcfg.seed = 53;
+  const ms::Workload wl = ms::generate_workload(wcfg);
+
+  const auto cfg = test_config("ideal-hd");
+  const std::string man_path =
+      testing::TempDir() + "seg_maintainer_race.omsman";
+  std::remove(man_path.c_str());
+  const index::IndexBuilder builder(cfg);
+  const std::size_t third = wl.references.size() / 3;
+  for (std::size_t part = 0; part < 3; ++part) {
+    const auto begin =
+        wl.references.begin() + static_cast<std::ptrdiff_t>(part * third);
+    const auto end = part == 2
+                         ? wl.references.end()
+                         : begin + static_cast<std::ptrdiff_t>(third);
+    (void)builder.append(std::vector<ms::Spectrum>(begin, end), man_path);
+  }
+
+  core::Pipeline solo(cfg);
+  solo.set_library(wl.references);
+  const auto want = solo.run(wl.queries);
+  ASSERT_GT(want.psms.size(), 0u);
+
+  serve::SearchServerConfig srv_cfg;
+  // interval 0: no daemon thread — the test drives run_once() from its
+  // own racing thread for determinism. max_segments 1 means ANY
+  // multi-segment manifest trips the threshold on the first sweep.
+  srv_cfg.maintainer.interval = std::chrono::milliseconds(0);
+  srv_cfg.maintainer.max_segments = 1;
+  serve::SearchServer server(srv_cfg);
+
+  constexpr std::size_t kSessions = 4;
+  std::vector<std::shared_ptr<serve::Session>> sessions;
+  for (std::size_t t = 0; t < kSessions; ++t) {
+    serve::SessionConfig scfg;
+    scfg.pipeline = cfg;
+    sessions.push_back(server.open(man_path, scfg));
+  }
+  const std::uint64_t gen_before = sessions[0]->generation();
+  ASSERT_NE(gen_before, 0u);
+  EXPECT_EQ(server.maintainer().stats().watched, 1u);
+
+  // Sessions stream their queries while the Maintainer compacts.
+  std::vector<core::PipelineResult> got(kSessions);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kSessions; ++t) {
+    workers.emplace_back([&, t] {
+      for (const auto& q : wl.queries) {
+        ASSERT_TRUE(sessions[t]->submit(q));
+      }
+      got[t] = sessions[t]->close();
+    });
+  }
+  std::thread compactor([&] { (void)server.maintainer().run_once(); });
+  for (auto& w : workers) w.join();
+  compactor.join();
+
+  const auto mstats = server.maintainer().stats();
+  EXPECT_GE(mstats.sweeps, 1u);
+  EXPECT_EQ(mstats.compactions, 1u);
+  EXPECT_EQ(mstats.segments_merged, 3u);
+  EXPECT_EQ(mstats.errors, 0u);
+  ASSERT_EQ(index::Manifest::load(man_path).segments.size(), 1u);
+
+  // The racing streams saw the OLD generation, bit-identically.
+  for (std::size_t t = 0; t < kSessions; ++t) {
+    expect_identical(want, got[t], t);
+  }
+
+  // A second sweep is a no-op: one segment trips nothing.
+  EXPECT_EQ(server.maintainer().run_once(), 0u);
+
+  // The next stream leases the compacted generation — new identity, same
+  // results, and the pre-warm lease means the mapping is already hot.
+  serve::SessionConfig scfg;
+  scfg.pipeline = cfg;
+  auto fresh = server.open(man_path, scfg);
+  EXPECT_NE(fresh->generation(), gen_before);
+  EXPECT_TRUE(fresh->stats().library_cache_hit);
+  for (const auto& q : wl.queries) {
+    ASSERT_TRUE(fresh->submit(q));
+  }
+  expect_identical(want, fresh->close(), kSessions);
+
+  // The maintainer's counters surface through the STATS snapshot.
+  const obs::Snapshot snap = server.metrics_snapshot();
+  EXPECT_EQ(snap.counter("serve.maintainer.compactions"), 1u);
+  EXPECT_EQ(snap.counter("serve.maintainer.segments_merged"), 3u);
+  EXPECT_TRUE(snap.counters.contains("serve.maintainer.sweeps"));
+  EXPECT_TRUE(snap.counters.contains("serve.maintainer.errors"));
+  EXPECT_EQ(snap.gauge("serve.maintainer.watched"), 1.0);
 
   const auto man = index::Manifest::load(man_path);
   const auto dir = std::filesystem::path(man_path).parent_path();

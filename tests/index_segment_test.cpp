@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -30,12 +31,15 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "hd/kernels.hpp"
+#include "hd/search.hpp"
 #include "index/index_builder.hpp"
 #include "index/library_index.hpp"
 #include "index/manifest.hpp"
 #include "index/segmented_library.hpp"
 #include "ms/synthetic.hpp"
 #include "serve/library_cache.hpp"
+#include "util/bitvec.hpp"
 
 namespace {
 
@@ -346,14 +350,137 @@ TEST(IndexSegment, RefMatrixFastPathLostOnSegmentsRestoredByCompaction) {
     const auto lib = index::SegmentedLibrary::open(man_path);
     ASSERT_EQ(lib.segment_count(), 2u);
     // Word blocks live in two disjoint mappings interleaved by mass: no
-    // single contiguous reference-major matrix exists.
+    // single contiguous reference-major matrix exists...
     EXPECT_FALSE(hd::RefMatrix::from_span(lib.hypervectors()).valid());
+    // ...but the piecewise view still covers every row with block-sweep
+    // extents — fragmentation costs extents, not the SIMD kernel.
+    const hd::RefView& view = lib.ref_view();
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.count(), lib.size());
+    EXPECT_GT(view.extent_count(), 1u);
+    EXPECT_FALSE(view.contiguous());
+    EXPECT_FALSE(view.matrix().valid());
   }
   (void)builder.compact(man_path);
   {
     const auto lib = index::SegmentedLibrary::open(man_path);
     ASSERT_EQ(lib.segment_count(), 1u);
     EXPECT_TRUE(hd::RefMatrix::from_span(lib.hypervectors()).valid());
+    // One segment degenerates to the monolithic layout: a single extent,
+    // convertible back to the plain RefMatrix.
+    EXPECT_TRUE(lib.ref_view().contiguous());
+    EXPECT_EQ(lib.ref_view().extent_count(), 1u);
+    EXPECT_TRUE(lib.ref_view().matrix().valid());
+  }
+  remove_segmented(man_path);
+}
+
+// Piecewise-sweep bit-identity: for every backend and every segment count
+// in {1, 2, 5}, the full pipeline over a segmented library — whose
+// exact-HD sweeps now run per-extent on hd::RefView — must match the
+// in-process one-shot run PSM for PSM. (The encoder pins pipeline dims to
+// multiples of 64; ragged-tail-word coverage at non-multiple-of-64 dims
+// lives in the kernel-level piecewise tests below and in
+// property_sweeps_test's PiecewiseLayoutSweep.)
+class PiecewiseSweep : public testing::TestWithParam<const char*> {};
+
+TEST_P(PiecewiseSweep, BitIdenticalToMonolithicAcrossSegmentCounts) {
+  const std::string backend = GetParam();
+  const bool circuit = backend == "rram-circuit";
+  const std::uint32_t dim = circuit ? 512 : 2048;
+  const auto workload =
+      circuit ? small_workload(40, 12, 11) : small_workload(260, 50, 11);
+  auto cfg = test_config(backend, dim);
+  if (backend == "sharded") cfg.backend_options.max_refs_per_shard = 90;
+
+  core::Pipeline one_shot(cfg);
+  one_shot.set_library(workload.references);
+  const auto want = one_shot.run(workload.queries);
+
+  const index::IndexBuilder builder(cfg);
+  for (const std::size_t parts : {1u, 2u, 5u}) {
+    const std::string man_path = temp_path("seg_piecewise_" + backend + "_" +
+                                           std::to_string(parts) + ".omsman");
+    grow_in_parts(builder, workload.references, parts, man_path);
+
+    auto lib = std::make_shared<index::SegmentedLibrary>(
+        index::SegmentedLibrary::open(man_path));
+    ASSERT_EQ(lib->segment_count(), parts);
+    const hd::RefView& view = lib->ref_view();
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.count(), lib->size());
+    EXPECT_EQ(view.dim(), dim);
+    EXPECT_EQ(view.contiguous(), parts == 1) << parts << " segments";
+    // The extents partition [0, count) in ascending base order — the
+    // invariant that keeps the per-extent sweep's visit order (and thus
+    // the equal-score tie-break) identical to the monolithic scan.
+    std::size_t next = 0;
+    for (const hd::RefExtent& e : view.extents()) {
+      ASSERT_EQ(e.base, next);
+      ASSERT_GT(e.rows, 0u);
+      next = e.base + e.rows;
+    }
+    EXPECT_EQ(next, view.count());
+
+    core::Pipeline from_segments(cfg);
+    from_segments.set_library(lib);
+    EXPECT_EQ(from_segments.reference_encode_count(), 0u);
+    expect_identical(want, from_segments.run(workload.queries));
+    remove_segmented(man_path);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, PiecewiseSweep,
+                         testing::Values("ideal-hd", "rram-statistical",
+                                         "rram-circuit", "sharded"));
+
+TEST(IndexSegment, PiecewiseBatchedSweepMatchesMonolithicCopy) {
+  // Kernel-level check, below the pipeline: batched search over a
+  // 5-segment library's piecewise view vs (a) the per-BitVec span
+  // fallback over the same rows and (b) a monolithic contiguous copy.
+  const auto workload = small_workload(220, 0, 41);
+  const auto cfg = test_config("ideal-hd", 2048);
+  const index::IndexBuilder builder(cfg);
+  const std::string man_path = temp_path("seg_piecewise_kernel.omsman");
+  grow_in_parts(builder, workload.references, 5, man_path);
+  const auto lib = index::SegmentedLibrary::open(man_path);
+  const hd::RefView& view = lib.ref_view();
+  ASSERT_TRUE(view.valid());
+  ASSERT_GT(view.extent_count(), 1u);
+
+  // Monolithic copy: the exact bytes, one contiguous block.
+  const std::size_t wc = view.word_count();
+  std::vector<std::uint64_t> flat(view.count() * wc);
+  for (std::size_t i = 0; i < view.count(); ++i) {
+    std::memcpy(flat.data() + i * wc, view.row(i), wc * sizeof(std::uint64_t));
+  }
+  const hd::RefMatrix mono{flat.data(), wc, view.count(), view.dim()};
+  ASSERT_TRUE(mono.valid());
+
+  std::vector<util::BitVec> queries(16);
+  std::vector<hd::BatchQuery> batch;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    queries[q] = util::BitVec(view.dim());
+    queries[q].randomize(1234 + q);
+    // Ranges straddle extent boundaries at various offsets.
+    const std::size_t first = (q * 13) % (view.count() / 2);
+    const std::size_t last = view.count() - (q * 7) % (view.count() / 3);
+    batch.push_back({&queries[q], first, last, q});
+  }
+
+  const auto piecewise = hd::top_k_search_batch(batch, view, 6);
+  const auto per_vector =
+      hd::top_k_search_batch(batch, lib.hypervectors(), 6);
+  const auto contiguous = hd::top_k_search_batch(batch, mono, 6);
+  ASSERT_EQ(piecewise.size(), batch.size());
+  for (std::size_t q = 0; q < batch.size(); ++q) {
+    EXPECT_EQ(piecewise[q], per_vector[q]) << "query " << q;
+    EXPECT_EQ(piecewise[q], contiguous[q]) << "query " << q;
+    // And the per-query piecewise overload agrees with the batch.
+    EXPECT_EQ(piecewise[q],
+              hd::top_k_search(queries[q], view, batch[q].first,
+                               batch[q].last, 6))
+        << "query " << q;
   }
   remove_segmented(man_path);
 }

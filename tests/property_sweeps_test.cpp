@@ -4,13 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <map>
+#include <tuple>
+#include <vector>
 
 #include "accel/error_model.hpp"
 #include "accel/imc_search.hpp"
 #include "core/pipeline.hpp"
 #include "hd/encoder.hpp"
+#include "hd/kernels.hpp"
+#include "hd/search.hpp"
 #include "ms/synthetic.hpp"
+#include "util/bitvec.hpp"
 #include "util/stats.hpp"
 
 namespace oms {
@@ -141,6 +147,117 @@ TEST_P(DimSweep, MatchedPairsBeatRandomPairsAtEveryDim) {
 
 INSTANTIATE_TEST_SUITE_P(Dims, DimSweep,
                          ::testing::Values(256U, 1024U, 4096U, 8192U));
+
+// ---------- Piecewise reference-view sweeps ----------
+
+// For every (dimension, fragment-count) setting — dimensions deliberately
+// NOT multiples of 64, so every row ends in a partial word — a randomized
+// piecewise layout (rows dealt in random-length runs across disjoint word
+// blocks, mimicking a segmented library's interleaved merge order) must
+// search bit-identically through every entry point: the RefView piecewise
+// kernel, the per-BitVec span path, and a monolithic contiguous copy.
+class PiecewiseLayoutSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::size_t>> {
+};
+
+TEST_P(PiecewiseLayoutSweep, FragmentedViewMatchesFallbackAndMonolith) {
+  const std::uint32_t dim = std::get<0>(GetParam());
+  const std::size_t frags = std::get<1>(GetParam());
+  constexpr std::size_t kRefs = 230;
+  constexpr std::size_t kQueries = 24;
+  constexpr std::size_t kTopK = 5;
+  const std::size_t wc = (dim + 63) / 64;
+  util::Xoshiro256 rng(707 + dim + static_cast<std::uint64_t>(frags));
+
+  // Deal the rows in random-length runs round-robin over `frags` blocks:
+  // each run is one contiguous extent candidate. Sizes first (the blocks
+  // must never reallocate once views point into them), then the fill.
+  struct Run {
+    std::size_t block;
+    std::size_t rows;
+  };
+  std::vector<Run> runs;
+  for (std::size_t assigned = 0; assigned < kRefs;) {
+    const std::size_t len = std::min(kRefs - assigned, 1 + rng.below(9));
+    runs.push_back({rng.below(frags), len});
+    assigned += len;
+  }
+  std::vector<std::size_t> block_rows(frags, 0);
+  for (const Run& r : runs) block_rows[r.block] += r.rows;
+  std::vector<std::vector<std::uint64_t>> blocks(frags);
+  for (std::size_t b = 0; b < frags; ++b) blocks[b].assign(block_rows[b] * wc, 0);
+
+  std::vector<util::BitVec> owned;  // Content owners, global order.
+  std::vector<util::BitVec> views;  // Zero-copy views into the blocks.
+  owned.reserve(kRefs);
+  views.reserve(kRefs);
+  std::vector<std::size_t> heads(frags, 0);
+  std::size_t global = 0;
+  for (const Run& r : runs) {
+    for (std::size_t j = 0; j < r.rows; ++j, ++global) {
+      util::BitVec v(dim);
+      v.randomize(900 + global);
+      std::uint64_t* dst = blocks[r.block].data() + heads[r.block]++ * wc;
+      std::memcpy(dst, v.words().data(), wc * sizeof(std::uint64_t));
+      views.push_back(util::BitVec::view(dst, dim));
+      owned.push_back(std::move(v));
+    }
+  }
+
+  const hd::RefView view = hd::RefView::from_span(views);
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.count(), kRefs);
+  EXPECT_EQ(view.dim(), dim);
+  std::size_t next = 0;  // Extents partition [0, kRefs) in order.
+  for (const hd::RefExtent& e : view.extents()) {
+    ASSERT_EQ(e.base, next);
+    next = e.base + e.rows;
+  }
+  ASSERT_EQ(next, kRefs);
+
+  // Monolithic contiguous copy of the same bytes, global order.
+  std::vector<std::uint64_t> flat(kRefs * wc);
+  for (std::size_t i = 0; i < kRefs; ++i) {
+    std::memcpy(flat.data() + i * wc, views[i].words().data(),
+                wc * sizeof(std::uint64_t));
+  }
+  const hd::RefMatrix mono{flat.data(), wc, kRefs, dim};
+  ASSERT_TRUE(mono.valid());
+
+  std::vector<util::BitVec> queries(kQueries);
+  std::vector<hd::BatchQuery> batch;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    queries[q] = util::BitVec(dim);
+    queries[q].randomize(4000 + q);
+    const std::size_t first = (q * 17) % (kRefs / 2);
+    const std::size_t last = kRefs - (q * 11) % (kRefs / 3);
+    batch.push_back({&queries[q], first, last, q});
+  }
+
+  const auto piecewise = hd::top_k_search_batch(batch, view, kTopK);
+  const auto span_path =
+      hd::top_k_search_batch(batch, std::span<const util::BitVec>(views),
+                             kTopK);
+  const auto contiguous = hd::top_k_search_batch(batch, mono, kTopK);
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    EXPECT_EQ(piecewise[q], span_path[q]) << "query " << q;
+    EXPECT_EQ(piecewise[q], contiguous[q]) << "query " << q;
+    EXPECT_EQ(piecewise[q],
+              hd::top_k_search(queries[q], view, batch[q].first,
+                               batch[q].last, kTopK))
+        << "query " << q;
+    EXPECT_EQ(piecewise[q],
+              hd::top_k_search(queries[q], views, batch[q].first,
+                               batch[q].last, kTopK))
+        << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, PiecewiseLayoutSweep,
+    ::testing::Combine(::testing::Values(544U, 2080U),
+                       ::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{6})));
 
 // ---------- ADC resolution sweep ----------
 
